@@ -1,0 +1,240 @@
+//! Dependency-chain stability (§4.2, Tables 4a/4b).
+
+use crate::node_similarity::PageNodeSimilarities;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wmtree_net::ResourceType;
+use wmtree_stats::jaccard::SimilarityCategory;
+use wmtree_url::Party;
+
+/// §4.2 headline chain statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChainStats {
+    /// Share of nodes (present in all trees) with identical dependency
+    /// chains everywhere (paper: 75%).
+    pub same_chain_share: f64,
+    /// Share of nodes with a unique dependency chain (paper: 18%).
+    pub unique_chain_share: f64,
+    /// Same-chain share when depth-1 nodes are excluded (paper: 57%).
+    pub same_chain_share_depth2: f64,
+    /// Share of first-party nodes loaded by the same chain (paper: 86%).
+    pub fp_same_chain: f64,
+    /// Share of third-party nodes loaded by the same chain (paper: 56%).
+    pub tp_same_chain: f64,
+    /// Share of tracking nodes loaded by the same parents (paper: 28%).
+    pub tracking_same_chain: f64,
+    /// Share of non-tracking nodes loaded the same way (paper: 66%).
+    pub non_tracking_same_chain: f64,
+    /// Of nodes appearing at the same depth in all trees (depth ≥ 2):
+    /// share triggered by the same parent everywhere (paper: 61%).
+    pub same_parent_share: f64,
+    /// Parent-similarity category shares for those nodes
+    /// (paper: 63% high / 17% medium / 20% low).
+    pub parent_high: f64,
+    /// Medium band share.
+    pub parent_medium: f64,
+    /// Low band share.
+    pub parent_low: f64,
+}
+
+/// Per-resource-type chain stability (Tables 4a and 4b).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeChainRow {
+    /// Resource type.
+    pub resource_type: ResourceType,
+    /// Share of nodes of this type always loaded by the same chain
+    /// (Table 4a; nodes deeper than depth 1, present in ≥ 2 trees).
+    pub same_chain_share: f64,
+    /// Mean parent similarity (Table 4b ranks the lowest).
+    pub mean_parent_similarity: f64,
+    /// Number of nodes backing the row.
+    pub n: usize,
+}
+
+/// Compute the §4.2 chain statistics.
+pub fn chain_stats(sims: &[PageNodeSimilarities]) -> ChainStats {
+    let mut in_all = 0usize;
+    let mut in_all_same = 0usize;
+    let mut unique = 0usize;
+    let mut total = 0usize;
+    let mut deep = 0usize;
+    let mut deep_same = 0usize;
+    let mut fp = (0usize, 0usize);
+    let mut tp = (0usize, 0usize);
+    let mut track = (0usize, 0usize);
+    let mut nontrack = (0usize, 0usize);
+    let mut same_depth_deep = 0usize;
+    let mut same_parent = 0usize;
+    let mut bands = [0usize; 3];
+    let mut banded = 0usize;
+
+    for page in sims {
+        for n in &page.nodes {
+            total += 1;
+            if n.unique_chain {
+                unique += 1;
+            }
+            if n.present_in == page.n_trees {
+                in_all += 1;
+                if n.same_chain_where_present {
+                    in_all_same += 1;
+                }
+                if n.depth() >= 2 {
+                    deep += 1;
+                    if n.same_chain_where_present {
+                        deep_same += 1;
+                    }
+                }
+            }
+            if n.present_in >= 2 {
+                let same = n.same_chain_where_present;
+                let slot = match n.party {
+                    Party::First => &mut fp,
+                    Party::Third => &mut tp,
+                };
+                slot.0 += 1;
+                if same {
+                    slot.1 += 1;
+                }
+                let tslot = if n.tracking { &mut track } else { &mut nontrack };
+                tslot.0 += 1;
+                if same {
+                    tslot.1 += 1;
+                }
+            }
+            // "Nodes that appear at the same depth in all trees and at
+            // least at depth two."
+            if n.present_in == page.n_trees && n.same_depth_everywhere() && n.depth() >= 2 {
+                same_depth_deep += 1;
+                if n.parent_similarity == Some(1.0) {
+                    same_parent += 1;
+                }
+                if let Some(s) = n.parent_similarity {
+                    banded += 1;
+                    match SimilarityCategory::of(s) {
+                        SimilarityCategory::High => bands[0] += 1,
+                        SimilarityCategory::Medium => bands[1] += 1,
+                        SimilarityCategory::Low => bands[2] += 1,
+                    }
+                }
+            }
+        }
+    }
+
+    let share = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    ChainStats {
+        same_chain_share: share(in_all_same, in_all),
+        unique_chain_share: share(unique, total),
+        same_chain_share_depth2: share(deep_same, deep),
+        fp_same_chain: share(fp.1, fp.0),
+        tp_same_chain: share(tp.1, tp.0),
+        tracking_same_chain: share(track.1, track.0),
+        non_tracking_same_chain: share(nontrack.1, nontrack.0),
+        same_parent_share: share(same_parent, same_depth_deep),
+        parent_high: share(bands[0], banded),
+        parent_medium: share(bands[1], banded),
+        parent_low: share(bands[2], banded),
+    }
+}
+
+/// Compute the per-type rows behind Tables 4a/4b. Only nodes deeper
+/// than depth 1 and present in ≥ 2 trees are considered (the paper's
+/// setup for this analysis).
+pub fn type_chain_rows(sims: &[PageNodeSimilarities]) -> Vec<TypeChainRow> {
+    let mut per_type: BTreeMap<ResourceType, (usize, usize, f64, usize)> = BTreeMap::new();
+    for page in sims {
+        for n in &page.nodes {
+            if n.depth() < 2 || n.present_in < 2 {
+                continue;
+            }
+            let e = per_type.entry(n.resource_type).or_insert((0, 0, 0.0, 0));
+            e.0 += 1;
+            if n.same_chain_where_present {
+                e.1 += 1;
+            }
+            if let Some(p) = n.parent_similarity {
+                e.2 += p;
+                e.3 += 1;
+            }
+        }
+    }
+    per_type
+        .into_iter()
+        .map(|(resource_type, (n, same, psum, pcnt))| TypeChainRow {
+            resource_type,
+            same_chain_share: same as f64 / n as f64,
+            mean_parent_similarity: if pcnt == 0 { 0.0 } else { psum / pcnt as f64 },
+            n,
+        })
+        .collect()
+}
+
+/// Table 4a: the types most stably loaded, descending.
+pub fn table4a(sims: &[PageNodeSimilarities], top: usize) -> Vec<TypeChainRow> {
+    let mut rows = type_chain_rows(sims);
+    rows.retain(|r| r.n >= 5);
+    rows.sort_by(|a, b| b.same_chain_share.partial_cmp(&a.same_chain_share).unwrap());
+    rows.truncate(top);
+    rows
+}
+
+/// Table 4b: the types with the lowest parent similarity, ascending.
+pub fn table4b(sims: &[PageNodeSimilarities], top: usize) -> Vec<TypeChainRow> {
+    let mut rows = type_chain_rows(sims);
+    rows.retain(|r| r.n >= 5);
+    rows.sort_by(|a, b| a.mean_parent_similarity.partial_cmp(&b.mean_parent_similarity).unwrap());
+    rows.truncate(top);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::testutil::experiment;
+    use crate::node_similarity::analyze_all;
+
+    #[test]
+    fn chain_stats_paper_orderings() {
+        let data = experiment();
+        let sims = analyze_all(data);
+        let s = chain_stats(&sims);
+
+        // Excluding depth 1 lowers same-chain share (75% → 57% in the paper).
+        assert!(s.same_chain_share > s.same_chain_share_depth2, "{s:?}");
+        // First party more stable than third party (86% vs 56%).
+        assert!(s.fp_same_chain > s.tp_same_chain, "{s:?}");
+        // Tracking less stable than non-tracking (28% vs 66%).
+        assert!(s.tracking_same_chain < s.non_tracking_same_chain, "{s:?}");
+        // Shares are probabilities, bands sum to 1.
+        for v in [
+            s.same_chain_share,
+            s.unique_chain_share,
+            s.same_parent_share,
+            s.parent_high,
+            s.parent_medium,
+            s.parent_low,
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        assert!((s.parent_high + s.parent_medium + s.parent_low - 1.0).abs() < 1e-9);
+        // A majority of stable same-parent nodes, like the paper's 61%.
+        assert!(s.same_parent_share > 0.4, "{}", s.same_parent_share);
+        assert!(s.unique_chain_share > 0.05, "{}", s.unique_chain_share);
+    }
+
+    #[test]
+    fn table4_ranks_types() {
+        let data = experiment();
+        let sims = analyze_all(data);
+        let a = table4a(&sims, 5);
+        let b = table4b(&sims, 5);
+        assert!(!a.is_empty() && !b.is_empty());
+        // 4a is descending in chain stability, 4b ascending in parent sim.
+        for w in a.windows(2) {
+            assert!(w[0].same_chain_share >= w[1].same_chain_share);
+        }
+        for w in b.windows(2) {
+            assert!(w[0].mean_parent_similarity <= w[1].mean_parent_similarity);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! §5.2 case study: implications on cookies.
+
+use crate::ExperimentData;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use wmtree_net::cookie::{CookieId, SecurityAttributes};
+use wmtree_stats::descriptive::Summary;
+use wmtree_stats::jaccard::pairwise_mean_jaccard;
+
+/// The §5.2 cookie statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CookieStats {
+    /// Total cookie observations (all profiles, all pages).
+    pub total_observations: usize,
+    /// Distinct cookies (by RFC 6265 identity) in the dataset.
+    pub distinct_cookies: usize,
+    /// Cookies set per profile (profile order).
+    pub per_profile: Vec<usize>,
+    /// Share of distinct cookies observed by all profiles (paper: 32%).
+    pub share_in_all: f64,
+    /// Share observed by exactly one profile (paper: 42%).
+    pub share_in_one: f64,
+    /// Per-page pairwise-mean Jaccard of cookie identity sets
+    /// (paper: mean .70).
+    pub per_page_similarity: Summary,
+    /// Same, restricted to pairs (interaction profile, NoAction)
+    /// (paper: mean .59).
+    pub interaction_vs_noaction: Summary,
+    /// Distinct cookies whose security attributes differ between
+    /// profiles (paper: 440, 0.2%).
+    pub attribute_conflicts: usize,
+}
+
+/// Compute the §5.2 statistics. `noaction` is the index of the profile
+/// without user interaction, if any.
+pub fn cookie_stats(data: &ExperimentData, noaction: Option<usize>) -> CookieStats {
+    let k = data.n_profiles();
+    let mut per_profile = vec![0usize; k];
+    let mut total = 0usize;
+
+    // Distinct cookie → set of profiles that saw it, and the set of
+    // attribute variants observed.
+    let mut presence: BTreeMap<&CookieId, BTreeSet<usize>> = BTreeMap::new();
+    let mut attrs: BTreeMap<&CookieId, BTreeSet<SecurityAttributes>> = BTreeMap::new();
+
+    let mut page_sims = Vec::new();
+    let mut noaction_sims = Vec::new();
+
+    for page in &data.pages {
+        let sets: Vec<BTreeSet<&CookieId>> = page
+            .cookies
+            .iter()
+            .map(|obs| obs.iter().map(|o| &o.id).collect())
+            .collect();
+        for (p, obs) in page.cookies.iter().enumerate() {
+            per_profile[p] += obs.len();
+            total += obs.len();
+            for o in obs {
+                presence.entry(&o.id).or_default().insert(p);
+                attrs.entry(&o.id).or_default().insert(o.attrs);
+            }
+        }
+        // Pairwise similarity of cookie sets per page (skip pages where
+        // no profile set any cookie).
+        if sets.iter().any(|s| !s.is_empty()) {
+            if let Some(sim) = pairwise_mean_jaccard(&sets) {
+                page_sims.push(sim);
+            }
+            if let Some(na) = noaction {
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for (p, s) in sets.iter().enumerate() {
+                    if p == na {
+                        continue;
+                    }
+                    sum += wmtree_stats::jaccard::jaccard(s, &sets[na]);
+                    n += 1;
+                }
+                if n > 0 {
+                    noaction_sims.push(sum / n as f64);
+                }
+            }
+        }
+    }
+
+    let distinct = presence.len();
+    let in_all = presence.values().filter(|s| s.len() == k).count();
+    let in_one = presence.values().filter(|s| s.len() == 1).count();
+    let conflicts = attrs.values().filter(|variants| variants.len() > 1).count();
+    let share = |n: usize, d: usize| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+
+    CookieStats {
+        total_observations: total,
+        distinct_cookies: distinct,
+        per_profile,
+        share_in_all: share(in_all, distinct),
+        share_in_one: share(in_one, distinct),
+        per_page_similarity: Summary::of(&page_sims),
+        interaction_vs_noaction: Summary::of(&noaction_sims),
+        attribute_conflicts: conflicts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::testutil::experiment;
+
+    #[test]
+    fn cookie_stats_shape() {
+        let data = experiment();
+        let noaction = data.profile_index("NoAction");
+        let s = cookie_stats(data, noaction);
+
+        assert!(s.total_observations > 100);
+        assert!(s.distinct_cookies > 50);
+        assert_eq!(s.per_profile.len(), 5);
+
+        // NoAction sets the fewest cookies (paper: 370k vs ~455k).
+        let na = noaction.unwrap();
+        for (p, &count) in s.per_profile.iter().enumerate() {
+            if p != na {
+                assert!(
+                    s.per_profile[na] <= count,
+                    "NoAction should set fewest cookies: {:?}",
+                    s.per_profile
+                );
+            }
+        }
+
+        // Shares behave like the paper's: far from all cookies shared.
+        assert!(s.share_in_all > 0.05 && s.share_in_all < 0.95, "{}", s.share_in_all);
+        assert!(s.share_in_one > 0.02, "{}", s.share_in_one);
+
+        // Cookie similarity per page is meaningful but imperfect.
+        assert!(s.per_page_similarity.n > 10);
+        assert!(s.per_page_similarity.mean > 0.2 && s.per_page_similarity.mean < 0.99,
+            "{}", s.per_page_similarity.mean);
+
+        // Comparing against NoAction is less similar than overall.
+        assert!(
+            s.interaction_vs_noaction.mean <= s.per_page_similarity.mean + 0.02,
+            "noaction {} vs overall {}",
+            s.interaction_vs_noaction.mean,
+            s.per_page_similarity.mean
+        );
+    }
+
+    #[test]
+    fn empty_data() {
+        let data = ExperimentData { profile_names: vec!["a".into(), "b".into()], pages: vec![] };
+        let s = cookie_stats(&data, None);
+        assert_eq!(s.distinct_cookies, 0);
+        assert_eq!(s.share_in_all, 0.0);
+        assert_eq!(s.per_page_similarity.n, 0);
+    }
+}

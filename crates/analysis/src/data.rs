@@ -1,0 +1,187 @@
+//! The analysis input: vetted pages with one tree per profile.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wmtree_crawler::CrawlDb;
+use wmtree_filterlist::FilterList;
+use wmtree_net::cookie::{CookieId, SecurityAttributes};
+use wmtree_tree::{build_tree, DepTree, TreeConfig};
+
+/// A cookie as compared across profiles: RFC 6265 identity plus the
+/// security attributes (§5.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CookieObservation {
+    /// `(name, domain, path)` identity.
+    pub id: CookieId,
+    /// Secure / HttpOnly / SameSite flags.
+    pub attrs: SecurityAttributes,
+}
+
+/// One vetted page with the trees of all profiles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageAnalysis {
+    /// The site (eTLD+1).
+    pub site: String,
+    /// The page URL.
+    pub url: String,
+    /// Tranco-style rank of the site, when known.
+    pub rank: Option<u32>,
+    /// Rank-bucket label (Table 7), when known.
+    pub bucket: Option<String>,
+    /// One dependency tree per profile, in profile order.
+    pub trees: Vec<DepTree>,
+    /// Cookies observed by each profile, in profile order.
+    pub cookies: Vec<Vec<CookieObservation>>,
+}
+
+/// The full analysis input.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentData {
+    /// Profile names, in Table 1 order.
+    pub profile_names: Vec<String>,
+    /// All vetted pages.
+    pub pages: Vec<PageAnalysis>,
+}
+
+impl ExperimentData {
+    /// Build the analysis input from a crawl database: apply the
+    /// all-profiles vetting rule, construct every tree, and collect
+    /// cookie observations.
+    ///
+    /// `site_meta` optionally maps a site to `(rank, bucket label)` for
+    /// the popularity analysis.
+    pub fn from_db(
+        db: &CrawlDb,
+        profile_names: Vec<String>,
+        filter_list: Option<&FilterList>,
+        tree_config: &TreeConfig,
+        site_meta: &BTreeMap<String, (u32, String)>,
+    ) -> ExperimentData {
+        let mut pages = Vec::new();
+        for (page, visits) in db.vetted_pages() {
+            let trees: Vec<DepTree> = visits
+                .iter()
+                .map(|v| build_tree(v, filter_list, tree_config))
+                .collect();
+            let cookies: Vec<Vec<CookieObservation>> = visits
+                .iter()
+                .map(|v| {
+                    v.cookies
+                        .iter()
+                        .map(|c| CookieObservation { id: c.id(), attrs: c.security_attributes() })
+                        .collect()
+                })
+                .collect();
+            let meta = site_meta.get(&page.site);
+            pages.push(PageAnalysis {
+                site: page.site.clone(),
+                url: page.url.clone(),
+                rank: meta.map(|(r, _)| *r),
+                bucket: meta.map(|(_, b)| b.clone()),
+                trees,
+                cookies,
+            });
+        }
+        ExperimentData { profile_names, pages }
+    }
+
+    /// Number of profiles.
+    pub fn n_profiles(&self) -> usize {
+        self.profile_names.len()
+    }
+
+    /// Index of a profile by name.
+    pub fn profile_index(&self, name: &str) -> Option<usize> {
+        self.profile_names.iter().position(|n| n == name)
+    }
+
+    /// Total trees (pages × profiles).
+    pub fn tree_count(&self) -> usize {
+        self.pages.iter().map(|p| p.trees.len()).sum()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixture: a small crawled experiment, built once.
+
+    use super::*;
+    use std::sync::OnceLock;
+    use wmtree_crawler::{standard_profiles, Commander, CrawlOptions};
+    use wmtree_filterlist::embedded::tracking_list;
+    use wmtree_webgen::{RankBucket, UniverseConfig, WebUniverse};
+
+    /// A modest crawl: enough pages for distributions to be meaningful,
+    /// small enough for fast tests.
+    pub fn experiment() -> &'static ExperimentData {
+        static DATA: OnceLock<ExperimentData> = OnceLock::new();
+        DATA.get_or_init(|| {
+            let universe = WebUniverse::generate(UniverseConfig {
+                seed: 61,
+                sites_per_bucket: [10, 6, 6, 6, 6],
+                max_subpages: 6,
+            });
+            let profiles = standard_profiles();
+            let names: Vec<String> = profiles.iter().map(|p| p.name.clone()).collect();
+            let db = Commander::new(
+                &universe,
+                profiles,
+                CrawlOptions {
+                    max_pages_per_site: 5,
+                    workers: 4,
+                    experiment_seed: 17,
+                    reliable: true,
+                stateful: false,
+                },
+            )
+            .run();
+            let site_meta: BTreeMap<String, (u32, String)> = universe
+                .sites()
+                .iter()
+                .map(|s| (s.domain.clone(), (s.rank, s.bucket.label().to_string())))
+                .collect();
+            let _ = RankBucket::Top5k; // keep the import honest
+            ExperimentData::from_db(
+                &db,
+                names,
+                Some(tracking_list()),
+                &wmtree_tree::TreeConfig::default(),
+                &site_meta,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_experiment_is_populated() {
+        let data = testutil::experiment();
+        assert_eq!(data.n_profiles(), 5);
+        assert_eq!(data.profile_index("Sim1"), Some(1));
+        assert_eq!(data.profile_index("nope"), None);
+        assert!(data.pages.len() > 20, "got {}", data.pages.len());
+        assert_eq!(data.tree_count(), data.pages.len() * 5);
+        for page in &data.pages {
+            assert_eq!(page.trees.len(), 5);
+            assert_eq!(page.cookies.len(), 5);
+            assert!(page.rank.is_some());
+            assert!(page.bucket.is_some());
+            for t in &page.trees {
+                t.check_invariants().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn cookies_have_observations() {
+        let data = testutil::experiment();
+        let any_cookie = data
+            .pages
+            .iter()
+            .any(|p| p.cookies.iter().any(|c| !c.is_empty()));
+        assert!(any_cookie);
+    }
+}

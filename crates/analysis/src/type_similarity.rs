@@ -1,0 +1,241 @@
+//! Resource-type similarity analyses: Fig. 5a/5b (type share by per-page
+//! average similarity) and Fig. 7 (per-type similarity by depth).
+
+use crate::node_similarity::PageNodeSimilarities;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wmtree_net::ResourceType;
+
+/// Fig. 5: for pages bucketed by their average node similarity, the
+/// relative share of each resource type on those pages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeShareBySimilarity {
+    /// Bucket lower edges (e.g. 0.0, 0.1, ... 0.9).
+    pub bucket_edges: Vec<f64>,
+    /// `share[type][bucket]` — relative share of the type among nodes
+    /// of pages whose average similarity falls in the bucket.
+    pub shares: BTreeMap<ResourceType, Vec<f64>>,
+    /// Pages per bucket.
+    pub pages_per_bucket: Vec<usize>,
+}
+
+/// Which similarity signal Fig. 5 buckets pages by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimilarityKind {
+    /// Average parent similarity of all nodes on the page (Fig. 5a).
+    Parent,
+    /// Average child similarity (Fig. 5b).
+    Child,
+}
+
+/// Compute Fig. 5a (`SimilarityKind::Parent`) or 5b (`Child`).
+pub fn type_share_by_similarity(
+    sims: &[PageNodeSimilarities],
+    kind: SimilarityKind,
+    buckets: usize,
+) -> TypeShareBySimilarity {
+    let mut per_bucket_type: Vec<BTreeMap<ResourceType, usize>> = vec![BTreeMap::new(); buckets];
+    let mut per_bucket_total = vec![0usize; buckets];
+    let mut pages_per_bucket = vec![0usize; buckets];
+
+    for page in sims {
+        let values: Vec<f64> = page
+            .nodes
+            .iter()
+            .filter_map(|n| match kind {
+                SimilarityKind::Parent => n.parent_similarity,
+                SimilarityKind::Child => n.child_similarity,
+            })
+            .collect();
+        if values.is_empty() {
+            continue;
+        }
+        let avg = values.iter().sum::<f64>() / values.len() as f64;
+        let b = ((avg * buckets as f64).floor() as usize).min(buckets - 1);
+        pages_per_bucket[b] += 1;
+        for n in &page.nodes {
+            *per_bucket_type[b].entry(n.resource_type).or_insert(0) += 1;
+            per_bucket_total[b] += 1;
+        }
+    }
+
+    let mut shares: BTreeMap<ResourceType, Vec<f64>> = BTreeMap::new();
+    for ty in ResourceType::ANALYSED {
+        let series: Vec<f64> = (0..buckets)
+            .map(|b| {
+                let total = per_bucket_total[b];
+                if total == 0 {
+                    0.0
+                } else {
+                    *per_bucket_type[b].get(&ty).unwrap_or(&0) as f64 / total as f64
+                }
+            })
+            .collect();
+        shares.insert(ty, series);
+    }
+    TypeShareBySimilarity {
+        bucket_edges: (0..buckets).map(|b| b as f64 / buckets as f64).collect(),
+        shares,
+        pages_per_bucket,
+    }
+}
+
+/// Fig. 7: per-type mean child/parent similarity by depth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeDepthSimilarity {
+    /// `children[type][depth]` mean child similarity (0 when no data).
+    pub children: BTreeMap<ResourceType, Vec<f64>>,
+    /// `parents[type][depth]` mean parent similarity.
+    pub parents: BTreeMap<ResourceType, Vec<f64>>,
+}
+
+/// Compute Fig. 7 up to `max_depth` (deeper folds into the last slot).
+pub fn type_depth_similarity(sims: &[PageNodeSimilarities], max_depth: usize) -> TypeDepthSimilarity {
+    let mut cs: BTreeMap<ResourceType, Vec<(f64, usize)>> = BTreeMap::new();
+    let mut ps: BTreeMap<ResourceType, Vec<(f64, usize)>> = BTreeMap::new();
+    for page in sims {
+        for n in &page.nodes {
+            let d = n.depth().min(max_depth);
+            if let Some(s) = n.child_similarity {
+                let slot =
+                    cs.entry(n.resource_type).or_insert_with(|| vec![(0.0, 0); max_depth + 1]);
+                slot[d].0 += s;
+                slot[d].1 += 1;
+            }
+            if let Some(s) = n.parent_similarity {
+                let slot =
+                    ps.entry(n.resource_type).or_insert_with(|| vec![(0.0, 0); max_depth + 1]);
+                slot[d].0 += s;
+                slot[d].1 += 1;
+            }
+        }
+    }
+    let finish = |m: BTreeMap<ResourceType, Vec<(f64, usize)>>| {
+        m.into_iter()
+            .map(|(ty, v)| {
+                (
+                    ty,
+                    v.into_iter()
+                        .map(|(s, c)| if c == 0 { 0.0 } else { s / c as f64 })
+                        .collect::<Vec<f64>>(),
+                )
+            })
+            .collect::<BTreeMap<_, _>>()
+    };
+    TypeDepthSimilarity { children: finish(cs), parents: finish(ps) }
+}
+
+/// §4.2: mean parent/child similarity of pages **with** and **without**
+/// subframes — "subframes have the most significant impact on the
+/// similarity of the trees."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubframeImpact {
+    /// Mean per-page parent similarity on pages with no subframe
+    /// (paper: .86).
+    pub no_subframe_parent: f64,
+    /// Mean child similarity on such pages (paper: .90).
+    pub no_subframe_child: f64,
+    /// Mean parent similarity on pages with subframes (paper: .72).
+    pub with_subframe_parent: f64,
+    /// Mean child similarity on such pages (paper: .77).
+    pub with_subframe_child: f64,
+    /// Pages without subframes.
+    pub n_without: usize,
+    /// Pages with subframes.
+    pub n_with: usize,
+}
+
+/// Compute the subframe impact numbers.
+pub fn subframe_impact(sims: &[PageNodeSimilarities]) -> SubframeImpact {
+    let mut without = (0.0, 0.0, 0usize);
+    let mut with = (0.0, 0.0, 0usize);
+    for page in sims {
+        let has_subframe = page.nodes.iter().any(|n| n.resource_type == ResourceType::SubFrame);
+        let parents: Vec<f64> = page.nodes.iter().filter_map(|n| n.parent_similarity).collect();
+        let children: Vec<f64> = page.nodes.iter().filter_map(|n| n.child_similarity).collect();
+        if parents.is_empty() && children.is_empty() {
+            continue;
+        }
+        let pmean = if parents.is_empty() { 1.0 } else { parents.iter().sum::<f64>() / parents.len() as f64 };
+        let cmean = if children.is_empty() { 1.0 } else { children.iter().sum::<f64>() / children.len() as f64 };
+        let slot = if has_subframe { &mut with } else { &mut without };
+        slot.0 += pmean;
+        slot.1 += cmean;
+        slot.2 += 1;
+    }
+    let f = |(p, c, n): (f64, f64, usize)| {
+        if n == 0 {
+            (0.0, 0.0)
+        } else {
+            (p / n as f64, c / n as f64)
+        }
+    };
+    let (wp, wc) = f(without);
+    let (sp, sc) = f(with);
+    SubframeImpact {
+        no_subframe_parent: wp,
+        no_subframe_child: wc,
+        with_subframe_parent: sp,
+        with_subframe_child: sc,
+        n_without: without.2,
+        n_with: with.2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::testutil::experiment;
+    use crate::node_similarity::analyze_all;
+
+    #[test]
+    fn fig5_shares_are_distributions() {
+        let data = experiment();
+        let sims = analyze_all(data);
+        for kind in [SimilarityKind::Parent, SimilarityKind::Child] {
+            let f = type_share_by_similarity(&sims, kind, 10);
+            assert_eq!(f.bucket_edges.len(), 10);
+            let pages: usize = f.pages_per_bucket.iter().sum();
+            assert!(pages > 0);
+            // Within a populated bucket, the analysed-type shares sum to ≤ 1
+            // (the remainder is `Other`).
+            for b in 0..10 {
+                if f.pages_per_bucket[b] == 0 {
+                    continue;
+                }
+                let sum: f64 = f.shares.values().map(|v| v[b]).sum();
+                assert!(sum <= 1.0 + 1e-9, "bucket {b} sums to {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_has_series_for_common_types() {
+        let data = experiment();
+        let sims = analyze_all(data);
+        let f = type_depth_similarity(&sims, 10);
+        // Scripts and images are everywhere.
+        assert!(f.parents.contains_key(&ResourceType::Script));
+        assert!(f.parents.contains_key(&ResourceType::Image));
+        for series in f.parents.values().chain(f.children.values()) {
+            assert_eq!(series.len(), 11);
+            for &v in series {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn subframes_reduce_similarity() {
+        let data = experiment();
+        let sims = analyze_all(data);
+        let s = subframe_impact(&sims);
+        assert!(s.n_with > 0, "need pages with subframes");
+        if s.n_without > 0 {
+            assert!(
+                s.no_subframe_parent >= s.with_subframe_parent,
+                "subframe-free pages should be more stable: {s:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Criterion benches for the methodology ablations (DESIGN.md §5): each
+//! measures the re-analysis cost of one design-choice variant and, as a
+//! side effect, records the variant's headline number in the bench logs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wmtree::ablation;
+use wmtree::{ExperimentConfig, Scale};
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig::at_scale(Scale::Tiny).reliable()
+}
+
+fn ablation_url_normalization(c: &mut Criterion) {
+    let cfg = config();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("url_normalization", |b| {
+        b.iter(|| black_box(ablation::url_normalization(&cfg)))
+    });
+    group.finish();
+}
+
+fn ablation_callstack(c: &mut Criterion) {
+    let cfg = config();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("callstack_mode", |b| b.iter(|| black_box(ablation::callstack_mode(&cfg))));
+    group.finish();
+}
+
+fn ablation_vetting(c: &mut Criterion) {
+    let cfg = config();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("vetting", |b| b.iter(|| black_box(ablation::vetting(&cfg))));
+    group.finish();
+}
+
+fn ablation_interaction(c: &mut Criterion) {
+    let cfg = config();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("interaction", |b| {
+        b.iter(|| black_box(ablation::interaction_variants(&cfg)))
+    });
+    group.finish();
+}
+
+fn ablation_tree_metric(c: &mut Criterion) {
+    let cfg = config();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("tree_metric", |b| b.iter(|| black_box(ablation::tree_metric(&cfg))));
+    group.finish();
+}
+
+fn ablation_statefulness(c: &mut Criterion) {
+    let cfg = config();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("statefulness", |b| b.iter(|| black_box(ablation::statefulness(&cfg))));
+    group.finish();
+}
+
+fn ablation_filter_lists(c: &mut Criterion) {
+    let cfg = config();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("filter_lists", |b| b.iter(|| black_box(ablation::filter_lists(&cfg))));
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets =
+    ablation_url_normalization,
+    ablation_callstack,
+    ablation_vetting,
+    ablation_interaction,
+    ablation_tree_metric,
+    ablation_statefulness,
+    ablation_filter_lists,
+}
+criterion_main!(ablations);

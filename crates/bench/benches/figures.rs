@@ -1,0 +1,113 @@
+//! Criterion benches: one per figure of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wmtree::analysis::node_similarity::analyze_all;
+use wmtree::analysis::{
+    composition, depth_similarity, distributions, tracking, type_similarity, unique_nodes,
+};
+use wmtree_bench::tiny_results;
+
+fn fig1_depth_breadth(c: &mut Criterion) {
+    let results = tiny_results();
+    c.bench_function("fig1_depth_breadth", |b| {
+        b.iter(|| black_box(distributions::depth_breadth_grid(&results.data, 60, 30)))
+    });
+}
+
+fn fig2_similarity_distributions(c: &mut Criterion) {
+    let results = tiny_results();
+    let sims = analyze_all(&results.data);
+    c.bench_function("fig2_similarity_distributions", |b| {
+        b.iter(|| black_box(distributions::similarity_distributions(&sims)))
+    });
+}
+
+fn fig3_composition(c: &mut Criterion) {
+    let results = tiny_results();
+    c.bench_function("fig3_composition", |b| {
+        b.iter(|| black_box(composition::composition(&results.data, 6)))
+    });
+}
+
+fn fig4_similarity_by_depth(c: &mut Criterion) {
+    let results = tiny_results();
+    let sims = analyze_all(&results.data);
+    c.bench_function("fig4_similarity_by_depth", |b| {
+        b.iter(|| black_box(depth_similarity::similarity_by_depth(&sims, 4)))
+    });
+}
+
+fn fig5_type_share(c: &mut Criterion) {
+    let results = tiny_results();
+    let sims = analyze_all(&results.data);
+    c.bench_function("fig5_type_share", |b| {
+        b.iter(|| {
+            let a = type_similarity::type_share_by_similarity(
+                &sims,
+                type_similarity::SimilarityKind::Parent,
+                10,
+            );
+            let bb = type_similarity::type_share_by_similarity(
+                &sims,
+                type_similarity::SimilarityKind::Child,
+                10,
+            );
+            black_box((a, bb))
+        })
+    });
+}
+
+fn fig7_type_depth(c: &mut Criterion) {
+    let results = tiny_results();
+    let sims = analyze_all(&results.data);
+    c.bench_function("fig7_type_depth", |b| {
+        b.iter(|| black_box(type_similarity::type_depth_similarity(&sims, 10)))
+    });
+}
+
+fn fig8_children_by_depth(c: &mut Criterion) {
+    let results = tiny_results();
+    c.bench_function("fig8_children_by_depth", |b| {
+        b.iter(|| black_box(distributions::children_by_depth(&results.data, 20)))
+    });
+}
+
+fn case_studies(c: &mut Criterion) {
+    // §5.1–§5.3 case studies as a group.
+    let results = tiny_results();
+    let sims = analyze_all(&results.data);
+    c.bench_function("case_unique_nodes", |b| {
+        b.iter(|| black_box(unique_nodes::unique_node_stats(&results.data, 5)))
+    });
+    c.bench_function("case_cookies", |b| {
+        b.iter(|| {
+            black_box(wmtree::analysis::cookies::cookie_stats(
+                &results.data,
+                results.data.profile_index("NoAction"),
+            ))
+        })
+    });
+    c.bench_function("case_tracking", |b| {
+        b.iter(|| black_box(tracking::tracking_stats(&results.data, &sims)))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets =
+    fig1_depth_breadth,
+    fig2_similarity_distributions,
+    fig3_composition,
+    fig4_similarity_by_depth,
+    fig5_type_share,
+    fig7_type_depth,
+    fig8_children_by_depth,
+    case_studies,
+
+}
+criterion_main!(figures);

@@ -1,0 +1,122 @@
+//! Criterion benches of the measurement pipeline itself: universe
+//! generation, page visits, tree construction, and the end-to-end crawl.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wmtree::browser::{Browser, BrowserConfig};
+use wmtree::crawler::{standard_profiles, Commander, CrawlOptions};
+use wmtree::filterlist::embedded::tracking_list;
+use wmtree::tree::{build_tree, TreeConfig};
+use wmtree::webgen::{UniverseConfig, WebUniverse};
+
+fn universe_generation(c: &mut Criterion) {
+    c.bench_function("universe_generation_500_sites", |b| {
+        b.iter(|| {
+            black_box(WebUniverse::generate(UniverseConfig {
+                seed: 7,
+                sites_per_bucket: [100, 100, 100, 100, 100],
+                max_subpages: 25,
+            }))
+        })
+    });
+}
+
+fn single_page_visit(c: &mut Criterion) {
+    let universe = WebUniverse::generate(UniverseConfig {
+        seed: 7,
+        sites_per_bucket: [10, 5, 5, 5, 5],
+        max_subpages: 10,
+    });
+    let browser = Browser::new(&universe, BrowserConfig::default());
+    let page = universe.sites()[0].landing_url();
+    let mut seed = 0u64;
+    c.bench_function("single_page_visit", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(browser.visit(&page, seed))
+        })
+    });
+}
+
+fn tree_construction(c: &mut Criterion) {
+    let universe = WebUniverse::generate(UniverseConfig {
+        seed: 7,
+        sites_per_bucket: [10, 5, 5, 5, 5],
+        max_subpages: 10,
+    });
+    let browser = Browser::new(&universe, BrowserConfig::reliable());
+    let visit = browser.visit(&universe.sites()[0].landing_url(), 42);
+    let config = TreeConfig::default();
+    c.bench_function("tree_construction", |b| {
+        b.iter(|| black_box(build_tree(&visit, Some(tracking_list()), &config)))
+    });
+}
+
+fn filter_matching(c: &mut Criterion) {
+    let list = tracking_list();
+    let page = wmtree::url::Url::parse("https://news-1.com/").unwrap();
+    let urls: Vec<wmtree::url::Url> = [
+        "https://px.syndicate-ads.net/imp?id=1",
+        "https://cdn-fastedge.net/lib/jquery.js",
+        "https://metricsphere.com/collect/pv?sid=1",
+        "https://static.news-1.com/img/hero.jpg",
+        "https://rtb-exchange.net/rtb/bid?cb=9",
+    ]
+    .iter()
+    .map(|s| wmtree::url::Url::parse(s).unwrap())
+    .collect();
+    c.bench_function("filter_matching_5_urls", |b| {
+        b.iter(|| {
+            for u in &urls {
+                black_box(list.is_tracking(&wmtree::filterlist::RequestInfo::new(
+                    u,
+                    &page,
+                    wmtree::net::ResourceType::Image,
+                )));
+            }
+        })
+    });
+}
+
+fn end_to_end_crawl(c: &mut Criterion) {
+    let universe = WebUniverse::generate(UniverseConfig {
+        seed: 7,
+        sites_per_bucket: [4, 2, 2, 2, 2],
+        max_subpages: 4,
+    });
+    let mut group = c.benchmark_group("crawl");
+    group.sample_size(10);
+    group.bench_function("five_profile_crawl_12_sites", |b| {
+        b.iter(|| {
+            let commander = Commander::new(
+                &universe,
+                standard_profiles(),
+                CrawlOptions {
+                    max_pages_per_site: 4,
+                    workers: 4,
+                    experiment_seed: 3,
+                    reliable: true,
+                stateful: false,
+                },
+            );
+            black_box(commander.run())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets =
+    universe_generation,
+    single_page_visit,
+    tree_construction,
+    filter_matching,
+    end_to_end_crawl,
+
+}
+criterion_main!(pipeline);

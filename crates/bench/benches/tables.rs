@@ -1,0 +1,82 @@
+//! Criterion benches: one per table of the paper's evaluation. Each
+//! bench measures the analysis step that regenerates that table from a
+//! crawled experiment (the crawl itself is the `pipeline` bench).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wmtree::analysis::node_similarity::analyze_all;
+use wmtree::analysis::{chains, depth_similarity, popularity, presence, profiles};
+use wmtree_bench::tiny_results;
+
+fn table2_tree_overview(c: &mut Criterion) {
+    let results = tiny_results();
+    let sims = analyze_all(&results.data);
+    c.bench_function("table2_tree_overview", |b| {
+        b.iter(|| black_box(presence::tree_overview(&results.data, &sims)))
+    });
+}
+
+fn table3_depth_similarity(c: &mut Criterion) {
+    let results = tiny_results();
+    c.bench_function("table3_depth_similarity", |b| {
+        b.iter(|| black_box(depth_similarity::table3(&results.data)))
+    });
+}
+
+fn table4_chains(c: &mut Criterion) {
+    let results = tiny_results();
+    let sims = analyze_all(&results.data);
+    c.bench_function("table4_chains", |b| {
+        b.iter(|| {
+            let a = chains::table4a(&sims, 5);
+            let bb = chains::table4b(&sims, 5);
+            black_box((a, bb))
+        })
+    });
+}
+
+fn table5_profiles(c: &mut Criterion) {
+    let results = tiny_results();
+    c.bench_function("table5_profiles", |b| b.iter(|| black_box(profiles::table5(&results.data))));
+}
+
+fn table6_profile_diffs(c: &mut Criterion) {
+    let results = tiny_results();
+    c.bench_function("table6_profile_diffs", |b| {
+        b.iter(|| black_box(profiles::table6(&results.data, 1)))
+    });
+}
+
+fn table7_popularity(c: &mut Criterion) {
+    let results = tiny_results();
+    let sims = analyze_all(&results.data);
+    c.bench_function("table7_popularity", |b| {
+        b.iter(|| black_box(popularity::popularity(&results.data, &sims)))
+    });
+}
+
+fn node_similarity_pass(c: &mut Criterion) {
+    // The shared per-node pass underlying most tables.
+    let results = tiny_results();
+    c.bench_function("node_similarity_pass", |b| {
+        b.iter(|| black_box(analyze_all(&results.data)))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets =
+    table2_tree_overview,
+    table3_depth_similarity,
+    table4_chains,
+    table5_profiles,
+    table6_profile_diffs,
+    table7_popularity,
+    node_similarity_pass,
+
+}
+criterion_main!(tables);

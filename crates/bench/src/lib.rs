@@ -1,0 +1,18 @@
+//! Shared fixtures for the benchmark harness: one crawled experiment per
+//! scale, built lazily and reused by every bench and by the `repro`
+//! binary.
+
+use std::sync::OnceLock;
+use wmtree::{Experiment, ExperimentConfig, ExperimentResults, Scale};
+
+/// The crawled Tiny experiment (seconds to build).
+pub fn tiny_results() -> &'static ExperimentResults {
+    static R: OnceLock<ExperimentResults> = OnceLock::new();
+    R.get_or_init(|| Experiment::new(ExperimentConfig::at_scale(Scale::Tiny)).run())
+}
+
+/// The crawled Small experiment (the default `repro` scale).
+pub fn small_results() -> &'static ExperimentResults {
+    static R: OnceLock<ExperimentResults> = OnceLock::new();
+    R.get_or_init(|| Experiment::new(ExperimentConfig::at_scale(Scale::Small)).run())
+}

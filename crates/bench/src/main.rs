@@ -1,0 +1,196 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! repro                      # full report at Small scale
+//! repro --scale tiny         # quick run
+//! repro --table 3            # a single table
+//! repro --fig 2              # a single figure
+//! repro --case cookies       # §5 case studies: unique-nodes | cookies | tracking
+//! repro --fig 6              # Appendix D worked example
+//! repro --json report.json   # export the raw report
+//! ```
+
+use wmtree::{Experiment, ExperimentConfig, Report, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "repro — regenerate the IMC'23 tables and figures\n\n\
+             USAGE: repro [--scale tiny|small|medium|large] \
+             [--table 1..7] [--fig 1..8] [--case unique-nodes|cookies|tracking] \
+             [--json FILE] [--csv DIR] [--ablations]"
+        );
+        return;
+    }
+
+    // Fig. 6 (Appendix D) is a worked example, not a crawl artifact.
+    if get("--fig").as_deref() == Some("6") {
+        print_appendix_d();
+        return;
+    }
+
+    let scale = match get("--scale").as_deref() {
+        Some("tiny") => Scale::Tiny,
+        Some("medium") => Scale::Medium,
+        Some("large") => Scale::Large,
+        _ => Scale::Small,
+    };
+
+    eprintln!("[repro] running the five-profile experiment at {scale:?} scale...");
+    let results = Experiment::new(ExperimentConfig::at_scale(scale)).run();
+    eprintln!(
+        "[repro] {} vetted pages ({} trees); generating report...",
+        results.data.pages.len(),
+        results.data.pages.len() * 5
+    );
+    let report = Report::generate(&results);
+
+    if let Some(path) = get("--json") {
+        std::fs::write(&path, report.to_json()).expect("write JSON report");
+        eprintln!("[repro] wrote {path}");
+    }
+    if let Some(dir) = get("--csv") {
+        let files = report
+            .write_csv_dir(std::path::Path::new(&dir))
+            .expect("write CSV directory");
+        eprintln!("[repro] wrote {} CSV files to {dir}", files.len());
+    }
+
+    if let Some(table) = get("--table") {
+        let out = match table.as_str() {
+            "1" => table1(),
+            "2" => report.render_table2(),
+            "3" => report.render_table3(),
+            "4" => report.render_table4(),
+            "5" => report.render_table5(),
+            "6" => report.render_table6(),
+            "7" => report.render_table7(),
+            other => format!("unknown table {other}\n"),
+        };
+        print!("{out}");
+        return;
+    }
+    if let Some(fig) = get("--fig") {
+        let out = match fig.as_str() {
+            "1" => report.render_fig1(),
+            "2" => report.render_fig2(),
+            "3" => report.render_fig3(),
+            "4" => report.render_fig4(),
+            "5" => report.render_fig5(),
+            "7" => report.render_fig7(),
+            "8" => report.render_fig8(),
+            other => format!("unknown figure {other}\n"),
+        };
+        print!("{out}");
+        return;
+    }
+    if args.iter().any(|a| a == "--ablations") {
+        eprintln!("[repro] running methodology ablations (re-crawls several times)...");
+        let cfg = ExperimentConfig::at_scale(Scale::Tiny).reliable();
+        for outcome in [
+            wmtree::ablation::url_normalization(&cfg),
+            wmtree::ablation::callstack_mode(&cfg),
+            wmtree::ablation::vetting(&cfg),
+            wmtree::ablation::interaction_variants(&cfg),
+            wmtree::ablation::tree_metric(&cfg),
+            wmtree::ablation::statefulness(&cfg),
+            wmtree::ablation::filter_lists(&cfg),
+        ] {
+            println!("== {} ==", outcome.knob);
+            for (label, value) in &outcome.arms {
+                println!("  {label:<40} {value:.3}");
+            }
+        }
+        return;
+    }
+    if let Some(case) = get("--case") {
+        let full = report.render_case_studies();
+        // Sections are delimited by "== " headers; print the matching one.
+        let wanted = match case.as_str() {
+            "unique-nodes" => "§5.1",
+            "cookies" => "§5.2",
+            "tracking" => "§5.3",
+            _ => {
+                print!("{full}");
+                return;
+            }
+        };
+        let mut printing = false;
+        for line in full.lines() {
+            if line.starts_with("== ") {
+                printing = line.contains(wanted);
+            }
+            if printing {
+                println!("{line}");
+            }
+        }
+        return;
+    }
+
+    print!("{}", report.render());
+}
+
+/// Table 1 is configuration, not measurement — print the profile matrix.
+fn table1() -> String {
+    let mut s = String::from("== Table 1: overview of the used profiles ==\n");
+    s.push_str("#  Name       Version  User Interaction  GUI  Country\n");
+    for (i, p) in wmtree::crawler::standard_profiles().iter().enumerate() {
+        s.push_str(&format!(
+            "{}  {:<9} {:>7}  {:>16}  {:>3}  {:>7}\n",
+            i + 1,
+            p.name,
+            if p.version == 86 { "86.0.1" } else { "95.0" },
+            if p.user_interaction { "yes" } else { "no" },
+            if p.gui { "yes" } else { "no" },
+            p.country,
+        ));
+    }
+    s
+}
+
+/// Appendix D: the worked three-tree example, computed by the real
+/// Jaccard machinery.
+fn print_appendix_d() {
+    use std::collections::BTreeSet;
+    use wmtree::stats::jaccard::{jaccard, pairwise_mean_jaccard};
+
+    let set = |items: &[&str]| -> BTreeSet<String> { items.iter().map(|s| s.to_string()).collect() };
+    println!("== Appendix D: worked comparison example ==");
+
+    // Horizontal, depth one: {a,b,c}, {a,c}, {a,b,c} → .77
+    let d1 = vec![set(&["a", "b", "c"]), set(&["a", "c"]), set(&["a", "b", "c"])];
+    println!(
+        "depth-1 Jaccard (2/3 + 1 + 2/3)/3 = {:.2}   (paper: .77)",
+        pairwise_mean_jaccard(&d1).unwrap()
+    );
+
+    // All nodes: sets realizing pairwise 6/7, 5/7, 5/6 → .8
+    let all = vec![
+        set(&["a", "b", "c", "d", "e", "x", "y"]),
+        set(&["a", "b", "c", "d", "e", "x"]),
+        set(&["a", "b", "c", "d", "e"]),
+    ];
+    println!(
+        "all-nodes Jaccard (6/7 + 5/7 + 5/6)/3 = {:.2}   (paper: .8)",
+        pairwise_mean_jaccard(&all).unwrap()
+    );
+
+    // Vertical, parent of e: present in trees 1 and 3 under d, absent
+    // in 2 → (1 + 0 + 0)/3 = .33.
+    let p1 = set(&["d"]);
+    let p2: BTreeSet<String> = BTreeSet::new();
+    let p3 = set(&["d"]);
+    let scores = [jaccard(&p1, &p3), jaccard(&p1, &p2), jaccard(&p3, &p2)];
+    println!(
+        "parent-of-e Jaccard (1 + 0 + 0)/3 = {:.2}   (paper: .3)",
+        scores.iter().sum::<f64>() / 3.0
+    );
+}

@@ -1,0 +1,104 @@
+//! Browser configuration: the experimental knobs of Table 1.
+
+use serde::{Deserialize, Serialize};
+use wmtree_net::conditions::NetworkConditions;
+
+/// Configuration of one simulated browser instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrowserConfig {
+    /// Major version (the paper compares 86 and 95).
+    pub version: u32,
+    /// Mimic user interaction (Page Down, Tab, End keystrokes after
+    /// load; §3.1.1). Profile #4 (NoAction) disables this.
+    pub interaction: bool,
+    /// Run without a GUI. Profile #5 (Headless) enables this.
+    pub headless: bool,
+    /// Page-load timeout in virtual milliseconds (paper: 30 s).
+    pub page_timeout_ms: u64,
+    /// Virtual time after the main document completes at which the
+    /// simulated keystrokes fire.
+    pub interaction_at_ms: u64,
+    /// Hard cap on requests per visit (safety bound; generously above
+    /// anything the universe produces for one page).
+    pub max_requests: usize,
+    /// Network conditions model.
+    pub network: NetworkConditions,
+    /// Baseline probability that a page visit fails outright (crawler
+    /// crash, bot block, unreachable page). The paper reports <12% per
+    /// profile (mean 11%).
+    pub visit_failure_rate: f64,
+}
+
+impl Default for BrowserConfig {
+    fn default() -> Self {
+        BrowserConfig {
+            version: 95,
+            interaction: true,
+            headless: false,
+            page_timeout_ms: 30_000,
+            interaction_at_ms: 1_500,
+            max_requests: 5_000,
+            network: NetworkConditions::default(),
+            visit_failure_rate: 0.10,
+        }
+    }
+}
+
+impl BrowserConfig {
+    /// A fully reliable configuration for tests: ideal network, no
+    /// visit failures.
+    pub fn reliable() -> Self {
+        BrowserConfig {
+            network: NetworkConditions::ideal(),
+            visit_failure_rate: 0.0,
+            ..BrowserConfig::default()
+        }
+    }
+
+    /// Builder: set the version.
+    pub fn with_version(mut self, version: u32) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Builder: enable/disable interaction.
+    pub fn with_interaction(mut self, interaction: bool) -> Self {
+        self.interaction = interaction;
+        self
+    }
+
+    /// Builder: enable/disable headless mode.
+    pub fn with_headless(mut self, headless: bool) -> Self {
+        self.headless = headless;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = BrowserConfig::default();
+        assert_eq!(c.version, 95);
+        assert!(c.interaction);
+        assert!(!c.headless);
+        assert_eq!(c.page_timeout_ms, 30_000);
+    }
+
+    #[test]
+    fn builders() {
+        let c = BrowserConfig::default().with_version(86).with_interaction(false).with_headless(true);
+        assert_eq!(c.version, 86);
+        assert!(!c.interaction);
+        assert!(c.headless);
+    }
+
+    #[test]
+    fn reliable_is_deterministic_success() {
+        let c = BrowserConfig::reliable();
+        assert_eq!(c.visit_failure_rate, 0.0);
+        assert_eq!(c.network.failure_rate, 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Materialization of per-visit URL placeholders.
+//!
+//! The universe emits URL templates containing `{sid}`, `{uid}`, and
+//! `{cb}`. The browser fills them in: session and user ids are stable
+//! within a visit (they come from the visit's cookies / storage), while
+//! every `{cb}` occurrence gets a fresh cache-buster — exactly the
+//! query-value churn the paper's normalization step (§3.2) exists to
+//! neutralize.
+
+use wmtree_webgen::stable_hash;
+
+/// Per-visit identifier state.
+#[derive(Debug, Clone)]
+pub struct VisitIds {
+    sid: String,
+    uid: String,
+    cb_counter: u64,
+    cb_seed: u64,
+}
+
+impl VisitIds {
+    /// Derive the visit's identifiers from its seed.
+    pub fn new(visit_seed: u64) -> VisitIds {
+        VisitIds {
+            sid: format!("{:012x}", stable_hash(visit_seed, b"sid") & 0xffff_ffff_ffff),
+            uid: format!("{:012x}", stable_hash(visit_seed, b"uid") & 0xffff_ffff_ffff),
+            cb_counter: 0,
+            cb_seed: stable_hash(visit_seed, b"cb"),
+        }
+    }
+
+    /// The visit's session id.
+    pub fn sid(&self) -> &str {
+        &self.sid
+    }
+
+    /// The visit's user id.
+    pub fn uid(&self) -> &str {
+        &self.uid
+    }
+
+    /// Materialize all placeholders in a URL template. Each call
+    /// consumes fresh cache-busters for `{cb}` occurrences.
+    pub fn materialize(&mut self, template: &str) -> String {
+        let mut out = template.replace("{sid}", &self.sid).replace("{uid}", &self.uid);
+        while let Some(pos) = out.find("{cb}") {
+            self.cb_counter += 1;
+            let cb = stable_hash(self.cb_seed, &self.cb_counter.to_le_bytes()) & 0xffff_ffff;
+            out.replace_range(pos..pos + 4, &format!("{cb:08x}"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_stable_within_visit() {
+        let a = VisitIds::new(42);
+        let b = VisitIds::new(42);
+        assert_eq!(a.sid(), b.sid());
+        assert_eq!(a.uid(), b.uid());
+        assert_ne!(a.sid(), a.uid());
+    }
+
+    #[test]
+    fn ids_differ_across_visits() {
+        assert_ne!(VisitIds::new(1).sid(), VisitIds::new(2).sid());
+    }
+
+    #[test]
+    fn sid_uid_substituted() {
+        let mut ids = VisitIds::new(7);
+        let url = ids.materialize("https://a.com/x?sid={sid}&u={uid}");
+        assert!(!url.contains('{'));
+        assert!(url.contains(ids.sid()));
+    }
+
+    #[test]
+    fn cache_busters_unique_per_occurrence() {
+        let mut ids = VisitIds::new(7);
+        let a = ids.materialize("https://a.com/p?cb={cb}");
+        let b = ids.materialize("https://a.com/p?cb={cb}");
+        assert_ne!(a, b);
+        let both = ids.materialize("https://a.com/p?x={cb}&y={cb}");
+        let parts: Vec<&str> = both.split(['=', '&']).collect();
+        assert_ne!(parts[1], parts[3]);
+    }
+
+    #[test]
+    fn cb_sequence_deterministic() {
+        let mut a = VisitIds::new(9);
+        let mut b = VisitIds::new(9);
+        assert_eq!(a.materialize("u?c={cb}"), b.materialize("u?c={cb}"));
+    }
+
+    #[test]
+    fn no_placeholders_is_identity() {
+        let mut ids = VisitIds::new(7);
+        assert_eq!(ids.materialize("https://a.com/x"), "https://a.com/x");
+    }
+}

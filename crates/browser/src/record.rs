@@ -1,0 +1,142 @@
+//! The records a visit produces — the OpenWPM-like data model the
+//! dependency-tree builder consumes.
+
+use serde::{Deserialize, Serialize};
+use wmtree_net::{cookie::Cookie, ResourceType, Status};
+use wmtree_url::Url;
+
+/// One entry of a JavaScript call stack. OpenWPM stores the full stack
+/// per request; the paper inspects the *latest* entry (the function/URL
+/// that issued the request; §3.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StackEntry {
+    /// URL of the script (or stylesheet — Firefox reports CSS loading
+    /// dependencies through the same channel; §3.2) whose code issued
+    /// the request.
+    pub url: String,
+    /// Function name (synthetic but shaped like real stacks).
+    pub function: String,
+}
+
+/// What caused a request, as the engine knows it. The tree builder only
+/// uses the observable signals (frames, call stacks, redirects); this
+/// enum additionally keeps the ground truth so tests can verify the
+/// builder's attribution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TriggerSource {
+    /// The HTML parser of the document in this frame.
+    Parser,
+    /// A script (URL given) issued the request.
+    Script(String),
+    /// The CSS engine, loading a resource referenced by a stylesheet.
+    Css(String),
+    /// An HTTP redirect from the given URL.
+    Redirect(String),
+    /// A WebSocket push handler (socket URL given).
+    WebSocketPush(String),
+    /// The crawler itself navigating (the main document).
+    Navigation,
+}
+
+/// One observed request/response pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Monotonically increasing id within the visit.
+    pub id: u64,
+    /// Full request URL (query values included — normalization is an
+    /// analysis-phase step, §3.2).
+    pub url: Url,
+    /// Resource type (content policy type).
+    pub resource_type: ResourceType,
+    /// Frame the request was issued from (0 = top frame).
+    pub frame_id: u32,
+    /// JavaScript/CSS call stack; empty for parser-initiated loads.
+    /// The last element is the latest entry.
+    pub call_stack: Vec<StackEntry>,
+    /// URL this request was redirected from, if it is a redirect hop.
+    pub redirect_from: Option<Url>,
+    /// Ground-truth trigger (for validation; not used by the tree
+    /// builder).
+    pub trigger: TriggerSource,
+    /// Virtual start time.
+    pub started_ms: u64,
+    /// Virtual completion time.
+    pub completed_ms: u64,
+    /// Response status.
+    pub status: Status,
+    /// Raw `Set-Cookie` lines observed on the response.
+    pub set_cookies: Vec<String>,
+    /// Is this the navigation request of a frame (main document of the
+    /// top frame or of an iframe)?
+    pub is_frame_navigation: bool,
+}
+
+/// A frame in the page's frame tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameRecord {
+    /// Frame id (0 = top frame).
+    pub frame_id: u32,
+    /// Parent frame id (`None` for the top frame).
+    pub parent_frame_id: Option<u32>,
+    /// URL of the document loaded in this frame.
+    pub document_url: String,
+}
+
+/// The result of visiting one page with one browser configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VisitResult {
+    /// The URL the browser navigated to.
+    pub page_url: Url,
+    /// Did the visit succeed (main document loaded before timeout and
+    /// no crawler-level failure)?
+    pub success: bool,
+    /// Did the page hit the timeout while subresources were pending?
+    pub timed_out: bool,
+    /// All observed requests, in completion order.
+    pub requests: Vec<RequestRecord>,
+    /// The frame tree.
+    pub frames: Vec<FrameRecord>,
+    /// Final cookie-jar contents (stateless crawling: the jar started
+    /// empty; §Appendix C).
+    pub cookies: Vec<Cookie>,
+    /// Virtual duration of the visit.
+    pub duration_ms: u64,
+}
+
+impl VisitResult {
+    /// A failed visit with no traffic.
+    pub fn failed(page_url: Url) -> VisitResult {
+        VisitResult {
+            page_url,
+            success: false,
+            timed_out: false,
+            requests: Vec::new(),
+            frames: Vec::new(),
+            cookies: Vec::new(),
+            duration_ms: 0,
+        }
+    }
+
+    /// Number of observed requests.
+    pub fn request_count(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// The frame record for an id.
+    pub fn frame(&self, frame_id: u32) -> Option<&FrameRecord> {
+        self.frames.iter().find(|f| f.frame_id == frame_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failed_visit_is_empty() {
+        let v = VisitResult::failed(Url::parse("https://a.com/").unwrap());
+        assert!(!v.success);
+        assert_eq!(v.request_count(), 0);
+        assert!(v.frame(0).is_none());
+    }
+}

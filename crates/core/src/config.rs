@@ -1,0 +1,137 @@
+//! Experiment configuration and scale presets.
+
+use serde::{Deserialize, Serialize};
+use wmtree_crawler::Profile;
+use wmtree_tree::TreeConfig;
+use wmtree_webgen::UniverseConfig;
+
+/// How large an experiment to run. The paper's full run is 25k sites ×
+/// ≤25 pages × 5 profiles ≈ 1.7M visits; the presets scale that down so
+/// the same pipeline runs on a laptop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// ~30 sites, 4 pages each — unit-test scale (seconds).
+    Tiny,
+    /// ~150 sites, 8 pages each — the default for the `repro` harness.
+    Small,
+    /// ~750 sites, 15 pages each — minutes.
+    Medium,
+    /// ~2.5k sites, 25 pages each — the largest preset.
+    Large,
+}
+
+impl Scale {
+    /// Sites per rank bucket for this scale.
+    pub fn sites_per_bucket(self) -> [usize; 5] {
+        match self {
+            Scale::Tiny => [10, 5, 5, 5, 5],
+            Scale::Small => [50, 25, 25, 25, 25],
+            Scale::Medium => [150, 150, 150, 150, 150],
+            Scale::Large => [500, 500, 500, 500, 500],
+        }
+    }
+
+    /// Maximum pages crawled per site.
+    pub fn max_pages(self) -> usize {
+        match self {
+            Scale::Tiny => 4,
+            Scale::Small => 8,
+            Scale::Medium => 15,
+            Scale::Large => 25,
+        }
+    }
+}
+
+/// Full configuration of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Synthetic-web universe parameters.
+    pub universe: UniverseConfig,
+    /// Browser profiles (defaults to the paper's Table 1 set).
+    pub profiles: Vec<Profile>,
+    /// Maximum pages per site (paper: 25).
+    pub max_pages_per_site: usize,
+    /// Worker threads for the crawl.
+    pub workers: usize,
+    /// Experiment seed (drives visit seeds).
+    pub experiment_seed: u64,
+    /// Use failure-free browsers (isolates content variance).
+    pub reliable: bool,
+    /// Dependency-tree construction options.
+    pub tree: TreeConfig,
+    /// Classify tracking requests with the embedded filter list.
+    pub use_filter_list: bool,
+}
+
+impl ExperimentConfig {
+    /// The paper's setup at a given scale.
+    pub fn at_scale(scale: Scale) -> ExperimentConfig {
+        ExperimentConfig {
+            universe: UniverseConfig {
+                seed: 0x2023_11ac,
+                sites_per_bucket: scale.sites_per_bucket(),
+                max_subpages: scale.max_pages().max(5),
+            },
+            profiles: wmtree_crawler::standard_profiles(),
+            max_pages_per_site: scale.max_pages(),
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            experiment_seed: 0x1317,
+            reliable: false,
+            tree: TreeConfig::default(),
+            use_filter_list: true,
+        }
+    }
+
+    /// Builder: change the universe seed (a different synthetic web).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.universe.seed = seed;
+        self
+    }
+
+    /// Builder: failure-free crawling.
+    pub fn reliable(mut self) -> Self {
+        self.reliable = true;
+        self
+    }
+
+    /// Builder: replace the profile set.
+    pub fn with_profiles(mut self, profiles: Vec<Profile>) -> Self {
+        self.profiles = profiles;
+        self
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::at_scale(Scale::Small)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let total = |s: Scale| s.sites_per_bucket().iter().sum::<usize>() * s.max_pages();
+        assert!(total(Scale::Tiny) < total(Scale::Small));
+        assert!(total(Scale::Small) < total(Scale::Medium));
+        assert!(total(Scale::Medium) < total(Scale::Large));
+    }
+
+    #[test]
+    fn default_is_paper_shaped() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.profiles.len(), 5);
+        assert_eq!(c.profiles[1].name, "Sim1");
+        assert!(c.use_filter_list);
+        assert!(c.tree.normalize_urls);
+    }
+
+    #[test]
+    fn builders() {
+        let c = ExperimentConfig::default().with_seed(9).reliable();
+        assert_eq!(c.universe.seed, 9);
+        assert!(c.reliable);
+    }
+}

@@ -1,0 +1,126 @@
+//! The experiment runner: universe → crawl → vetting → trees → node
+//! similarities.
+
+use crate::config::ExperimentConfig;
+use std::collections::BTreeMap;
+use wmtree_analysis::node_similarity::{analyze_all, PageNodeSimilarities};
+use wmtree_analysis::ExperimentData;
+use wmtree_crawler::{Commander, CrawlOptions, ProfileStats};
+use wmtree_filterlist::embedded::tracking_list;
+use wmtree_webgen::WebUniverse;
+
+/// Everything a run produces, ready for [`crate::Report::generate`].
+#[derive(Debug, Clone)]
+pub struct ExperimentResults {
+    /// Vetted pages with trees and cookies.
+    pub data: ExperimentData,
+    /// Per-node similarity records (horizontal + vertical analyses).
+    pub sims: Vec<PageNodeSimilarities>,
+    /// Per-profile crawl success accounting.
+    pub profile_stats: Vec<ProfileStats>,
+    /// Total pages discovered (before vetting).
+    pub pages_discovered: usize,
+    /// Total successful page visits across profiles.
+    pub successful_visits: usize,
+    /// Sites surviving vetting.
+    pub vetted_sites: usize,
+}
+
+/// A configured experiment.
+#[derive(Debug)]
+pub struct Experiment {
+    config: ExperimentConfig,
+    universe: WebUniverse,
+}
+
+impl Experiment {
+    /// Generate the universe for a configuration.
+    pub fn new(config: ExperimentConfig) -> Experiment {
+        let universe = WebUniverse::generate(config.universe);
+        Experiment { config, universe }
+    }
+
+    /// The generated universe.
+    pub fn universe(&self) -> &WebUniverse {
+        &self.universe
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Run the crawl and all per-node analyses.
+    pub fn run(&self) -> ExperimentResults {
+        let commander = Commander::new(
+            &self.universe,
+            self.config.profiles.clone(),
+            CrawlOptions {
+                max_pages_per_site: self.config.max_pages_per_site,
+                workers: self.config.workers,
+                experiment_seed: self.config.experiment_seed,
+                reliable: self.config.reliable,
+                stateful: false,
+            },
+        );
+        let db = commander.run();
+
+        let site_meta: BTreeMap<String, (u32, String)> = self
+            .universe
+            .sites()
+            .iter()
+            .map(|s| (s.domain.clone(), (s.rank, s.bucket.label().to_string())))
+            .collect();
+        let names = self.config.profiles.iter().map(|p| p.name.clone()).collect();
+        let filter = if self.config.use_filter_list {
+            Some(tracking_list())
+        } else {
+            None
+        };
+        let data = ExperimentData::from_db(&db, names, filter, &self.config.tree, &site_meta);
+        let sims = analyze_all(&data);
+
+        ExperimentResults {
+            profile_stats: db.profile_stats(),
+            pages_discovered: db.page_count(),
+            successful_visits: db.total_successful_visits(),
+            vetted_sites: db.vetted_sites().len(),
+            sims,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+
+    #[test]
+    fn tiny_experiment_end_to_end() {
+        let results = Experiment::new(crate::ExperimentConfig::at_scale(Scale::Tiny)).run();
+        assert_eq!(results.data.n_profiles(), 5);
+        assert!(results.pages_discovered > 20);
+        // Unreliable crawl: vetting drops some pages, none catastrophic.
+        assert!(results.data.pages.len() > 5);
+        assert!(results.data.pages.len() <= results.pages_discovered);
+        assert_eq!(results.sims.len(), results.data.pages.len());
+        for stats in &results.profile_stats {
+            assert!(stats.success_rate() > 0.75, "{}", stats.success_rate());
+        }
+        assert!(results.vetted_sites > 0);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let cfg = crate::ExperimentConfig::at_scale(Scale::Tiny);
+        let a = Experiment::new(cfg.clone()).run();
+        let b = Experiment::new(cfg).run();
+        assert_eq!(a.data.pages.len(), b.data.pages.len());
+        assert_eq!(a.successful_visits, b.successful_visits);
+        for (pa, pb) in a.data.pages.iter().zip(&b.data.pages) {
+            assert_eq!(pa.url, pb.url);
+            assert_eq!(pa.trees, pb.trees);
+        }
+    }
+}

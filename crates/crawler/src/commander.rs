@@ -1,0 +1,273 @@
+//! The commander: semi-parallel orchestration of all profile clients.
+//!
+//! Appendix C of the paper: a commander machine feeds the same site to
+//! every client VM at once; each client visits the site's pages
+//! independently and the commander waits for all clients before moving
+//! to the next site. We reproduce that synchronization structure — site
+//! visits are the unit of parallelism, every profile sees every page —
+//! and fan independent *sites* out over worker threads (the clients are
+//! simulations, not VMs, so the semi-parallel semantics are preserved
+//! by construction: profiles of the same site always run in the same
+//! task).
+
+use crate::db::{CrawlDb, PageKey};
+use crate::discovery::discover_pages;
+use crate::profile::Profile;
+use wmtree_browser::Browser;
+use wmtree_webgen::{stable_hash, WebUniverse};
+
+/// Options of a crawl run.
+#[derive(Debug, Clone)]
+pub struct CrawlOptions {
+    /// Maximum pages per site (paper: 25).
+    pub max_pages_per_site: usize,
+    /// Worker threads for site-level fan-out (1 = sequential).
+    pub workers: usize,
+    /// Experiment seed: visit seeds derive from it, so a rerun of the
+    /// same experiment is byte-identical.
+    pub experiment_seed: u64,
+    /// Use reliable browsers (no visit failures / ideal network) —
+    /// useful for analyses isolating content variance.
+    pub reliable: bool,
+    /// Stateful crawling: keep each profile's cookie jar across the
+    /// pages of a site (the paper crawls stateless; Appendix C).
+    pub stateful: bool,
+}
+
+impl Default for CrawlOptions {
+    fn default() -> Self {
+        CrawlOptions {
+            max_pages_per_site: 25,
+            workers: 4,
+            experiment_seed: 7,
+            reliable: false,
+            stateful: false,
+        }
+    }
+}
+
+/// The measurement commander.
+#[derive(Debug)]
+pub struct Commander<'a> {
+    universe: &'a WebUniverse,
+    profiles: Vec<Profile>,
+    options: CrawlOptions,
+}
+
+impl<'a> Commander<'a> {
+    /// Create a commander over a universe with a set of profiles.
+    pub fn new(universe: &'a WebUniverse, profiles: Vec<Profile>, options: CrawlOptions) -> Self {
+        assert!(!profiles.is_empty(), "need at least one profile");
+        Commander { universe, profiles, options }
+    }
+
+    /// The profiles of this experiment.
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
+    }
+
+    /// Run the full crawl and return the database.
+    pub fn run(&self) -> CrawlDb {
+        let sites = self.universe.sites();
+        if self.options.workers <= 1 {
+            let mut db = CrawlDb::new(self.profiles.len());
+            for site_idx in 0..sites.len() {
+                self.crawl_site(site_idx, &mut db);
+            }
+            return db;
+        }
+        // Shard sites over workers; each worker fills its own DB shard,
+        // merged at the end (site-level sync is inherent: a site's five
+        // profile visits happen inside one worker task).
+        let workers = self.options.workers.min(sites.len().max(1));
+        let mut shards: Vec<CrawlDb> = Vec::with_capacity(workers);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let handle = scope.spawn(move |_| {
+                    let mut db = CrawlDb::new(self.profiles.len());
+                    let mut site_idx = w;
+                    while site_idx < sites.len() {
+                        self.crawl_site(site_idx, &mut db);
+                        site_idx += workers;
+                    }
+                    db
+                });
+                handles.push(handle);
+            }
+            for h in handles {
+                shards.push(h.join().expect("crawl worker panicked"));
+            }
+        })
+        .expect("crawl scope panicked");
+
+        let mut db = CrawlDb::new(self.profiles.len());
+        for shard in shards {
+            db.merge(shard);
+        }
+        db
+    }
+
+    /// Crawl one site with every profile ("semi-parallel": all profiles
+    /// get the same page list, visits differ only by their seeds).
+    fn crawl_site(&self, site_idx: usize, db: &mut CrawlDb) {
+        let site = &self.universe.sites()[site_idx];
+        let pages = discover_pages(self.universe, site, self.options.max_pages_per_site);
+        for (profile_id, profile) in self.profiles.iter().enumerate() {
+            let cfg = if self.options.reliable {
+                profile.reliable_browser_config()
+            } else {
+                profile.browser_config()
+            };
+            let browser = Browser::new(self.universe, cfg);
+            let mut jar = wmtree_net::cookie::CookieJar::new();
+            for page_url in &pages {
+                let visit_seed = stable_hash(
+                    self.options.experiment_seed,
+                    format!("visit:{profile_id}:{}", page_url.as_str()).as_bytes(),
+                );
+                let result = if self.options.stateful {
+                    browser.visit_stateful(page_url, visit_seed, &mut jar)
+                } else {
+                    browser.visit(page_url, visit_seed)
+                };
+                db.insert(
+                    PageKey { site: site.domain.clone(), url: page_url.as_str() },
+                    profile_id,
+                    result,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::standard_profiles;
+    use wmtree_webgen::{UniverseConfig, WebUniverse};
+
+    fn uni() -> WebUniverse {
+        WebUniverse::generate(UniverseConfig {
+            seed: 41,
+            sites_per_bucket: [4, 2, 2, 2, 2],
+            max_subpages: 6,
+        })
+    }
+
+    fn options() -> CrawlOptions {
+        CrawlOptions {
+            max_pages_per_site: 6,
+            workers: 1,
+            experiment_seed: 3,
+            reliable: true,
+            stateful: false,
+        }
+    }
+
+    #[test]
+    fn crawl_covers_all_profiles_and_pages() {
+        let u = uni();
+        let cmd = Commander::new(&u, standard_profiles(), options());
+        let db = cmd.run();
+        assert_eq!(db.n_profiles(), 5);
+        assert!(db.page_count() > 10);
+        // Reliable crawl: every page vetted.
+        assert_eq!(db.vetted_pages().len(), db.page_count());
+        for stats in db.profile_stats() {
+            assert_eq!(stats.success_rate(), 1.0);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let u = uni();
+        let seq = Commander::new(&u, standard_profiles(), options()).run();
+        let par = Commander::new(
+            &u,
+            standard_profiles(),
+            CrawlOptions { workers: 4, ..options() },
+        )
+        .run();
+        // Same pages, same per-profile request URLs.
+        assert_eq!(seq.page_count(), par.page_count());
+        for (page, visits) in seq.vetted_pages() {
+            for (pid, v) in visits.iter().enumerate() {
+                let pv = par.visit(page, pid).expect("page present in parallel run");
+                let a: Vec<String> = v.requests.iter().map(|r| r.url.as_str()).collect();
+                let b: Vec<String> = pv.requests.iter().map(|r| r.url.as_str()).collect();
+                assert_eq!(a, b, "profile {pid} page {page:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_profiles_get_distinct_visit_seeds() {
+        let u = uni();
+        let db = Commander::new(&u, standard_profiles(), options()).run();
+        // Sim1 (1) and Sim2 (2) are identical configs; their visits must
+        // still differ somewhere (ad rotation), across all pages.
+        let mut any_diff = false;
+        for (_, visits) in db.vetted_pages() {
+            let a: Vec<String> = visits[1].requests.iter().map(|r| r.url.as_str()).collect();
+            let b: Vec<String> = visits[2].requests.iter().map(|r| r.url.as_str()).collect();
+            if a != b {
+                any_diff = true;
+                break;
+            }
+        }
+        assert!(any_diff, "parallel identical profiles must not be byte-identical");
+    }
+
+    #[test]
+    fn unreliable_crawl_drops_pages() {
+        let u = uni();
+        let db = Commander::new(
+            &u,
+            standard_profiles(),
+            CrawlOptions { reliable: false, ..options() },
+        )
+        .run();
+        let vetted = db.vetted_pages().len();
+        assert!(vetted < db.page_count(), "some pages must fail vetting");
+        // Each profile individually succeeds most of the time.
+        for stats in db.profile_stats() {
+            assert!(stats.success_rate() > 0.8, "rate {}", stats.success_rate());
+        }
+    }
+
+    #[test]
+    fn stateful_crawl_sees_less_consent_traffic() {
+        let u = uni();
+        let stateless = Commander::new(&u, standard_profiles(), options()).run();
+        let stateful = Commander::new(
+            &u,
+            standard_profiles(),
+            CrawlOptions { stateful: true, ..options() },
+        )
+        .run();
+        let consent_requests = |db: &crate::CrawlDb| -> usize {
+            db.vetted_pages()
+                .iter()
+                .flat_map(|(_, visits)| visits.iter())
+                .flat_map(|v| v.requests.iter())
+                .filter(|r| r.url.host().contains("consent-shield"))
+                .count()
+        };
+        let a = consent_requests(&stateless);
+        let b = consent_requests(&stateful);
+        assert!(b < a, "stateful crawling re-triggers fewer consent flows: {b} vs {a}");
+    }
+
+    #[test]
+    fn rerun_is_reproducible() {
+        let u = uni();
+        let a = Commander::new(&u, standard_profiles(), options()).run();
+        let b = Commander::new(&u, standard_profiles(), options()).run();
+        assert_eq!(a.total_successful_visits(), b.total_successful_visits());
+        for (page, visits) in a.vetted_pages() {
+            let bv = b.visit(page, 0).unwrap();
+            assert_eq!(visits[0], bv);
+        }
+    }
+}

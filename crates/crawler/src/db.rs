@@ -1,0 +1,255 @@
+//! The crawl database: results of every (profile, page) visit, with the
+//! vetting and accounting queries the analysis needs.
+
+use crate::profile::ProfileId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use wmtree_browser::VisitResult;
+
+/// Key identifying a page within the experiment: `(site, page URL)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageKey {
+    /// Registerable domain of the site.
+    pub site: String,
+    /// Full page URL.
+    pub url: String,
+}
+
+/// Per-profile crawl accounting (§4, "Success of Crawling Method").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileStats {
+    /// Pages attempted.
+    pub attempted: usize,
+    /// Pages crawled successfully.
+    pub succeeded: usize,
+}
+
+impl ProfileStats {
+    /// Success rate in [0, 1] (1 for an idle profile).
+    pub fn success_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            1.0
+        } else {
+            self.succeeded as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// In-memory store of all visits of an experiment.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct CrawlDb {
+    n_profiles: usize,
+    /// `visits[page][profile]` — a page's visit by each profile.
+    visits: BTreeMap<PageKey, Vec<Option<VisitResult>>>,
+}
+
+impl CrawlDb {
+    /// An empty database for an experiment with `n_profiles` profiles.
+    pub fn new(n_profiles: usize) -> CrawlDb {
+        CrawlDb { n_profiles, visits: BTreeMap::new() }
+    }
+
+    /// Number of profiles.
+    pub fn n_profiles(&self) -> usize {
+        self.n_profiles
+    }
+
+    /// Record a visit.
+    pub fn insert(&mut self, page: PageKey, profile: ProfileId, result: VisitResult) {
+        assert!(profile < self.n_profiles, "profile id out of range");
+        let slot = self
+            .visits
+            .entry(page)
+            .or_insert_with(|| vec![None; self.n_profiles]);
+        slot[profile] = Some(result);
+    }
+
+    /// Merge another database (parallel crawl shards).
+    pub fn merge(&mut self, other: CrawlDb) {
+        assert_eq!(self.n_profiles, other.n_profiles, "profile count mismatch");
+        for (page, results) in other.visits {
+            let slot = self
+                .visits
+                .entry(page)
+                .or_insert_with(|| vec![None; self.n_profiles]);
+            for (i, r) in results.into_iter().enumerate() {
+                if r.is_some() {
+                    slot[i] = r;
+                }
+            }
+        }
+    }
+
+    /// All pages with any recorded visit.
+    pub fn pages(&self) -> impl Iterator<Item = &PageKey> {
+        self.visits.keys()
+    }
+
+    /// Number of pages with any recorded visit.
+    pub fn page_count(&self) -> usize {
+        self.visits.len()
+    }
+
+    /// The visit of a page by a profile, if recorded and successful.
+    pub fn visit(&self, page: &PageKey, profile: ProfileId) -> Option<&VisitResult> {
+        self.visits
+            .get(page)?
+            .get(profile)?
+            .as_ref()
+            .filter(|v| v.success)
+    }
+
+    /// The visit of a page by a profile, recorded or not successful —
+    /// used by the raw-data export, which documents failures too.
+    pub fn visit_any(&self, page: &PageKey, profile: ProfileId) -> Option<&VisitResult> {
+        self.visits.get(page)?.get(profile)?.as_ref()
+    }
+
+    /// The paper's vetting rule (§3.2): pages successfully crawled by
+    /// **all** profiles, with their per-profile visits.
+    pub fn vetted_pages(&self) -> Vec<(&PageKey, Vec<&VisitResult>)> {
+        self.vetted_pages_k(self.n_profiles)
+    }
+
+    /// Ablation variant: pages successfully crawled by at least `k`
+    /// profiles (returns only the successful visits).
+    pub fn vetted_pages_k(&self, k: usize) -> Vec<(&PageKey, Vec<&VisitResult>)> {
+        self.visits
+            .iter()
+            .filter_map(|(page, results)| {
+                let ok: Vec<&VisitResult> = results
+                    .iter()
+                    .filter_map(|r| r.as_ref())
+                    .filter(|v| v.success)
+                    .collect();
+                if ok.len() >= k {
+                    Some((page, ok))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Sites represented among the vetted pages.
+    pub fn vetted_sites(&self) -> BTreeSet<&str> {
+        self.vetted_pages()
+            .into_iter()
+            .map(|(page, _)| page.site.as_str())
+            .collect()
+    }
+
+    /// Per-profile success statistics.
+    pub fn profile_stats(&self) -> Vec<ProfileStats> {
+        let mut stats = vec![ProfileStats::default(); self.n_profiles];
+        for results in self.visits.values() {
+            for (i, r) in results.iter().enumerate() {
+                if let Some(v) = r {
+                    stats[i].attempted += 1;
+                    if v.success {
+                        stats[i].succeeded += 1;
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Total successful page visits across all profiles.
+    pub fn total_successful_visits(&self) -> usize {
+        self.visits
+            .values()
+            .flat_map(|rs| rs.iter())
+            .filter(|r| r.as_ref().is_some_and(|v| v.success))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmtree_url::Url;
+
+    fn page(n: u32) -> PageKey {
+        PageKey { site: "a.com".into(), url: format!("https://www.a.com/page/{n}") }
+    }
+
+    fn ok_visit() -> VisitResult {
+        let mut v = VisitResult::failed(Url::parse("https://www.a.com/").unwrap());
+        v.success = true;
+        v
+    }
+
+    fn bad_visit() -> VisitResult {
+        VisitResult::failed(Url::parse("https://www.a.com/").unwrap())
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut db = CrawlDb::new(2);
+        db.insert(page(1), 0, ok_visit());
+        db.insert(page(1), 1, bad_visit());
+        assert!(db.visit(&page(1), 0).is_some());
+        assert!(db.visit(&page(1), 1).is_none(), "failed visits are filtered");
+        assert!(db.visit(&page(2), 0).is_none());
+        assert_eq!(db.page_count(), 1);
+    }
+
+    #[test]
+    fn vetting_requires_all_profiles() {
+        let mut db = CrawlDb::new(3);
+        db.insert(page(1), 0, ok_visit());
+        db.insert(page(1), 1, ok_visit());
+        db.insert(page(1), 2, ok_visit());
+        db.insert(page(2), 0, ok_visit());
+        db.insert(page(2), 1, bad_visit());
+        db.insert(page(2), 2, ok_visit());
+        let vetted = db.vetted_pages();
+        assert_eq!(vetted.len(), 1);
+        assert_eq!(vetted[0].0, &page(1));
+        assert_eq!(vetted[0].1.len(), 3);
+        // Relaxed vetting keeps page 2.
+        assert_eq!(db.vetted_pages_k(2).len(), 2);
+    }
+
+    #[test]
+    fn profile_stats_counts() {
+        let mut db = CrawlDb::new(2);
+        db.insert(page(1), 0, ok_visit());
+        db.insert(page(2), 0, bad_visit());
+        db.insert(page(1), 1, ok_visit());
+        let stats = db.profile_stats();
+        assert_eq!(stats[0], ProfileStats { attempted: 2, succeeded: 1 });
+        assert_eq!(stats[0].success_rate(), 0.5);
+        assert_eq!(stats[1], ProfileStats { attempted: 1, succeeded: 1 });
+        assert_eq!(db.total_successful_visits(), 2);
+    }
+
+    #[test]
+    fn merge_combines_shards() {
+        let mut a = CrawlDb::new(2);
+        a.insert(page(1), 0, ok_visit());
+        let mut b = CrawlDb::new(2);
+        b.insert(page(1), 1, ok_visit());
+        b.insert(page(2), 0, ok_visit());
+        a.merge(b);
+        assert_eq!(a.page_count(), 2);
+        assert!(a.visit(&page(1), 0).is_some());
+        assert!(a.visit(&page(1), 1).is_some());
+    }
+
+    #[test]
+    fn vetted_sites_dedupe() {
+        let mut db = CrawlDb::new(1);
+        db.insert(page(1), 0, ok_visit());
+        db.insert(page(2), 0, ok_visit());
+        assert_eq!(db.vetted_sites().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile id out of range")]
+    fn insert_checks_profile_bounds() {
+        let mut db = CrawlDb::new(1);
+        db.insert(page(1), 5, ok_visit());
+    }
+}

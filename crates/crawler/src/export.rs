@@ -1,0 +1,195 @@
+//! Raw-data release: JSONL export/import of a crawl database.
+//!
+//! The paper releases its raw measurement data (Appendix A); this module
+//! is the equivalent facility. Each line is one `(page, profile, visit)`
+//! record, so the file streams, greps, and diffs like the flat exports
+//! measurement pipelines exchange — and a database round-trips exactly.
+
+use crate::db::{CrawlDb, PageKey};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use wmtree_browser::VisitResult;
+
+/// One JSONL line: a single profile's visit of a single page.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VisitRecordLine {
+    /// Site (eTLD+1).
+    pub site: String,
+    /// Page URL.
+    pub url: String,
+    /// Profile index (Table 1 order).
+    pub profile: usize,
+    /// The visit.
+    pub visit: VisitResult,
+}
+
+/// Errors from export/import.
+#[derive(Debug)]
+pub enum ExportError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse.
+    Parse {
+        /// Zero-based line number.
+        line: usize,
+        /// Underlying JSON error.
+        source: serde_json::Error,
+    },
+    /// A record references a profile index out of range.
+    ProfileOutOfRange {
+        /// Zero-based line number.
+        line: usize,
+        /// The offending profile index.
+        profile: usize,
+    },
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::Io(e) => write!(f, "i/o error: {e}"),
+            ExportError::Parse { line, source } => write!(f, "line {line}: {source}"),
+            ExportError::ProfileOutOfRange { line, profile } => {
+                write!(f, "line {line}: profile index {profile} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+impl From<std::io::Error> for ExportError {
+    fn from(e: std::io::Error) -> Self {
+        ExportError::Io(e)
+    }
+}
+
+/// Write every recorded visit as JSONL. Records appear in deterministic
+/// `(page, profile)` order.
+pub fn write_jsonl<W: Write>(db: &CrawlDb, mut out: W) -> Result<usize, ExportError> {
+    let mut written = 0usize;
+    // Iterate pages in order; include failed visits too (a raw-data
+    // release documents failures).
+    for page in db.pages().cloned().collect::<Vec<PageKey>>() {
+        for profile in 0..db.n_profiles() {
+            if let Some(visit) = db.visit_any(&page, profile) {
+                let line = VisitRecordLine {
+                    site: page.site.clone(),
+                    url: page.url.clone(),
+                    profile,
+                    visit: visit.clone(),
+                };
+                serde_json::to_writer(&mut out, &line)
+                    .map_err(|source| ExportError::Parse { line: written, source })?;
+                out.write_all(b"\n")?;
+                written += 1;
+            }
+        }
+    }
+    Ok(written)
+}
+
+/// Read a JSONL export back into a database with `n_profiles` profiles.
+pub fn read_jsonl<R: BufRead>(input: R, n_profiles: usize) -> Result<CrawlDb, ExportError> {
+    let mut db = CrawlDb::new(n_profiles);
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: VisitRecordLine =
+            serde_json::from_str(&line).map_err(|source| ExportError::Parse { line: i, source })?;
+        if record.profile >= n_profiles {
+            return Err(ExportError::ProfileOutOfRange { line: i, profile: record.profile });
+        }
+        db.insert(
+            PageKey { site: record.site, url: record.url },
+            record.profile,
+            record.visit,
+        );
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::standard_profiles;
+    use crate::{Commander, CrawlOptions};
+    use wmtree_webgen::{UniverseConfig, WebUniverse};
+
+    fn small_db() -> CrawlDb {
+        let u = WebUniverse::generate(UniverseConfig {
+            seed: 81,
+            sites_per_bucket: [2, 1, 1, 1, 1],
+            max_subpages: 3,
+        });
+        Commander::new(
+            &u,
+            standard_profiles(),
+            CrawlOptions {
+                max_pages_per_site: 3,
+                workers: 1,
+                experiment_seed: 5,
+                reliable: false,
+                stateful: false,
+            },
+        )
+        .run()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = small_db();
+        let mut buf = Vec::new();
+        let written = write_jsonl(&db, &mut buf).unwrap();
+        assert!(written > 10);
+        let back = read_jsonl(std::io::Cursor::new(&buf), db.n_profiles()).unwrap();
+        assert_eq!(back.page_count(), db.page_count());
+        assert_eq!(back.total_successful_visits(), db.total_successful_visits());
+        // Vetted sets identical.
+        let a: Vec<_> = db.vetted_pages().into_iter().map(|(p, _)| p.clone()).collect();
+        let b: Vec<_> = back.vetted_pages().into_iter().map(|(p, _)| p.clone()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failed_visits_are_exported_too() {
+        let db = small_db();
+        let mut buf = Vec::new();
+        write_jsonl(&db, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().any(|l| l.contains("\"success\":false")));
+    }
+
+    #[test]
+    fn bad_profile_index_rejected() {
+        let db = small_db();
+        let mut buf = Vec::new();
+        write_jsonl(&db, &mut buf).unwrap();
+        let err = read_jsonl(std::io::Cursor::new(&buf), 2).unwrap_err();
+        assert!(matches!(err, ExportError::ProfileOutOfRange { .. }));
+    }
+
+    #[test]
+    fn garbage_line_reported_with_number() {
+        let input = "not json\n";
+        let err = read_jsonl(std::io::Cursor::new(input), 5).unwrap_err();
+        match err {
+            ExportError::Parse { line, .. } => assert_eq!(line, 0),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let db = small_db();
+        let mut buf = Vec::new();
+        write_jsonl(&db, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push('\n');
+        text.push('\n');
+        let back = read_jsonl(std::io::Cursor::new(text.as_bytes()), db.n_profiles()).unwrap();
+        assert_eq!(back.page_count(), db.page_count());
+    }
+}

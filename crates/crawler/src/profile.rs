@@ -1,0 +1,103 @@
+//! Measurement profiles — Table 1 of the paper.
+
+use serde::{Deserialize, Serialize};
+use wmtree_browser::BrowserConfig;
+
+/// Identifier of a profile within an experiment (index into the profile
+/// list; the paper numbers them 1–5).
+pub type ProfileId = usize;
+
+/// A named browser configuration used by one crawler client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Display name (`Old`, `Sim1`, ...).
+    pub name: String,
+    /// Browser major version.
+    pub version: u32,
+    /// Mimic user interaction?
+    pub user_interaction: bool,
+    /// Spawn a GUI (false = headless)?
+    pub gui: bool,
+    /// Measurement location (all of the paper's run from Germany).
+    pub country: &'static str,
+}
+
+impl Profile {
+    /// Construct a profile.
+    pub fn new(name: &str, version: u32, user_interaction: bool, gui: bool) -> Profile {
+        Profile { name: name.to_string(), version, user_interaction, gui, country: "DE" }
+    }
+
+    /// The browser configuration implementing this profile.
+    pub fn browser_config(&self) -> BrowserConfig {
+        BrowserConfig::default()
+            .with_version(self.version)
+            .with_interaction(self.user_interaction)
+            .with_headless(!self.gui)
+    }
+
+    /// Browser configuration that never fails a visit — used by tests
+    /// and by analyses that want to isolate content variance from
+    /// crawl-success variance. Latency *jitter* is kept: request timing
+    /// races (which of two scripts loads a shared library first) are a
+    /// real variance source the paper measures, distinct from failures.
+    pub fn reliable_browser_config(&self) -> BrowserConfig {
+        let mut cfg = self.browser_config();
+        cfg.network.failure_rate = 0.0;
+        cfg.network.stall_rate = 0.0;
+        cfg.visit_failure_rate = 0.0;
+        cfg
+    }
+}
+
+/// The five standard profiles of Table 1. Profiles #2 and #3 (indices 1
+/// and 2) are intentionally identical.
+pub fn standard_profiles() -> Vec<Profile> {
+    vec![
+        Profile::new("Old", 86, true, true),
+        Profile::new("Sim1", 95, true, true),
+        Profile::new("Sim2", 95, true, true),
+        Profile::new("NoAction", 95, false, true),
+        Profile::new("Headless", 95, true, false),
+    ]
+}
+
+/// Names of the standard profiles, in Table 1 order.
+pub const STANDARD_PROFILES: [&str; 5] = ["Old", "Sim1", "Sim2", "NoAction", "Headless"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let ps = standard_profiles();
+        assert_eq!(ps.len(), 5);
+        assert_eq!(ps[0].version, 86);
+        assert!(ps.iter().skip(1).all(|p| p.version == 95));
+        // Sim1 and Sim2 identical apart from the name.
+        let mut sim2 = ps[2].clone();
+        sim2.name = "Sim1".into();
+        assert_eq!(ps[1], sim2);
+        // NoAction: no interaction; Headless: no GUI.
+        assert!(!ps[3].user_interaction);
+        assert!(!ps[4].gui);
+        assert!(ps.iter().all(|p| p.country == "DE"));
+    }
+
+    #[test]
+    fn browser_config_mapping() {
+        let p = Profile::new("X", 86, false, false);
+        let cfg = p.browser_config();
+        assert_eq!(cfg.version, 86);
+        assert!(!cfg.interaction);
+        assert!(cfg.headless);
+    }
+
+    #[test]
+    fn reliable_config_is_reliable() {
+        let cfg = standard_profiles()[1].reliable_browser_config();
+        assert_eq!(cfg.visit_failure_rate, 0.0);
+        assert_eq!(cfg.network.failure_rate, 0.0);
+    }
+}

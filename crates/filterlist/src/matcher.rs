@@ -1,0 +1,245 @@
+//! Pattern compilation and matching for ABP network filters.
+//!
+//! A pattern is compiled into a token sequence; matching is a
+//! backtracking scan over the URL string. The special tokens are:
+//!
+//! * `*` — matches any (possibly empty) substring,
+//! * `^` — a *separator*: any character that is not alphanumeric and not
+//!   one of `_ - . %`, or the end of the URL,
+//! * `|` at the start — anchor at the beginning of the URL,
+//! * `|` at the end — anchor at the end of the URL,
+//! * `||` at the start — anchor at a hostname label boundary.
+
+use serde::{Deserialize, Serialize};
+
+/// A compiled filter pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pattern {
+    anchor: Anchor,
+    end_anchor: bool,
+    tokens: Vec<Token>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Anchor {
+    /// Match anywhere in the URL.
+    None,
+    /// `|…` — match at the start of the URL.
+    Start,
+    /// `||…` — match at the start of a hostname label.
+    Host,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Token {
+    Literal(String),
+    Wildcard,
+    Separator,
+}
+
+/// Is `c` an ABP separator character?
+fn is_separator(c: u8) -> bool {
+    !(c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b'%'))
+}
+
+impl Pattern {
+    /// Compile the pattern part of a rule (anchors and wildcards
+    /// included, options already stripped). Patterns are stored
+    /// lowercased; the caller lowercases the URL unless `$match-case`.
+    pub fn compile(raw: &str) -> Pattern {
+        let mut s = raw;
+        let anchor = if let Some(rest) = s.strip_prefix("||") {
+            s = rest;
+            Anchor::Host
+        } else if let Some(rest) = s.strip_prefix('|') {
+            s = rest;
+            Anchor::Start
+        } else {
+            Anchor::None
+        };
+        let end_anchor = if let Some(rest) = s.strip_suffix('|') {
+            s = rest;
+            true
+        } else {
+            false
+        };
+
+        let mut tokens = Vec::new();
+        let mut lit = String::new();
+        for ch in s.chars() {
+            match ch {
+                '*' => {
+                    if !lit.is_empty() {
+                        tokens.push(Token::Literal(std::mem::take(&mut lit)));
+                    }
+                    // Collapse consecutive wildcards.
+                    if tokens.last() != Some(&Token::Wildcard) {
+                        tokens.push(Token::Wildcard);
+                    }
+                }
+                '^' => {
+                    if !lit.is_empty() {
+                        tokens.push(Token::Literal(std::mem::take(&mut lit)));
+                    }
+                    tokens.push(Token::Separator);
+                }
+                c => lit.extend(c.to_lowercase()),
+            }
+        }
+        if !lit.is_empty() {
+            tokens.push(Token::Literal(lit));
+        }
+        Pattern { anchor, end_anchor, tokens }
+    }
+
+    /// Match the pattern against `url` (full URL string); `host` is the
+    /// URL's hostname, needed for `||` anchoring.
+    pub fn matches(&self, url: &str, host: &str) -> bool {
+        let bytes = url.as_bytes();
+        match self.anchor {
+            Anchor::Start => self.match_at(bytes, 0),
+            Anchor::Host => {
+                // `||example.com` must match at the start of the host or
+                // at a `.`-separated label boundary within the host.
+                let Some(host_start) = url.find(host) else {
+                    return false;
+                };
+                let host_end = host_start + host.len();
+                let mut positions = vec![host_start];
+                for (i, b) in url.as_bytes()[host_start..host_end].iter().enumerate() {
+                    if *b == b'.' {
+                        positions.push(host_start + i + 1);
+                    }
+                }
+                positions.into_iter().any(|p| self.match_at(bytes, p))
+            }
+            Anchor::None => (0..=bytes.len()).any(|p| self.match_at(bytes, p)),
+        }
+    }
+
+    /// Try to match the token list starting at byte offset `pos`.
+    fn match_at(&self, url: &[u8], pos: usize) -> bool {
+        self.match_tokens(url, pos, 0)
+    }
+
+    fn match_tokens(&self, url: &[u8], pos: usize, tok: usize) -> bool {
+        if tok == self.tokens.len() {
+            return !self.end_anchor || pos == url.len();
+        }
+        match &self.tokens[tok] {
+            Token::Literal(lit) => {
+                let lb = lit.as_bytes();
+                if url.len() >= pos + lb.len() && &url[pos..pos + lb.len()] == lb {
+                    self.match_tokens(url, pos + lb.len(), tok + 1)
+                } else {
+                    false
+                }
+            }
+            Token::Separator => {
+                if pos == url.len() {
+                    // `^` matches the end of the URL — but only if it is
+                    // the final token (an end anchor is then trivially
+                    // satisfied because pos == len).
+                    return tok + 1 == self.tokens.len();
+                }
+                if is_separator(url[pos]) {
+                    self.match_tokens(url, pos + 1, tok + 1)
+                } else {
+                    false
+                }
+            }
+            Token::Wildcard => {
+                // Try every suffix (greedy is unnecessary; first match wins).
+                (pos..=url.len()).any(|p| self.match_tokens(url, p, tok + 1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, url: &str, host: &str) -> bool {
+        Pattern::compile(pattern).matches(url, host)
+    }
+
+    #[test]
+    fn plain_substring() {
+        assert!(m("/banner/ads/", "https://x.com/banner/ads/1.png", "x.com"));
+        assert!(!m("/banner/ads/", "https://x.com/content/1.png", "x.com"));
+    }
+
+    #[test]
+    fn host_anchor_matches_domain_and_subdomains() {
+        assert!(m("||tracker.com^", "https://tracker.com/px", "tracker.com"));
+        assert!(m("||tracker.com^", "https://cdn.tracker.com/px", "cdn.tracker.com"));
+        assert!(!m("||tracker.com^", "https://nottracker.com/px", "nottracker.com"));
+        // Host anchor must not match inside the path.
+        assert!(!m("||tracker.com^", "https://safe.com/tracker.com/px", "safe.com"));
+    }
+
+    #[test]
+    fn host_anchor_separator_blocks_prefix_domains() {
+        // ||ad.com^ should not match ad.company.com even though the string continues.
+        assert!(!m("||ad.com^", "https://ad.company.com/x", "ad.company.com"));
+        assert!(m("||ad.com^", "https://ad.com/x", "ad.com"));
+        assert!(m("||ad.com^", "https://ad.com:8080/x", "ad.com"));
+    }
+
+    #[test]
+    fn start_anchor() {
+        assert!(m("|https://ads.", "https://ads.x.com/a", "ads.x.com"));
+        assert!(!m("|https://ads.", "http://x.com/?u=https://ads.y.com", "x.com"));
+    }
+
+    #[test]
+    fn end_anchor() {
+        assert!(m(".swf|", "https://x.com/movie.swf", "x.com"));
+        assert!(!m(".swf|", "https://x.com/movie.swf?x=1", "x.com"));
+    }
+
+    #[test]
+    fn wildcard() {
+        assert!(m("/ads/*/banner", "https://x.com/ads/v2/banner.png", "x.com"));
+        assert!(m("/ads/*/banner", "https://x.com/ads//banner", "x.com"));
+        assert!(!m("/ads/*/banner", "https://x.com/ads/banner0", "x.com"));
+    }
+
+    #[test]
+    fn separator_semantics() {
+        // ^ matches /, :, ?, &, = ... and end of URL, but not letters/digits/_-.%
+        assert!(m("^px^", "https://x.com/px/", "x.com"));
+        assert!(m("track^", "https://x.com/track?id=1", "x.com"));
+        assert!(m("track^", "https://x.com/track", "x.com")); // end of URL
+        assert!(!m("track^", "https://x.com/tracker", "x.com"));
+        assert!(!m("track^", "https://x.com/track-me", "x.com")); // '-' is not a separator
+    }
+
+    #[test]
+    fn case_insensitive_patterns() {
+        assert!(m("/ADS/", "https://x.com/ads/a.png", "x.com"));
+    }
+
+    #[test]
+    fn consecutive_wildcards_collapse() {
+        let p = Pattern::compile("a**b");
+        assert!(p.matches("https://x.com/a123b", "x.com"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        assert!(m("", "https://anything.com/", "anything.com"));
+    }
+
+    #[test]
+    fn host_anchor_with_path() {
+        assert!(m("||stats.net/collect", "https://stats.net/collect?e=1", "stats.net"));
+        assert!(m(
+            "||stats.net/collect",
+            "https://eu.stats.net/collect",
+            "eu.stats.net"
+        ));
+        assert!(!m("||stats.net/collect", "https://stats.net/other", "stats.net"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Filter-list line parser: separates blocking rules, exceptions,
+//! comments, and cosmetic rules, and parses the `$…` option tail.
+
+use crate::matcher::Pattern;
+use crate::rule::{FilterRule, RuleOptions, TypeMask};
+
+/// Outcome of parsing a single list line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedLine {
+    /// A blocking network rule.
+    Block(FilterRule),
+    /// An `@@` exception rule.
+    Exception(FilterRule),
+    /// Comment, cosmetic rule, metadata, or malformed — ignored.
+    Skipped,
+}
+
+/// Parse one line of an ABP-format list.
+pub fn parse_line(line: &str) -> ParsedLine {
+    let line = line.trim();
+    // Empty / comments / [Adblock …] headers.
+    if line.is_empty() || line.starts_with('!') || line.starts_with('[') {
+        return ParsedLine::Skipped;
+    }
+    // Cosmetic rules: ##, #@#, #?# …
+    if line.contains("##") || line.contains("#@#") || line.contains("#?#") {
+        return ParsedLine::Skipped;
+    }
+
+    let (is_exception, body) = match line.strip_prefix("@@") {
+        Some(rest) => (true, rest),
+        None => (false, line),
+    };
+
+    // Split the options tail at the last '$' that is not part of the
+    // pattern. Real EasyList patterns rarely contain '$'; the convention
+    // is that options follow the last '$'.
+    let (pattern_str, options) = match body.rfind('$') {
+        Some(i) if i + 1 < body.len() && looks_like_options(&body[i + 1..]) => {
+            match parse_options(&body[i + 1..]) {
+                Some(opts) => (&body[..i], opts),
+                None => return ParsedLine::Skipped, // unsupported critical option
+            }
+        }
+        _ => (body, RuleOptions::default()),
+    };
+
+    if pattern_str.is_empty() {
+        return ParsedLine::Skipped;
+    }
+
+    let rule = FilterRule::new(Pattern::compile(pattern_str), options);
+    if is_exception {
+        ParsedLine::Exception(rule)
+    } else {
+        ParsedLine::Block(rule)
+    }
+}
+
+/// Heuristic: does this tail look like an option list rather than part of
+/// a pattern (e.g. a URL with `$` in the path)?
+fn looks_like_options(tail: &str) -> bool {
+    tail.split(',').all(|opt| {
+        let opt = opt.trim().trim_start_matches('~');
+        let name = opt.split('=').next().unwrap_or("");
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    })
+}
+
+/// Parse the comma-separated option list. Returns `None` when the rule
+/// uses an option we cannot honor (so the rule must be skipped rather
+/// than over-matched) — e.g. `$popup` or rewrite rules.
+fn parse_options(tail: &str) -> Option<RuleOptions> {
+    let mut opts = RuleOptions::default();
+    let mut include_types: Option<TypeMask> = None;
+    let mut exclude_types: Vec<wmtree_net::ResourceType> = Vec::new();
+
+    for raw in tail.split(',') {
+        let raw = raw.trim();
+        let (negated, opt) = match raw.strip_prefix('~') {
+            Some(rest) => (true, rest),
+            None => (false, raw),
+        };
+        let (name, value) = match opt.find('=') {
+            Some(i) => (&opt[..i], Some(&opt[i + 1..])),
+            None => (opt, None),
+        };
+        match name.to_ascii_lowercase().as_str() {
+            "third-party" | "3p" => opts.third_party = Some(!negated),
+            "first-party" | "1p" => opts.third_party = Some(negated),
+            "match-case" => opts.match_case = true,
+            "domain" => {
+                for d in value.unwrap_or("").split('|') {
+                    let d = d.trim().to_ascii_lowercase();
+                    if d.is_empty() {
+                        continue;
+                    }
+                    match d.strip_prefix('~') {
+                        Some(ex) => opts.exclude_domains.push(ex.to_string()),
+                        None => opts.include_domains.push(d),
+                    }
+                }
+            }
+            other => {
+                if let Some(ty) = TypeMask::from_option_name(other) {
+                    if negated {
+                        exclude_types.push(ty);
+                    } else {
+                        include_types = Some(match include_types {
+                            Some(m) => m.with(ty),
+                            None => TypeMask::only(ty),
+                        });
+                    }
+                } else {
+                    // Unknown/unsupported option (popup, rewrite, csp=…):
+                    // skip the whole rule to stay conservative.
+                    return None;
+                }
+            }
+        }
+    }
+
+    opts.types = include_types.unwrap_or(TypeMask::ALL);
+    for ty in exclude_types {
+        // Excluding from ALL: clear the bit by building the complement.
+        let bit = TypeMask::only(ty).0;
+        opts.types = TypeMask(opts.types.0 & !bit);
+    }
+    Some(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmtree_net::ResourceType;
+    use wmtree_url::Url;
+
+    fn block(line: &str) -> FilterRule {
+        match parse_line(line) {
+            ParsedLine::Block(r) => r,
+            other => panic!("expected block rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_headers_skipped() {
+        assert_eq!(parse_line("! EasyList"), ParsedLine::Skipped);
+        assert_eq!(parse_line("[Adblock Plus 2.0]"), ParsedLine::Skipped);
+        assert_eq!(parse_line(""), ParsedLine::Skipped);
+        assert_eq!(parse_line("   "), ParsedLine::Skipped);
+    }
+
+    #[test]
+    fn cosmetic_skipped() {
+        assert_eq!(parse_line("example.com##.ad"), ParsedLine::Skipped);
+        assert_eq!(parse_line("##.banner"), ParsedLine::Skipped);
+        assert_eq!(parse_line("example.com#@#.ok"), ParsedLine::Skipped);
+    }
+
+    #[test]
+    fn exception_detected() {
+        assert!(matches!(parse_line("@@||good.com^"), ParsedLine::Exception(_)));
+    }
+
+    #[test]
+    fn third_party_option() {
+        let r = block("||t.com^$third-party");
+        assert_eq!(r.options().third_party, Some(true));
+        let r = block("||t.com^$~third-party");
+        assert_eq!(r.options().third_party, Some(false));
+    }
+
+    #[test]
+    fn type_options() {
+        let r = block("||t.com^$script,image");
+        assert!(r.options().types.includes(ResourceType::Script));
+        assert!(r.options().types.includes(ResourceType::Image));
+        assert!(!r.options().types.includes(ResourceType::Font));
+    }
+
+    #[test]
+    fn negated_type_options() {
+        let r = block("||t.com^$~script");
+        assert!(!r.options().types.includes(ResourceType::Script));
+        assert!(r.options().types.includes(ResourceType::Image));
+    }
+
+    #[test]
+    fn domain_option() {
+        let r = block("/px?$domain=a.com|~b.a.com");
+        assert_eq!(r.options().include_domains, vec!["a.com"]);
+        assert_eq!(r.options().exclude_domains, vec!["b.a.com"]);
+    }
+
+    #[test]
+    fn unsupported_option_skips_rule() {
+        assert_eq!(parse_line("||t.com^$popup"), ParsedLine::Skipped);
+        assert_eq!(parse_line("||t.com^$csp=script-src"), ParsedLine::Skipped);
+    }
+
+    #[test]
+    fn dollar_in_path_not_options() {
+        // "$/" is not a valid option name → treated as part of the pattern.
+        let r = parse_line("/path$/");
+        assert!(matches!(r, ParsedLine::Block(_)));
+    }
+
+    #[test]
+    fn full_rule_end_to_end() {
+        let r = block("||metrics.example^$third-party,script");
+        let page = Url::parse("https://site.com/").unwrap();
+        let url = Url::parse("https://metrics.example/t.js").unwrap();
+        let req = crate::RequestInfo::new(&url, &page, ResourceType::Script);
+        assert!(r.matches(&req));
+        // Same URL loaded first-party → no match.
+        let own_page = Url::parse("https://metrics.example/").unwrap();
+        let req2 = crate::RequestInfo::new(&url, &own_page, ResourceType::Script);
+        assert!(!r.matches(&req2));
+        // Wrong type → no match.
+        let req3 = crate::RequestInfo::new(&url, &page, ResourceType::Image);
+        assert!(!r.matches(&req3));
+    }
+}

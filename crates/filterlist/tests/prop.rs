@@ -1,0 +1,104 @@
+//! Property tests for the filter-list matcher.
+
+use proptest::prelude::*;
+use wmtree_filterlist::{FilterList, RequestInfo};
+use wmtree_net::ResourceType;
+use wmtree_url::Url;
+
+fn host() -> impl Strategy<Value = String> {
+    ("[a-z]{2,8}", prop::sample::select(vec!["com", "net", "org", "io"]))
+        .prop_map(|(n, t)| format!("{n}.{t}"))
+}
+
+fn url_str() -> impl Strategy<Value = String> {
+    (host(), prop::collection::vec("[a-z0-9]{1,8}", 0..3))
+        .prop_map(|(h, segs)| format!("https://{h}/{}", segs.join("/")))
+}
+
+proptest! {
+    /// A host-anchor rule matches exactly the URLs whose host is the
+    /// domain or a subdomain of it.
+    #[test]
+    fn host_anchor_semantics(domain in host(), other in url_str(), sub in "[a-z]{1,6}") {
+        let list = FilterList::parse(&format!("||{domain}^"));
+        let page = Url::parse("https://unrelated-page.example/").unwrap();
+        let req = |u: &Url| list.is_tracking(&RequestInfo::new(u, &page, ResourceType::Image));
+
+        let exact = Url::parse(&format!("https://{domain}/x")).unwrap();
+        prop_assert!(req(&exact));
+        let subdomain = Url::parse(&format!("https://{sub}.{domain}/x")).unwrap();
+        prop_assert!(req(&subdomain));
+
+        let other_url = Url::parse(&other).unwrap();
+        let is_same_or_sub = other_url.host() == domain
+            || other_url.host().ends_with(&format!(".{domain}"));
+        if !is_same_or_sub {
+            prop_assert!(!req(&other_url), "{} should not match ||{domain}^", other_url);
+        }
+    }
+
+    /// Exceptions only ever remove matches, never add them.
+    #[test]
+    fn exceptions_are_monotone(domain in host(), path in "[a-z]{1,8}", target in url_str()) {
+        let base = FilterList::parse(&format!("||{domain}^"));
+        let with_exc = FilterList::parse(&format!("||{domain}^\n@@||{domain}/{path}^"));
+        let page = Url::parse("https://page.example/").unwrap();
+        let u = Url::parse(&target).unwrap();
+        let req = RequestInfo::new(&u, &page, ResourceType::Script);
+        if with_exc.is_tracking(&req) {
+            prop_assert!(base.is_tracking(&req));
+        }
+    }
+
+    /// Adding rules is monotone: a superset list matches a superset of
+    /// requests (when no exceptions are added).
+    #[test]
+    fn adding_block_rules_is_monotone(
+        d1 in host(),
+        d2 in host(),
+        target in url_str(),
+    ) {
+        let small = FilterList::parse(&format!("||{d1}^"));
+        let big = FilterList::parse(&format!("||{d1}^\n||{d2}^"));
+        let page = Url::parse("https://page.example/").unwrap();
+        let u = Url::parse(&target).unwrap();
+        let req = RequestInfo::new(&u, &page, ResourceType::Image);
+        if small.is_tracking(&req) {
+            prop_assert!(big.is_tracking(&req));
+        }
+    }
+
+    /// A plain substring rule matches iff the (lowercased) URL contains
+    /// the literal.
+    #[test]
+    fn plain_substring_rule(lit in "[a-z]{4,10}", target in url_str()) {
+        let list = FilterList::parse(&format!("/{lit}/"));
+        let page = Url::parse("https://page.example/").unwrap();
+        let u = Url::parse(&target).unwrap();
+        let matched = list.is_tracking(&RequestInfo::new(&u, &page, ResourceType::Image));
+        let contains = u.as_str().to_ascii_lowercase().contains(&format!("/{lit}/"));
+        prop_assert_eq!(matched, contains);
+    }
+
+    /// Parsing never panics on arbitrary printable input.
+    #[test]
+    fn parser_total(input in "[ -~\\n]{0,300}") {
+        let _ = FilterList::parse(&input);
+    }
+
+    /// Type options restrict, never extend, matching.
+    #[test]
+    fn type_options_restrict(domain in host(), target in url_str()) {
+        let untyped = FilterList::parse(&format!("||{domain}^"));
+        let typed = FilterList::parse(&format!("||{domain}^$script"));
+        let page = Url::parse("https://page.example/").unwrap();
+        let u = Url::parse(&target).unwrap();
+        for ty in [ResourceType::Script, ResourceType::Image, ResourceType::Font] {
+            let req = RequestInfo::new(&u, &page, ty);
+            if typed.is_tracking(&req) {
+                prop_assert!(untyped.is_tracking(&req));
+                prop_assert_eq!(ty, ResourceType::Script);
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic network-condition model.
+//!
+//! Page loads in the paper fail or time out for ~11% of visits per
+//! profile (§4, "Success of Crawling Method") and slow third-party
+//! responses cause cross-profile deviation (Appendix C: the 46 s mean
+//! visit-start deviation "is caused by pages that timeout, e.g., by a
+//! slowly loading ad"). This module provides a seeded latency/failure
+//! sampler so the simulated crawler reproduces those effects
+//! *deterministically per (seed, url, visit)* — two visits with the same
+//! nonce see the same network weather, two different visits do not.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wmtree_url::Url;
+
+/// Outcome of attempting one HTTP fetch under the conditions model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FetchOutcome {
+    /// Response arrived after the given latency.
+    Arrived {
+        /// Simulated latency in milliseconds.
+        latency_ms: u64,
+    },
+    /// Connection failed (DNS error, reset, ...).
+    Failed,
+    /// The server never answered within any reasonable bound; the
+    /// browser-level timeout governs.
+    Stalled,
+}
+
+/// Parameters of the network model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConditions {
+    /// Base latency added to every fetch (ms).
+    pub base_latency_ms: u64,
+    /// Upper bound of the uniform jitter added per fetch (ms).
+    pub jitter_ms: u64,
+    /// Probability that a fetch fails outright.
+    pub failure_rate: f64,
+    /// Probability that a fetch stalls (forcing a page timeout if it is
+    /// a blocking resource).
+    pub stall_rate: f64,
+    /// Extra latency multiplier for third-party ad/tracking hosts, which
+    /// the paper identifies as the main source of slow loads.
+    pub slow_host_latency_ms: u64,
+}
+
+impl Default for NetworkConditions {
+    fn default() -> Self {
+        NetworkConditions {
+            base_latency_ms: 20,
+            jitter_ms: 180,
+            failure_rate: 0.004,
+            stall_rate: 0.002,
+            slow_host_latency_ms: 400,
+        }
+    }
+}
+
+impl NetworkConditions {
+    /// A perfectly reliable, zero-latency network (for tests).
+    pub fn ideal() -> Self {
+        NetworkConditions {
+            base_latency_ms: 0,
+            jitter_ms: 0,
+            failure_rate: 0.0,
+            stall_rate: 0.0,
+            slow_host_latency_ms: 0,
+        }
+    }
+
+    /// Sample the outcome of fetching `url` during visit `visit_seed`.
+    /// Deterministic in `(visit_seed, url)`.
+    pub fn sample(&self, visit_seed: u64, url: &Url) -> FetchOutcome {
+        let mut rng = StdRng::seed_from_u64(mix(visit_seed, url.as_str().as_bytes()));
+        if rng.random::<f64>() < self.failure_rate {
+            return FetchOutcome::Failed;
+        }
+        if rng.random::<f64>() < self.stall_rate {
+            return FetchOutcome::Stalled;
+        }
+        let mut latency = self.base_latency_ms;
+        if self.jitter_ms > 0 {
+            latency += rng.random_range(0..self.jitter_ms);
+        }
+        if is_slow_host(url.host()) {
+            latency += self.slow_host_latency_ms;
+        }
+        FetchOutcome::Arrived { latency_ms: latency }
+    }
+}
+
+/// Hosts that the model treats as slow (ad/tracking infrastructure).
+fn is_slow_host(host: &str) -> bool {
+    host.contains("ads") || host.contains("track") || host.contains("sync") || host.contains("rtb")
+}
+
+/// Mix a seed with arbitrary bytes (FNV-1a over the bytes, then
+/// splitmix64-style avalanche with the seed).
+pub fn mix(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut z = seed ^ h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_url() {
+        let c = NetworkConditions::default();
+        let u = url("https://a.com/x.js");
+        assert_eq!(c.sample(42, &u), c.sample(42, &u));
+    }
+
+    #[test]
+    fn different_seeds_vary() {
+        let c = NetworkConditions::default();
+        let u = url("https://a.com/x.js");
+        let outcomes: std::collections::BTreeSet<String> =
+            (0..50).map(|s| format!("{:?}", c.sample(s, &u))).collect();
+        assert!(outcomes.len() > 1, "latency should vary across seeds");
+    }
+
+    #[test]
+    fn ideal_never_fails() {
+        let c = NetworkConditions::ideal();
+        for s in 0..200 {
+            let got = c.sample(s, &url("https://a.com/x"));
+            assert_eq!(got, FetchOutcome::Arrived { latency_ms: 0 });
+        }
+    }
+
+    #[test]
+    fn failure_rate_roughly_respected() {
+        let c = NetworkConditions {
+            failure_rate: 0.5,
+            stall_rate: 0.0,
+            ..NetworkConditions::default()
+        };
+        let u = url("https://a.com/");
+        let failures = (0..2000)
+            .filter(|&s| matches!(c.sample(s, &u), FetchOutcome::Failed))
+            .count();
+        assert!((800..1200).contains(&failures), "got {failures} failures");
+    }
+
+    #[test]
+    fn slow_hosts_get_extra_latency() {
+        let c = NetworkConditions { jitter_ms: 0, ..NetworkConditions::default() };
+        let normal = c.sample(7, &url("https://cdn.site.com/a.js"));
+        let slow = c.sample(7, &url("https://ads.adnet.com/a.js"));
+        if let (FetchOutcome::Arrived { latency_ms: a }, FetchOutcome::Arrived { latency_ms: b }) =
+            (normal, slow)
+        {
+            assert!(b > a);
+        } else {
+            panic!("both should arrive with default rates at these seeds");
+        }
+    }
+
+    #[test]
+    fn mix_spreads_bits() {
+        let a = mix(1, b"hello");
+        let b = mix(2, b"hello");
+        let c = mix(1, b"hellp");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

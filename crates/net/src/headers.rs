@@ -1,0 +1,130 @@
+//! A small, order-preserving, case-insensitive HTTP header map.
+
+use serde::{Deserialize, Serialize};
+
+/// Order-preserving multimap of HTTP headers with case-insensitive
+/// names, sufficient for measurement records (`Set-Cookie` may repeat).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// An empty header map.
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// Append a header (does not replace existing values of the same name).
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Set a header, replacing any existing values of the same name.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.push((name.to_string(), value.into()));
+    }
+
+    /// First value of a header, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a header, in insertion order.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Is the header present?
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Remove all values of a header; returns how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        before - self.entries.len()
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(name, value)` lines in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+}
+
+impl FromIterator<(String, String)> for Headers {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        Headers { entries: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_get_case_insensitive() {
+        let mut h = Headers::new();
+        h.append("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert!(h.contains("CONTENT-TYPE"));
+    }
+
+    #[test]
+    fn multi_value_set_cookie() {
+        let mut h = Headers::new();
+        h.append("Set-Cookie", "a=1");
+        h.append("Set-Cookie", "b=2");
+        let all: Vec<_> = h.get_all("set-cookie").collect();
+        assert_eq!(all, vec!["a=1", "b=2"]);
+        assert_eq!(h.get("Set-Cookie"), Some("a=1"));
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut h = Headers::new();
+        h.append("X-A", "1");
+        h.append("X-A", "2");
+        h.set("x-a", "3");
+        let all: Vec<_> = h.get_all("X-A").collect();
+        assert_eq!(all, vec!["3"]);
+    }
+
+    #[test]
+    fn remove_counts() {
+        let mut h = Headers::new();
+        h.append("A", "1");
+        h.append("a", "2");
+        h.append("B", "3");
+        assert_eq!(h.remove("A"), 2);
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut h = Headers::new();
+        h.append("Z", "z");
+        h.append("A", "a");
+        let names: Vec<_> = h.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["Z", "A"]);
+    }
+}

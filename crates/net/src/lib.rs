@@ -1,0 +1,35 @@
+//! Simulated HTTP substrate for web-measurement experiments.
+//!
+//! The IMC'23 paper's measurement tool (OpenWPM) records HTTP traffic:
+//! requests, responses, redirect chains, cookies, and the *resource type*
+//! of each load. This crate provides those vocabulary types plus a
+//! deterministic network condition model:
+//!
+//! * [`Method`], [`Status`], [`Headers`] — HTTP message vocabulary.
+//! * [`Request`] / [`Response`] — the records a browser engine produces.
+//! * [`ResourceType`] — the twelve content types the paper analyses
+//!   (Appendix G, Fig. 7): beacon, CSP report, font, image, imageset,
+//!   main frame, media, script, stylesheet, sub frame, Web socket,
+//!   XMLHttpRequest.
+//! * [`cookie`] — RFC 6265 cookies: parsing `Set-Cookie`, the paper's
+//!   cookie identity (name, domain, path), security attributes, and a
+//!   domain/path-matching [`cookie::CookieJar`].
+//! * [`conditions::NetworkConditions`] — a seeded latency/failure model
+//!   so page loads can time out and fail with realistic, reproducible
+//!   variation.
+//!
+//! Everything is plain data with `serde` support so crawl results can be
+//! exported like the paper's raw-data release.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conditions;
+pub mod cookie;
+mod headers;
+mod message;
+mod resource;
+
+pub use headers::Headers;
+pub use message::{Method, Request, Response, Status};
+pub use resource::ResourceType;

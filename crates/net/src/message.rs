@@ -1,0 +1,197 @@
+//! HTTP request/response records as produced by the simulated browser
+//! and stored by the crawler — the raw material of dependency trees.
+
+use crate::{Headers, ResourceType};
+use serde::{Deserialize, Serialize};
+use wmtree_url::Url;
+
+/// HTTP request method. Measurement traffic is almost entirely GET/POST;
+/// the rest exist for completeness of parsed data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Method {
+    Get,
+    Post,
+    Head,
+    Put,
+    Delete,
+    Options,
+    Patch,
+}
+
+impl Method {
+    /// Canonical upper-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Options => "OPTIONS",
+            Method::Patch => "PATCH",
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// HTTP status code wrapper with the class predicates measurement code
+/// needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Status(pub u16);
+
+impl Status {
+    /// 200 OK.
+    pub const OK: Status = Status(200);
+    /// 204 No Content (beacons).
+    pub const NO_CONTENT: Status = Status(204);
+    /// 301 Moved Permanently.
+    pub const MOVED_PERMANENTLY: Status = Status(301);
+    /// 302 Found.
+    pub const FOUND: Status = Status(302);
+    /// 307 Temporary Redirect.
+    pub const TEMPORARY_REDIRECT: Status = Status(307);
+    /// 404 Not Found.
+    pub const NOT_FOUND: Status = Status(404);
+    /// 500 Internal Server Error.
+    pub const INTERNAL_SERVER_ERROR: Status = Status(500);
+    /// 503 Service Unavailable.
+    pub const SERVICE_UNAVAILABLE: Status = Status(503);
+
+    /// 2xx.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// 3xx with a Location semantic (301, 302, 303, 307, 308).
+    pub fn is_redirect(self) -> bool {
+        matches!(self.0, 301 | 302 | 303 | 307 | 308)
+    }
+
+    /// 4xx.
+    pub fn is_client_error(self) -> bool {
+        (400..500).contains(&self.0)
+    }
+
+    /// 5xx.
+    pub fn is_server_error(self) -> bool {
+        (500..600).contains(&self.0)
+    }
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An outgoing HTTP request record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Target URL.
+    pub url: Url,
+    /// The resource type the engine expects (content policy type).
+    pub resource_type: ResourceType,
+    /// Request headers (includes `Cookie` when the jar matched).
+    pub headers: Headers,
+    /// Virtual timestamp (milliseconds since visit start).
+    pub timestamp_ms: u64,
+}
+
+impl Request {
+    /// A GET request with empty headers at time zero — the common case
+    /// in tests.
+    pub fn get(url: Url, resource_type: ResourceType) -> Request {
+        Request { method: Method::Get, url, resource_type, headers: Headers::new(), timestamp_ms: 0 }
+    }
+}
+
+/// An HTTP response record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Status code.
+    pub status: Status,
+    /// Response headers (`Set-Cookie`, `Location`, ...).
+    pub headers: Headers,
+    /// Body size in bytes (bodies themselves are not retained — the
+    /// paper compares URLs, not content; §3.2 explains why content
+    /// hashes are unsuitable).
+    pub body_len: u64,
+    /// Virtual completion timestamp (ms since visit start).
+    pub timestamp_ms: u64,
+}
+
+impl Response {
+    /// A 200 response with no headers.
+    pub fn ok() -> Response {
+        Response { status: Status::OK, headers: Headers::new(), body_len: 0, timestamp_ms: 0 }
+    }
+
+    /// A redirect to `location`.
+    pub fn redirect(status: Status, location: &str) -> Response {
+        let mut headers = Headers::new();
+        headers.set("Location", location);
+        Response { status, headers, body_len: 0, timestamp_ms: 0 }
+    }
+
+    /// The redirect target, when this is a redirect with a Location.
+    pub fn location(&self) -> Option<&str> {
+        if self.status.is_redirect() {
+            self.headers.get("location")
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classes() {
+        assert!(Status::OK.is_success());
+        assert!(Status(204).is_success());
+        assert!(Status::FOUND.is_redirect());
+        assert!(Status(308).is_redirect());
+        assert!(!Status(304).is_redirect()); // not-modified is not a location redirect
+        assert!(Status::NOT_FOUND.is_client_error());
+        assert!(Status(503).is_server_error());
+        assert!(!Status::OK.is_redirect());
+    }
+
+    #[test]
+    fn request_helper() {
+        let u = Url::parse("https://a.com/x.js").unwrap();
+        let r = Request::get(u.clone(), ResourceType::Script);
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.url, u);
+        assert_eq!(r.method.to_string(), "GET");
+    }
+
+    #[test]
+    fn redirect_location() {
+        let r = Response::redirect(Status::FOUND, "https://b.com/next");
+        assert_eq!(r.location(), Some("https://b.com/next"));
+        assert_eq!(Response::ok().location(), None);
+    }
+
+    #[test]
+    fn non_redirect_status_hides_location() {
+        let mut r = Response::ok();
+        r.headers.set("Location", "https://x.com/");
+        assert_eq!(r.location(), None);
+    }
+
+    #[test]
+    fn status_display() {
+        assert_eq!(Status::OK.to_string(), "200");
+    }
+}

@@ -1,0 +1,160 @@
+//! Resource (content) types of loaded objects.
+
+use serde::{Deserialize, Serialize};
+
+/// The content type of a loaded resource, mirroring Firefox/OpenWPM's
+/// `content_policy_type` categories as analysed in the paper
+/// (Tables 4a/4b, Fig. 5, Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResourceType {
+    /// Top-level document (the visited page itself).
+    MainFrame,
+    /// An embedded frame (`<iframe>` and friends).
+    SubFrame,
+    /// JavaScript.
+    Script,
+    /// CSS style sheet.
+    Stylesheet,
+    /// Bitmap image (`<img>`, CSS background).
+    Image,
+    /// Responsive image set (`<picture>`/`srcset`).
+    ImageSet,
+    /// Web font.
+    Font,
+    /// Audio/video media.
+    Media,
+    /// `XMLHttpRequest` / `fetch`.
+    Xhr,
+    /// WebSocket handshake.
+    WebSocket,
+    /// Tracking beacon (`navigator.sendBeacon`, `<img>` pixels fired on
+    /// unload, ping attributes).
+    Beacon,
+    /// Content-Security-Policy violation report.
+    CspReport,
+    /// Plain text or other content that cannot load children.
+    Other,
+}
+
+impl ResourceType {
+    /// All twelve analysed types (excluding the `Other` catch-all), in
+    /// the order of the paper's Appendix G figure.
+    pub const ANALYSED: [ResourceType; 12] = [
+        ResourceType::Beacon,
+        ResourceType::CspReport,
+        ResourceType::Font,
+        ResourceType::Image,
+        ResourceType::ImageSet,
+        ResourceType::MainFrame,
+        ResourceType::Media,
+        ResourceType::Script,
+        ResourceType::Stylesheet,
+        ResourceType::SubFrame,
+        ResourceType::WebSocket,
+        ResourceType::Xhr,
+    ];
+
+    /// Can this node dynamically load additional content (i.e. have
+    /// children in a dependency tree)? The paper excludes depth-one
+    /// nodes that cannot (plain images, text, fonts) from the branch
+    /// analysis because they would report perfect-but-vacuous similarity
+    /// (§3.2).
+    pub fn can_load_children(self) -> bool {
+        matches!(
+            self,
+            ResourceType::MainFrame
+                | ResourceType::SubFrame
+                | ResourceType::Script
+                | ResourceType::Stylesheet
+                | ResourceType::Xhr
+                | ResourceType::WebSocket
+        )
+    }
+
+    /// Human-readable label as used in the paper's tables/figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceType::MainFrame => "main frame",
+            ResourceType::SubFrame => "sub frame",
+            ResourceType::Script => "script",
+            ResourceType::Stylesheet => "stylesheet",
+            ResourceType::Image => "image",
+            ResourceType::ImageSet => "imageset",
+            ResourceType::Font => "font",
+            ResourceType::Media => "media",
+            ResourceType::Xhr => "XMLHttpRequest",
+            ResourceType::WebSocket => "web socket",
+            ResourceType::Beacon => "beacon",
+            ResourceType::CspReport => "CSP report",
+            ResourceType::Other => "other",
+        }
+    }
+
+    /// Infer a plausible resource type from a URL path, used when a
+    /// record lacks explicit type information (e.g. parsing external
+    /// data). This mirrors the extension heuristics measurement
+    /// pipelines apply.
+    pub fn infer_from_path(path: &str) -> ResourceType {
+        let path = path.split('?').next().unwrap_or(path).to_ascii_lowercase();
+        let ext = path.rsplit('.').next().unwrap_or("");
+        match ext {
+            "js" | "mjs" => ResourceType::Script,
+            "css" => ResourceType::Stylesheet,
+            "png" | "jpg" | "jpeg" | "gif" | "webp" | "svg" | "ico" => ResourceType::Image,
+            "woff" | "woff2" | "ttf" | "otf" | "eot" => ResourceType::Font,
+            "mp4" | "webm" | "mp3" | "ogg" | "wav" | "m3u8" => ResourceType::Media,
+            "html" | "htm" | "php" | "asp" | "aspx" => ResourceType::SubFrame,
+            "json" | "xml" => ResourceType::Xhr,
+            _ => ResourceType::Other,
+        }
+    }
+}
+
+impl std::fmt::Display for ResourceType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analysed_has_twelve_distinct() {
+        let set: std::collections::BTreeSet<_> = ResourceType::ANALYSED.iter().collect();
+        assert_eq!(set.len(), 12);
+        assert!(!set.contains(&ResourceType::Other));
+    }
+
+    #[test]
+    fn dynamic_loaders() {
+        assert!(ResourceType::Script.can_load_children());
+        assert!(ResourceType::SubFrame.can_load_children());
+        assert!(ResourceType::Stylesheet.can_load_children());
+        assert!(ResourceType::Xhr.can_load_children());
+        assert!(!ResourceType::Image.can_load_children());
+        assert!(!ResourceType::Font.can_load_children());
+        assert!(!ResourceType::Beacon.can_load_children());
+        assert!(!ResourceType::CspReport.can_load_children());
+    }
+
+    #[test]
+    fn labels_are_paper_spelling() {
+        assert_eq!(ResourceType::Xhr.label(), "XMLHttpRequest");
+        assert_eq!(ResourceType::SubFrame.to_string(), "sub frame");
+        assert_eq!(ResourceType::CspReport.label(), "CSP report");
+    }
+
+    #[test]
+    fn inference_from_extension() {
+        assert_eq!(ResourceType::infer_from_path("/a/b.js"), ResourceType::Script);
+        assert_eq!(ResourceType::infer_from_path("/x.css"), ResourceType::Stylesheet);
+        assert_eq!(ResourceType::infer_from_path("/i.PNG"), ResourceType::Image);
+        assert_eq!(ResourceType::infer_from_path("/f.woff2"), ResourceType::Font);
+        assert_eq!(ResourceType::infer_from_path("/v.mp4"), ResourceType::Media);
+        assert_eq!(ResourceType::infer_from_path("/page.html"), ResourceType::SubFrame);
+        assert_eq!(ResourceType::infer_from_path("/api.json?x=1"), ResourceType::Xhr);
+        assert_eq!(ResourceType::infer_from_path("/noext"), ResourceType::Other);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for cookies and the network-conditions model.
+
+use proptest::prelude::*;
+use wmtree_net::conditions::{FetchOutcome, NetworkConditions};
+use wmtree_net::cookie::{Cookie, CookieJar};
+use wmtree_url::Url;
+
+fn cookie_header() -> impl Strategy<Value = String> {
+    (
+        "[a-zA-Z_][a-zA-Z0-9_]{0,10}",
+        "[a-zA-Z0-9]{0,12}",
+        prop::option::of(prop::sample::select(vec!["/", "/a", "/a/b"])),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(name, value, path, secure, http_only)| {
+            let mut h = format!("{name}={value}");
+            if let Some(p) = path {
+                h.push_str(&format!("; Path={p}"));
+            }
+            if secure {
+                h.push_str("; Secure");
+            }
+            if http_only {
+                h.push_str("; HttpOnly");
+            }
+            h
+        })
+}
+
+proptest! {
+    /// Parsing a generated Set-Cookie never loses the name, and the
+    /// identity function is stable.
+    #[test]
+    fn cookie_parse_identity(header in cookie_header()) {
+        let url = Url::parse("https://site.example.com/a/b").unwrap();
+        let c = Cookie::parse(&header, &url).expect("generated cookies are parseable");
+        let prefix = format!("{}=", c.name);
+        let starts = header.starts_with(&prefix);
+        prop_assert!(starts);
+        prop_assert_eq!(c.id(), c.id());
+        // Host-only default domain is the setting host.
+        if !header.to_ascii_lowercase().contains("domain=") {
+            prop_assert_eq!(c.domain.as_str(), "site.example.com");
+            prop_assert!(c.host_only);
+        }
+    }
+
+    /// A cookie always matches the URL that set it, modulo the Secure
+    /// rule (which the https setting URL satisfies).
+    #[test]
+    fn cookie_matches_setting_context(header in cookie_header()) {
+        let url = Url::parse("https://site.example.com/a/b").unwrap();
+        let c = Cookie::parse(&header, &url).unwrap();
+        // Path attribute may scope the cookie elsewhere; check only when
+        // it path-matches the setting URL.
+        if url.path().starts_with(&c.path) {
+            prop_assert!(c.matches(&url), "{header}");
+        }
+    }
+
+    /// Jar storage is idempotent for the same identity: storing twice
+    /// leaves one cookie with the latest value.
+    #[test]
+    fn jar_replacement(header in cookie_header(), v2 in "[a-z0-9]{1,8}") {
+        let url = Url::parse("https://site.example.com/a/b").unwrap();
+        let c1 = Cookie::parse(&header, &url).unwrap();
+        let mut c2 = c1.clone();
+        c2.value = v2.clone();
+        let mut jar = CookieJar::new();
+        jar.store(c1);
+        jar.store(c2);
+        prop_assert_eq!(jar.len(), 1);
+        prop_assert_eq!(jar.iter().next().unwrap().value.as_str(), v2.as_str());
+    }
+
+    /// The conditions model is a pure function of (seed, url).
+    #[test]
+    fn conditions_pure(seed in any::<u64>(), path in "[a-z]{1,10}") {
+        let c = NetworkConditions::default();
+        let u = Url::parse(&format!("https://host.example/{path}")).unwrap();
+        prop_assert_eq!(c.sample(seed, &u), c.sample(seed, &u));
+    }
+
+    /// Latency is bounded by base + jitter + slow-host surcharge.
+    #[test]
+    fn latency_bounded(seed in any::<u64>(), path in "[a-z]{1,10}") {
+        let c = NetworkConditions::default();
+        let u = Url::parse(&format!("https://ads.slow.example/{path}")).unwrap();
+        if let FetchOutcome::Arrived { latency_ms } = c.sample(seed, &u) {
+            prop_assert!(
+                latency_ms <= c.base_latency_ms + c.jitter_ms + c.slow_host_latency_ms
+            );
+            prop_assert!(latency_ms >= c.base_latency_ms);
+        }
+    }
+
+    /// Zero failure rates mean every fetch arrives.
+    #[test]
+    fn reliable_network_always_arrives(seed in any::<u64>(), path in "[a-z]{1,10}") {
+        let c = NetworkConditions {
+            failure_rate: 0.0,
+            stall_rate: 0.0,
+            ..NetworkConditions::default()
+        };
+        let u = Url::parse(&format!("https://h.example/{path}")).unwrap();
+        let arrived = matches!(c.sample(seed, &u), FetchOutcome::Arrived { .. });
+        prop_assert!(arrived);
+    }
+}

@@ -1,0 +1,152 @@
+//! Bootstrap confidence intervals.
+//!
+//! The paper reports point estimates (means, shares); a metascience
+//! toolchain should also say how certain those estimates are. This
+//! module provides percentile-bootstrap confidence intervals for any
+//! statistic of a sample — deterministic given a seed, matching the
+//! workspace's reproducibility contract.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A two-sided confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// The statistic on the original sample.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Does the interval contain a value?
+    pub fn contains(&self, v: f64) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile bootstrap for an arbitrary statistic.
+///
+/// Draws `resamples` bootstrap samples (with replacement) from `data`,
+/// applies `statistic` to each, and returns the percentile interval at
+/// `level` confidence. Returns `None` for an empty sample.
+pub fn bootstrap_ci<F>(
+    data: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<ConfidenceInterval>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if data.is_empty() || resamples == 0 {
+        return None;
+    }
+    assert!((0.0..1.0).contains(&(1.0 - level)), "level must be in (0,1)");
+    let estimate = statistic(data);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; data.len()];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = data[rng.random_range(0..data.len())];
+        }
+        stats.push(statistic(&buf));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN statistic"));
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f64| -> usize {
+        (((resamples as f64) * q).floor() as usize).min(resamples - 1)
+    };
+    Some(ConfidenceInterval { estimate, lo: stats[idx(alpha)], hi: stats[idx(1.0 - alpha)], level })
+}
+
+/// Bootstrap CI for the mean — the common case.
+pub fn mean_ci(data: &[f64], resamples: usize, level: f64, seed: u64) -> Option<ConfidenceInterval> {
+    bootstrap_ci(
+        data,
+        |s| s.iter().sum::<f64>() / s.len() as f64,
+        resamples,
+        level,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(mean_ci(&[], 100, 0.95, 1).is_none());
+        assert!(bootstrap_ci(&[1.0], |_| 0.0, 0, 0.95, 1).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let a = mean_ci(&data, 500, 0.95, 42).unwrap();
+        let b = mean_ci(&data, 500, 0.95, 42).unwrap();
+        assert_eq!(a, b);
+        let c = mean_ci(&data, 500, 0.95, 43).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn interval_brackets_the_estimate() {
+        let data: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin() + 2.0).collect();
+        let ci = mean_ci(&data, 1000, 0.95, 7).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi, "{ci:?}");
+        assert!(ci.contains(ci.estimate));
+        assert!(ci.width() > 0.0);
+    }
+
+    #[test]
+    fn wider_level_wider_interval() {
+        let data: Vec<f64> = (0..100).map(|i| (i % 13) as f64).collect();
+        let ci90 = mean_ci(&data, 2000, 0.90, 7).unwrap();
+        let ci99 = mean_ci(&data, 2000, 0.99, 7).unwrap();
+        assert!(ci99.width() >= ci90.width(), "99%: {ci99:?} vs 90%: {ci90:?}");
+    }
+
+    #[test]
+    fn bigger_sample_tighter_interval() {
+        let small: Vec<f64> = (0..20).map(|i| (i % 10) as f64).collect();
+        let large: Vec<f64> = (0..2000).map(|i| (i % 10) as f64).collect();
+        let ci_s = mean_ci(&small, 1000, 0.95, 7).unwrap();
+        let ci_l = mean_ci(&large, 1000, 0.95, 7).unwrap();
+        assert!(ci_l.width() < ci_s.width());
+    }
+
+    #[test]
+    fn constant_sample_zero_width() {
+        let data = vec![5.0; 30];
+        let ci = mean_ci(&data, 200, 0.95, 7).unwrap();
+        assert_eq!(ci.lo, 5.0);
+        assert_eq!(ci.hi, 5.0);
+    }
+
+    #[test]
+    fn custom_statistic_median() {
+        let data: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let median = |s: &[f64]| {
+            let mut v = s.to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let ci = bootstrap_ci(&data, median, 1000, 0.95, 7).unwrap();
+        assert_eq!(ci.estimate, 50.0);
+        assert!(ci.contains(50.0));
+    }
+}

@@ -1,0 +1,170 @@
+//! Probability distributions needed by the nonparametric tests: the
+//! standard normal CDF (for Wilcoxon / Mann-Whitney normal
+//! approximations) and the χ² survival function (for Kruskal-Wallis).
+
+/// Error function, via the Abramowitz & Stegun 7.1.26 rational
+/// approximation (|ε| ≤ 1.5 × 10⁻⁷), extended to full precision range by
+/// symmetry.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function Φ(z).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Two-sided p-value for a standard-normal statistic.
+pub fn normal_two_sided_p(z: f64) -> f64 {
+    (2.0 * (1.0 - normal_cdf(z.abs()))).clamp(0.0, 1.0)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma function P(a, x), via series
+/// expansion for x < a+1 and continued fraction otherwise.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    if x <= 0.0 || a <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..500 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q, then P = 1 − Q (Lentz's algorithm).
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / f64::MIN_POSITIVE;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < f64::MIN_POSITIVE {
+                d = f64::MIN_POSITIVE;
+            }
+            c = b + an / c;
+            if c.abs() < f64::MIN_POSITIVE {
+                c = f64::MIN_POSITIVE;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (-x + a * x.ln() - ln_gamma(a)).exp() * h;
+        1.0 - q
+    }
+}
+
+/// Survival function of the χ² distribution with `df` degrees of freedom:
+/// `P(X > x)`. Used for the Kruskal-Wallis p-value.
+pub fn chi2_sf(x: f64, df: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    (1.0 - gamma_p(df / 2.0, x / 2.0)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.959963985) - 0.975).abs() < 1e-5);
+        assert!((normal_cdf(-1.959963985) - 0.025).abs() < 1e-5);
+        assert!((normal_cdf(2.575829) - 0.995).abs() < 1e-5);
+    }
+
+    #[test]
+    fn two_sided_p() {
+        assert!((normal_two_sided_p(1.959963985) - 0.05).abs() < 1e-4);
+        assert!((normal_two_sided_p(0.0) - 1.0).abs() < 1e-6);
+        assert!(normal_two_sided_p(10.0) < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_p_boundaries() {
+        assert_eq!(gamma_p(2.0, 0.0), 0.0);
+        assert!((gamma_p(1.0, 50.0) - 1.0).abs() < 1e-12);
+        // P(1, x) = 1 − e^{-x}.
+        assert!((gamma_p(1.0, 2.0) - (1.0 - (-2.0f64).exp())).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi2_sf_known_values() {
+        // χ² with 1 df: SF(3.841) ≈ 0.05.
+        assert!((chi2_sf(3.841459, 1.0) - 0.05).abs() < 1e-5);
+        // χ² with 2 df: SF(x) = e^{-x/2}; SF(5.991) ≈ 0.05.
+        assert!((chi2_sf(5.991465, 2.0) - 0.05).abs() < 1e-5);
+        // χ² with 4 df: SF(9.488) ≈ 0.05.
+        assert!((chi2_sf(9.487729, 4.0) - 0.05).abs() < 1e-5);
+        assert_eq!(chi2_sf(0.0, 3.0), 1.0);
+        assert!(chi2_sf(1000.0, 3.0) < 1e-12);
+    }
+}

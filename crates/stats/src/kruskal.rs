@@ -1,0 +1,160 @@
+//! Kruskal-Wallis H test across multiple independent groups.
+//!
+//! Used by the paper "to assess if there are differences in the central
+//! tendency (median) of a continuous dependent variable across multiple
+//! groups" (§3.1) — e.g. resource type vs. similarity (§4.2), and site
+//! rank bucket vs. tree size with the ε² effect size (Appendix F,
+//! ε² = .002 → "statistically significant but practically negligible").
+
+use crate::dist::chi2_sf;
+use crate::ranks::{midranks, tie_correction_sum};
+use crate::TestResult;
+use serde::{Deserialize, Serialize};
+
+/// Error cases for Kruskal-Wallis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KruskalError {
+    /// Fewer than two groups supplied.
+    TooFewGroups,
+    /// A group is empty.
+    EmptyGroup,
+}
+
+impl std::fmt::Display for KruskalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KruskalError::TooFewGroups => f.write_str("need at least two groups"),
+            KruskalError::EmptyGroup => f.write_str("groups must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for KruskalError {}
+
+/// Result of a Kruskal-Wallis test including the ε² effect size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KruskalResult {
+    /// The tie-corrected H statistic and its χ² p-value.
+    pub test: TestResult,
+    /// Degrees of freedom (k − 1).
+    pub df: usize,
+    /// ε² effect size: `H / ((n² − 1) / (n + 1))` = `H / (n − 1)`.
+    pub epsilon_squared: f64,
+}
+
+impl KruskalResult {
+    /// Is the result significant at α = .05?
+    pub fn significant(&self) -> bool {
+        self.test.significant()
+    }
+}
+
+/// Kruskal-Wallis H test with tie correction.
+pub fn kruskal_wallis(groups: &[&[f64]]) -> Result<KruskalResult, KruskalError> {
+    if groups.len() < 2 {
+        return Err(KruskalError::TooFewGroups);
+    }
+    if groups.iter().any(|g| g.is_empty()) {
+        return Err(KruskalError::EmptyGroup);
+    }
+    let n: usize = groups.iter().map(|g| g.len()).sum();
+    let nf = n as f64;
+    let mut combined: Vec<f64> = Vec::with_capacity(n);
+    for g in groups {
+        combined.extend_from_slice(g);
+    }
+    let ranks = midranks(&combined);
+
+    let mut h = 0.0;
+    let mut offset = 0;
+    for g in groups {
+        let len = g.len();
+        let r_sum: f64 = ranks[offset..offset + len].iter().sum();
+        h += r_sum * r_sum / len as f64;
+        offset += len;
+    }
+    let mut h = 12.0 / (nf * (nf + 1.0)) * h - 3.0 * (nf + 1.0);
+
+    // Tie correction.
+    let tie_sum = tie_correction_sum(&combined);
+    let correction = 1.0 - tie_sum / (nf * nf * nf - nf);
+    if correction > 0.0 {
+        h /= correction;
+    }
+
+    let df = groups.len() - 1;
+    let p = chi2_sf(h, df as f64);
+    let epsilon_squared = if n > 1 { h / (nf - 1.0) } else { 0.0 };
+    Ok(KruskalResult { test: TestResult { statistic: h, p_value: p }, df, epsilon_squared })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn too_few_groups() {
+        assert_eq!(kruskal_wallis(&[&[1.0][..]]).unwrap_err(), KruskalError::TooFewGroups);
+    }
+
+    #[test]
+    fn empty_group() {
+        assert_eq!(
+            kruskal_wallis(&[&[1.0][..], &[][..]]).unwrap_err(),
+            KruskalError::EmptyGroup
+        );
+    }
+
+    #[test]
+    fn identical_groups_not_significant() {
+        let g = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = kruskal_wallis(&[&g, &g, &g]).unwrap();
+        assert!(r.test.p_value > 0.5);
+        assert!(!r.significant());
+        assert_eq!(r.df, 2);
+    }
+
+    #[test]
+    fn well_separated_groups_significant() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = (100..120).map(|i| i as f64).collect();
+        let c: Vec<f64> = (200..220).map(|i| i as f64).collect();
+        let r = kruskal_wallis(&[&a, &b, &c]).unwrap();
+        assert!(r.test.p_value < 1e-6);
+        assert!(r.significant());
+        // Effect size approaches 1 for perfect separation (≈.889 here).
+        assert!(r.epsilon_squared > 0.85);
+    }
+
+    #[test]
+    fn known_example() {
+        // Hand-computed: rank sums give H = 0.5 exactly (no ties), and
+        // chi2_sf(0.5, 2) = e^{-0.25} ≈ 0.7788.
+        let a = [1.0, 3.0, 5.0, 7.0, 9.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let c = [2.1, 4.1, 6.1, 8.1, 10.1];
+        let r = kruskal_wallis(&[&a, &b, &c]).unwrap();
+        assert!((r.test.statistic - 0.5).abs() < 1e-9);
+        assert!((r.test.p_value - (-0.25f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ties_corrected() {
+        let a = [1.0, 1.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 2.0, 2.0];
+        let r = kruskal_wallis(&[&a, &b]).unwrap();
+        assert!((0.0..=1.0).contains(&r.test.p_value));
+        assert!(r.test.statistic.is_finite());
+    }
+
+    #[test]
+    fn tiny_effect_size_large_n() {
+        // Huge n, tiny shift → significant but negligible ε² (the
+        // Appendix F situation).
+        let a: Vec<f64> = (0..20000).map(|i| (i % 100) as f64).collect();
+        let b: Vec<f64> = (0..20000).map(|i| (i % 100) as f64 + 1.0).collect();
+        let r = kruskal_wallis(&[&a, &b]).unwrap();
+        assert!(r.significant());
+        assert!(r.epsilon_squared < 0.01);
+    }
+}

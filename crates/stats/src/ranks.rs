@@ -1,0 +1,113 @@
+//! Rank assignment with midrank tie handling, shared by all rank-based
+//! tests in this crate.
+
+/// Assign average (mid) ranks to `values`, 1-based. Ties receive the mean
+/// of the ranks they span, as required by Wilcoxon / Mann-Whitney /
+/// Kruskal-Wallis.
+///
+/// ```
+/// let r = wmtree_stats::ranks::midranks(&[10.0, 20.0, 20.0, 30.0]);
+/// assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn midranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN in ranks"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share ranks i+1..=j+1 → mean.
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Tie-group sizes of a sample (sizes > 1 only), used for tie-correction
+/// terms `Σ (t³ − t)`.
+pub fn tie_groups(values: &[f64]) -> Vec<usize> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ties"));
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        if j > i {
+            groups.push(j - i + 1);
+        }
+        i = j + 1;
+    }
+    groups
+}
+
+/// The tie-correction sum `Σ (t³ − t)` over tie groups.
+pub fn tie_correction_sum(values: &[f64]) -> f64 {
+    tie_groups(values)
+        .into_iter()
+        .map(|t| {
+            let t = t as f64;
+            t * t * t - t
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ties_is_permutation_rank() {
+        let r = midranks(&[3.0, 1.0, 2.0]);
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_tied() {
+        let r = midranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn mixed_ties() {
+        let r = midranks(&[1.0, 2.0, 2.0, 2.0, 9.0]);
+        assert_eq!(r, vec![1.0, 3.0, 3.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn rank_sum_invariant() {
+        // Ranks always sum to n(n+1)/2 regardless of ties.
+        let data = [4.0, 4.0, 1.0, 7.0, 7.0, 7.0, 2.0];
+        let n = data.len() as f64;
+        let sum: f64 = midranks(&data).iter().sum();
+        assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_groups_found() {
+        assert_eq!(tie_groups(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]), vec![2, 3]);
+        assert!(tie_groups(&[1.0, 2.0, 3.0]).is_empty());
+    }
+
+    #[test]
+    fn tie_correction_values() {
+        // t=2 → 6; t=3 → 24.
+        assert_eq!(tie_correction_sum(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]), 30.0);
+        assert_eq!(tie_correction_sum(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(midranks(&[]).is_empty());
+        assert!(tie_groups(&[]).is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Spearman rank correlation.
+//!
+//! The paper tests the association between a node's number of children
+//! and its similarity with a Wilcoxon signed-rank test (§4.2). A rank
+//! correlation makes the *direction and strength* of that association
+//! explicit; we provide it alongside, with the t-approximation p-value.
+
+use crate::dist::normal_two_sided_p;
+use crate::ranks::midranks;
+use serde::{Deserialize, Serialize};
+
+/// Result of a Spearman correlation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpearmanResult {
+    /// Correlation coefficient ρ ∈ [−1, 1].
+    pub rho: f64,
+    /// Two-sided p-value (normal approximation on the Fisher transform;
+    /// accurate for n ≳ 10).
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Errors for Spearman.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpearmanError {
+    /// Inputs differ in length.
+    LengthMismatch,
+    /// Fewer than three pairs.
+    TooFewPairs,
+    /// One variable is constant (ρ undefined).
+    ConstantInput,
+}
+
+impl std::fmt::Display for SpearmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpearmanError::LengthMismatch => f.write_str("paired samples differ in length"),
+            SpearmanError::TooFewPairs => f.write_str("need at least three pairs"),
+            SpearmanError::ConstantInput => f.write_str("a variable is constant"),
+        }
+    }
+}
+
+impl std::error::Error for SpearmanError {}
+
+/// Spearman rank correlation of paired samples (midranks for ties;
+/// Pearson correlation of the rank vectors).
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<SpearmanResult, SpearmanError> {
+    if x.len() != y.len() {
+        return Err(SpearmanError::LengthMismatch);
+    }
+    let n = x.len();
+    if n < 3 {
+        return Err(SpearmanError::TooFewPairs);
+    }
+    let rx = midranks(x);
+    let ry = midranks(y);
+    let mean = (n as f64 + 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for i in 0..n {
+        let a = rx[i] - mean;
+        let b = ry[i] - mean;
+        num += a * b;
+        dx += a * a;
+        dy += b * b;
+    }
+    if dx == 0.0 || dy == 0.0 {
+        return Err(SpearmanError::ConstantInput);
+    }
+    let rho = (num / (dx.sqrt() * dy.sqrt())).clamp(-1.0, 1.0);
+    // Fisher z-transform with SE 1/sqrt(n-3).
+    let p_value = if n > 3 && rho.abs() < 1.0 {
+        let z = 0.5 * ((1.0 + rho) / (1.0 - rho)).ln() * ((n - 3) as f64).sqrt();
+        normal_two_sided_p(z)
+    } else {
+        0.0
+    };
+    Ok(SpearmanResult { rho, p_value, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v + 1.0).collect(); // monotone, nonlinear
+        let r = spearman(&x, &y).unwrap();
+        assert!((r.rho - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn perfect_inverse() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| -v).collect();
+        let r = spearman(&x, &y).unwrap();
+        assert!((r.rho + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_is_weak() {
+        // Deterministic pseudo-random pairing with no monotone relation.
+        let x: Vec<f64> = (0..200).map(|i| ((i * 37) % 101) as f64).collect();
+        let y: Vec<f64> = (0..200).map(|i| ((i * 53) % 97) as f64).collect();
+        let r = spearman(&x, &y).unwrap();
+        assert!(r.rho.abs() < 0.25, "rho {}", r.rho);
+    }
+
+    #[test]
+    fn symmetry() {
+        let x = [1.0, 5.0, 3.0, 2.0, 8.0, 4.0];
+        let y = [2.0, 4.0, 9.0, 1.0, 7.0, 3.0];
+        let a = spearman(&x, &y).unwrap();
+        let b = spearman(&y, &x).unwrap();
+        assert!((a.rho - b.rho).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(spearman(&[1.0], &[1.0, 2.0]).unwrap_err(), SpearmanError::LengthMismatch);
+        assert_eq!(spearman(&[1.0, 2.0], &[1.0, 2.0]).unwrap_err(), SpearmanError::TooFewPairs);
+        assert_eq!(
+            spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).unwrap_err(),
+            SpearmanError::ConstantInput
+        );
+    }
+
+    #[test]
+    fn ties_handled() {
+        let x = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0, 3.0, 4.0];
+        let r = spearman(&x, &y).unwrap();
+        assert!(r.rho > 0.7, "rho {}", r.rho);
+        assert!((-1.0..=1.0).contains(&r.rho));
+    }
+}

@@ -1,0 +1,136 @@
+//! Wilcoxon signed-rank test for paired samples.
+//!
+//! Used by the paper to "assess differences between two continuous
+//! variables" (§3.1), e.g. the number of children of a node vs. its
+//! similarity (§4.2, p < 0.001).
+
+use crate::dist::normal_two_sided_p;
+use crate::ranks::midranks;
+use crate::TestResult;
+
+/// Error cases for the signed-rank test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WilcoxonError {
+    /// The two samples have different lengths.
+    LengthMismatch,
+    /// After dropping zero differences, fewer than one pair remains.
+    TooFewPairs,
+}
+
+impl std::fmt::Display for WilcoxonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WilcoxonError::LengthMismatch => f.write_str("paired samples differ in length"),
+            WilcoxonError::TooFewPairs => f.write_str("no nonzero differences to rank"),
+        }
+    }
+}
+
+impl std::error::Error for WilcoxonError {}
+
+/// Wilcoxon signed-rank test (two-sided, normal approximation with tie
+/// correction and continuity correction — the `wilcoxon(..., correction
+/// =True)` behaviour of SciPy for large n).
+///
+/// Zero differences are dropped (Wilcoxon's original treatment). The
+/// statistic reported is `W = min(W⁺, W⁻)`.
+pub fn signed_rank(x: &[f64], y: &[f64]) -> Result<TestResult, WilcoxonError> {
+    if x.len() != y.len() {
+        return Err(WilcoxonError::LengthMismatch);
+    }
+    let diffs: Vec<f64> = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| a - b)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return Err(WilcoxonError::TooFewPairs);
+    }
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = midranks(&abs);
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| *r)
+        .sum();
+    let nf = n as f64;
+    let total = nf * (nf + 1.0) / 2.0;
+    let w_minus = total - w_plus;
+    let w = w_plus.min(w_minus);
+
+    let mean = total / 2.0;
+    // Variance with tie correction: n(n+1)(2n+1)/24 − Σ(t³−t)/48.
+    let tie_sum = crate::ranks::tie_correction_sum(&abs);
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_sum / 48.0;
+    if var <= 0.0 {
+        // All differences tied to a single value and n tiny — degenerate.
+        return Ok(TestResult { statistic: w, p_value: 1.0 });
+    }
+    // Continuity correction of 0.5 toward the mean.
+    let num = (w - mean).abs() - 0.5;
+    let z = num.max(0.0) / var.sqrt();
+    Ok(TestResult { statistic: w, p_value: normal_two_sided_p(z) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_error() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(signed_rank(&x, &x).unwrap_err(), WilcoxonError::TooFewPairs);
+    }
+
+    #[test]
+    fn length_mismatch() {
+        assert_eq!(
+            signed_rank(&[1.0], &[1.0, 2.0]).unwrap_err(),
+            WilcoxonError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let x = [1.0, 5.0, 3.0, 9.0, 2.0, 8.0, 7.0, 4.0];
+        let y = [2.0, 4.0, 4.0, 6.0, 1.0, 9.0, 5.0, 5.0];
+        let a = signed_rank(&x, &y).unwrap();
+        let b = signed_rank(&y, &x).unwrap();
+        assert!((a.statistic - b.statistic).abs() < 1e-12);
+        assert!((a.p_value - b.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_example() {
+        // Classic textbook data (n = 10 nonzero diffs).
+        let x = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
+        let y = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        let r = signed_rank(&x, &y).unwrap();
+        // One zero difference dropped → n = 9; W = min(W+, W-) = 18.
+        assert!((r.statistic - 18.0).abs() < 1e-9);
+        // Not significant.
+        assert!(r.p_value > 0.05);
+        assert!(!r.significant());
+    }
+
+    #[test]
+    fn strongly_shifted_is_significant() {
+        let x: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..40).map(|i| i as f64 + 5.0).collect();
+        let r = signed_rank(&x, &y).unwrap();
+        assert!(r.p_value < 0.001);
+        assert!(r.significant());
+        assert_eq!(r.statistic, 0.0); // all differences one-signed
+    }
+
+    #[test]
+    fn p_value_in_unit_interval() {
+        let x = [1.0, 2.0, 3.0, 10.0];
+        let y = [1.5, 1.0, 5.0, 9.0];
+        let r = signed_rank(&x, &y).unwrap();
+        assert!((0.0..=1.0).contains(&r.p_value));
+    }
+}

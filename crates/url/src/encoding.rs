@@ -1,0 +1,113 @@
+//! Percent-encoding support.
+//!
+//! Measurement data contains URLs that differ only in encoding
+//! (`%2F` vs `/` in query values, `%41` vs `A`). Node identity should
+//! not split on such spelling differences, so the comparison
+//! normalization decodes unreserved characters and uppercases the hex
+//! of the rest — the RFC 3986 §6.2.2 "simple string comparison after
+//! normalization" approach.
+
+/// Is `b` an RFC 3986 unreserved byte (safe to decode anywhere)?
+fn is_unreserved(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'.' | b'_' | b'~')
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Normalize the percent-encoding of a URL component:
+///
+/// * `%XX` of an unreserved character is decoded (`%41` → `A`),
+/// * any other `%XX` keeps the escape but uppercases the hex
+///   (`%2f` → `%2F`),
+/// * a `%` not followed by two hex digits is kept verbatim (measurement
+///   data is messy; we never fail).
+///
+/// ```
+/// use wmtree_url::encoding::normalize_percent_encoding;
+/// assert_eq!(normalize_percent_encoding("a%41b"), "aAb");
+/// assert_eq!(normalize_percent_encoding("x%2fy"), "x%2Fy");
+/// assert_eq!(normalize_percent_encoding("bad%zz"), "bad%zz");
+/// ```
+pub fn normalize_percent_encoding(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if let (Some(hi), Some(lo)) = (
+                bytes.get(i + 1).copied().and_then(hex_val),
+                bytes.get(i + 2).copied().and_then(hex_val),
+            ) {
+                let decoded = hi * 16 + lo;
+                if is_unreserved(decoded) {
+                    out.push(decoded as char);
+                } else {
+                    out.push('%');
+                    out.push(char::from_digit(hi as u32, 16).unwrap().to_ascii_uppercase());
+                    out.push(char::from_digit(lo as u32, 16).unwrap().to_ascii_uppercase());
+                }
+                i += 3;
+                continue;
+            }
+        }
+        // Advance over one UTF-8 scalar, not one byte.
+        let ch_len = s[i..].chars().next().map(|c| c.len_utf8()).unwrap_or(1);
+        out.push_str(&s[i..i + ch_len]);
+        i += ch_len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_unreserved() {
+        assert_eq!(normalize_percent_encoding("%41%42%43"), "ABC");
+        assert_eq!(normalize_percent_encoding("%7e%2d%5f%2e"), "~-_.");
+    }
+
+    #[test]
+    fn keeps_reserved_uppercased() {
+        assert_eq!(normalize_percent_encoding("%2f%3a%3f"), "%2F%3A%3F");
+        assert_eq!(normalize_percent_encoding("%20"), "%20");
+    }
+
+    #[test]
+    fn malformed_passthrough() {
+        assert_eq!(normalize_percent_encoding("%"), "%");
+        assert_eq!(normalize_percent_encoding("%z1"), "%z1");
+        assert_eq!(normalize_percent_encoding("%4"), "%4");
+        assert_eq!(normalize_percent_encoding("100%"), "100%");
+    }
+
+    #[test]
+    fn plain_text_unchanged() {
+        assert_eq!(normalize_percent_encoding("/path/to/file.js"), "/path/to/file.js");
+        assert_eq!(normalize_percent_encoding(""), "");
+    }
+
+    #[test]
+    fn utf8_safe() {
+        assert_eq!(normalize_percent_encoding("café%41"), "caféA");
+    }
+
+    #[test]
+    fn idempotent() {
+        // '%' itself is reserved, so %25 stays escaped and normalization
+        // is idempotent on every input.
+        for s in ["%2f%41", "a%zzb", "caf%c3%a9", "%25", "%2541"] {
+            let once = normalize_percent_encoding(s);
+            let twice = normalize_percent_encoding(&once);
+            assert_eq!(once, twice, "{s}");
+        }
+    }
+}

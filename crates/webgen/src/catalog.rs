@@ -1,0 +1,196 @@
+//! The third-party service catalog: the fixed ecosystem of analytics,
+//! advertising, social, CDN, and consent infrastructure every site in
+//! the universe draws from.
+//!
+//! Domains here are mirrored by the embedded tracking filter list in
+//! `wmtree-filterlist` so the tracking oracle classifies them like
+//! EasyList classifies the real counterparts.
+
+use serde::{Deserialize, Serialize};
+
+/// Broad category of a third-party service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// Page analytics (pageview beacons, engagement events).
+    Analytics,
+    /// Display advertising (ad slots, header bidding, creatives).
+    AdNetwork,
+    /// Tag manager that injects other vendors.
+    TagManager,
+    /// Social widgets (like/share buttons).
+    Social,
+    /// Static content delivery (libraries, images, fonts).
+    Cdn,
+    /// Web font provider.
+    Fonts,
+    /// Consent management platform.
+    Consent,
+    /// Video hosting/embedding.
+    Video,
+    /// Cookie syncing / identity graph infrastructure.
+    CookieSync,
+    /// Browser-fingerprinting vendor.
+    Fingerprinting,
+}
+
+/// A third-party service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Service {
+    /// Registerable domain.
+    pub domain: &'static str,
+    /// Category.
+    pub kind: ServiceKind,
+    /// Is traffic to this service (mostly) tracking, i.e. covered by
+    /// the filter list?
+    pub tracking: bool,
+}
+
+/// Analytics.
+pub const METRICSPHERE: Service =
+    Service { domain: "metricsphere.com", kind: ServiceKind::Analytics, tracking: true };
+/// Simple hit counter.
+pub const STATCOUNTER: Service =
+    Service { domain: "statcounter-pro.net", kind: ServiceKind::Analytics, tracking: true };
+/// Secondary analytics relay (also receives CSP reports).
+pub const ANALYTICS_RELAY: Service =
+    Service { domain: "analytics-relay.com", kind: ServiceKind::Analytics, tracking: true };
+/// Tag manager.
+pub const TAGROUTER: Service =
+    Service { domain: "tagrouter.com", kind: ServiceKind::TagManager, tracking: true };
+/// Primary ad network (slot serving).
+pub const SYNDICATE_ADS: Service =
+    Service { domain: "syndicate-ads.net", kind: ServiceKind::AdNetwork, tracking: true };
+/// Header-bidding exchange (nested frames).
+pub const RTB_EXCHANGE: Service =
+    Service { domain: "rtb-exchange.net", kind: ServiceKind::AdNetwork, tracking: true };
+/// Demand-side bid streams.
+pub const BIDSTREAM: Service =
+    Service { domain: "bidstream-x.com", kind: ServiceKind::AdNetwork, tracking: true };
+/// Creative hosting.
+pub const BANNERFARM: Service =
+    Service { domain: "bannerfarm.biz", kind: ServiceKind::AdNetwork, tracking: true };
+/// Second-tier ad network.
+pub const POPMEDIA: Service =
+    Service { domain: "popmedia-ads.com", kind: ServiceKind::AdNetwork, tracking: true };
+/// Tracking-pixel host.
+pub const PIXEL_TRAIL: Service =
+    Service { domain: "pixel-trail.com", kind: ServiceKind::CookieSync, tracking: true };
+/// Live beacon/WebSocket infrastructure.
+pub const BEACON_HUB: Service =
+    Service { domain: "beacon-hub.io", kind: ServiceKind::Analytics, tracking: true };
+/// Cookie-sync hub.
+pub const SYNC_PARTNERS: Service =
+    Service { domain: "sync-partners.net", kind: ServiceKind::CookieSync, tracking: true };
+/// ID-graph receiver.
+pub const USERTRACK: Service =
+    Service { domain: "usertrack-cdn.net", kind: ServiceKind::CookieSync, tracking: true };
+/// Fingerprinting vendor.
+pub const FINGERPRINT_LAB: Service =
+    Service { domain: "fingerprint-lab.net", kind: ServiceKind::Fingerprinting, tracking: true };
+/// Social network widgets.
+pub const SOCIALVERSE: Service =
+    Service { domain: "socialverse.com", kind: ServiceKind::Social, tracking: false };
+/// Share-count widget.
+pub const SHAREBAR: Service =
+    Service { domain: "sharebar.net", kind: ServiceKind::Social, tracking: false };
+/// General-purpose CDN.
+pub const CDN_FASTEDGE: Service =
+    Service { domain: "cdn-fastedge.net", kind: ServiceKind::Cdn, tracking: false };
+/// Static asset CDN.
+pub const STATICFILES: Service =
+    Service { domain: "staticfiles-cdn.com", kind: ServiceKind::Cdn, tracking: false };
+/// JS library CDN.
+pub const JSLIBS: Service =
+    Service { domain: "jslibs-cdn.net", kind: ServiceKind::Cdn, tracking: false };
+/// Web fonts.
+pub const FONTLIBRARY: Service =
+    Service { domain: "fontlibrary.org", kind: ServiceKind::Fonts, tracking: false };
+/// Consent management platform.
+pub const CONSENT_SHIELD: Service =
+    Service { domain: "consent-shield.com", kind: ServiceKind::Consent, tracking: false };
+/// Video embeds.
+pub const STREAMVID: Service =
+    Service { domain: "streamvid-cdn.com", kind: ServiceKind::Video, tracking: false };
+
+/// Every service in the catalog.
+pub const ALL: [Service; 22] = [
+    METRICSPHERE,
+    STATCOUNTER,
+    ANALYTICS_RELAY,
+    TAGROUTER,
+    SYNDICATE_ADS,
+    RTB_EXCHANGE,
+    BIDSTREAM,
+    BANNERFARM,
+    POPMEDIA,
+    PIXEL_TRAIL,
+    BEACON_HUB,
+    SYNC_PARTNERS,
+    USERTRACK,
+    FINGERPRINT_LAB,
+    SOCIALVERSE,
+    SHAREBAR,
+    CDN_FASTEDGE,
+    STATICFILES,
+    JSLIBS,
+    FONTLIBRARY,
+    CONSENT_SHIELD,
+    STREAMVID,
+];
+
+/// Look up a service by registerable domain.
+pub fn by_domain(domain: &str) -> Option<&'static Service> {
+    ALL.iter().find(|s| s.domain == domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_unique() {
+        let set: std::collections::BTreeSet<_> = ALL.iter().map(|s| s.domain).collect();
+        assert_eq!(set.len(), ALL.len());
+    }
+
+    #[test]
+    fn lookup_works() {
+        assert_eq!(by_domain("metricsphere.com").unwrap().kind, ServiceKind::Analytics);
+        assert!(by_domain("unknown.example").is_none());
+    }
+
+    #[test]
+    fn tracking_flags_align_with_embedded_filterlist() {
+        use wmtree_filterlist::{embedded, RequestInfo};
+        use wmtree_net::ResourceType;
+        use wmtree_url::Url;
+        let page = Url::parse("https://news-1.com/").unwrap();
+        for svc in ALL.iter().filter(|s| s.tracking) {
+            // A generic resource on each tracking domain should be
+            // flagged by the embedded list (host-anchor rules).
+            let u = Url::parse(&format!("https://x.{}/anything/r?id=1", svc.domain)).unwrap();
+            let flagged = embedded::tracking_list()
+                .is_tracking(&RequestInfo::new(&u, &page, ResourceType::Image));
+            // Tag manager & relay rules are path-scoped; allow those two
+            // to be flagged via their canonical endpoints instead.
+            if !flagged {
+                let canonical = match svc.domain {
+                    "tagrouter.com" => "https://tagrouter.com/route/x.js",
+                    "analytics-relay.com" => "https://analytics-relay.com/collect?e=pv",
+                    other => panic!("tracking domain {other} not covered by filter list"),
+                };
+                let u = Url::parse(canonical).unwrap();
+                let ty = if canonical.ends_with(".js") {
+                    ResourceType::Script
+                } else {
+                    ResourceType::Image
+                };
+                assert!(
+                    embedded::tracking_list().is_tracking(&RequestInfo::new(&u, &page, ty)),
+                    "{} canonical endpoint not flagged",
+                    svc.domain
+                );
+            }
+        }
+    }
+}

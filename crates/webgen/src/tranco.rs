@@ -1,0 +1,191 @@
+//! Tranco-like ranked site list and the paper's bucket sampling.
+//!
+//! The paper samples 25k sites from the Tranco list: the full top 5k and
+//! 5k random sites from each of the buckets 5,001–10k, 10,001–50k,
+//! 50,001–250k, and 250,001–500k (§3.1.2). This module generates a
+//! deterministic ranked universe of domains and reproduces that
+//! sampling scheme at configurable scale.
+
+use crate::seed::{bounded, stable_hash, SeedMixer};
+use serde::{Deserialize, Serialize};
+
+/// The paper's five rank buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RankBucket {
+    /// Ranks 1–5,000.
+    Top5k,
+    /// Ranks 5,001–10,000.
+    To10k,
+    /// Ranks 10,001–50,000.
+    To50k,
+    /// Ranks 50,001–250,000.
+    To250k,
+    /// Ranks 250,001–500,000.
+    To500k,
+}
+
+impl RankBucket {
+    /// All buckets in rank order.
+    pub const ALL: [RankBucket; 5] = [
+        RankBucket::Top5k,
+        RankBucket::To10k,
+        RankBucket::To50k,
+        RankBucket::To250k,
+        RankBucket::To500k,
+    ];
+
+    /// Inclusive rank range of the bucket.
+    pub fn range(self) -> (u32, u32) {
+        match self {
+            RankBucket::Top5k => (1, 5_000),
+            RankBucket::To10k => (5_001, 10_000),
+            RankBucket::To50k => (10_001, 50_000),
+            RankBucket::To250k => (50_001, 250_000),
+            RankBucket::To500k => (250_001, 500_000),
+        }
+    }
+
+    /// The bucket a rank falls into (ranks beyond 500k map to the last
+    /// bucket).
+    pub fn of_rank(rank: u32) -> RankBucket {
+        match rank {
+            0..=5_000 => RankBucket::Top5k,
+            5_001..=10_000 => RankBucket::To10k,
+            10_001..=50_000 => RankBucket::To50k,
+            50_001..=250_000 => RankBucket::To250k,
+            _ => RankBucket::To500k,
+        }
+    }
+
+    /// Label as printed in Table 7.
+    pub fn label(self) -> &'static str {
+        match self {
+            RankBucket::Top5k => "1-5k",
+            RankBucket::To10k => "5,001-10k",
+            RankBucket::To50k => "10,001-50k",
+            RankBucket::To250k => "50,001-250k",
+            RankBucket::To500k => "250,001-500k",
+        }
+    }
+}
+
+impl std::fmt::Display for RankBucket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+const PREFIXES: [&str; 20] = [
+    "news", "shop", "blog", "tech", "media", "portal", "game", "travel", "bank", "health",
+    "sport", "cloud", "music", "food", "auto", "learn", "wiki", "forum", "photo", "video",
+];
+
+const TLDS: [&str; 8] = ["com", "net", "org", "de", "co.uk", "io", "fr", "nl"];
+
+/// The registerable domain at a given rank of the synthetic list.
+/// Deterministic in `(seed, rank)`.
+pub fn domain_at_rank(seed: u64, rank: u32) -> String {
+    let h = SeedMixer::new(seed).with("tranco").with_u64(rank as u64).finish();
+    let prefix = PREFIXES[bounded(h, PREFIXES.len() as u64) as usize];
+    let tld = TLDS[bounded(stable_hash(h, b"tld"), TLDS.len() as u64) as usize];
+    format!("{prefix}-{rank}.{tld}")
+}
+
+/// Sample `per_bucket[i]` distinct ranks from each bucket: the full top
+/// of the first bucket (the paper takes the top 5k wholesale) and
+/// hash-scattered ranks from the others. Output is sorted by rank.
+pub fn sample_ranks(seed: u64, per_bucket: &[usize; 5]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (i, bucket) in RankBucket::ALL.iter().enumerate() {
+        let want = per_bucket[i];
+        if want == 0 {
+            continue;
+        }
+        let (lo, hi) = bucket.range();
+        let span = (hi - lo + 1) as usize;
+        let want = want.min(span);
+        if *bucket == RankBucket::Top5k {
+            // Top of the list is taken wholesale.
+            out.extend(lo..lo + want as u32);
+        } else {
+            // Evenly strided with per-slot hash jitter: distinct,
+            // deterministic, spread over the bucket.
+            let stride = span / want;
+            for k in 0..want {
+                let base = lo as usize + k * stride;
+                let jitter =
+                    bounded(SeedMixer::new(seed).with("rankjit").with_u64(base as u64).finish(), stride.max(1) as u64)
+                        as usize;
+                out.push((base + jitter).min(hi as usize) as u32);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_ranges_partition() {
+        assert_eq!(RankBucket::of_rank(1), RankBucket::Top5k);
+        assert_eq!(RankBucket::of_rank(5_000), RankBucket::Top5k);
+        assert_eq!(RankBucket::of_rank(5_001), RankBucket::To10k);
+        assert_eq!(RankBucket::of_rank(50_000), RankBucket::To50k);
+        assert_eq!(RankBucket::of_rank(250_001), RankBucket::To500k);
+        assert_eq!(RankBucket::of_rank(9_999_999), RankBucket::To500k);
+    }
+
+    #[test]
+    fn domains_deterministic_and_distinct() {
+        assert_eq!(domain_at_rank(1, 42), domain_at_rank(1, 42));
+        assert_ne!(domain_at_rank(1, 42), domain_at_rank(1, 43));
+        assert_ne!(domain_at_rank(1, 42), domain_at_rank(2, 42));
+        // Rank embedded in the domain guarantees uniqueness.
+        assert!(domain_at_rank(1, 42).contains("42"));
+    }
+
+    #[test]
+    fn domains_have_known_tlds() {
+        for rank in 1..50 {
+            let d = domain_at_rank(9, rank);
+            assert!(TLDS.iter().any(|t| d.ends_with(t)), "{d}");
+        }
+    }
+
+    #[test]
+    fn sampling_counts_and_membership() {
+        let ranks = sample_ranks(7, &[100, 50, 50, 50, 50]);
+        assert_eq!(ranks.len(), 300);
+        let counts: Vec<usize> = RankBucket::ALL
+            .iter()
+            .map(|b| {
+                let (lo, hi) = b.range();
+                ranks.iter().filter(|r| (lo..=hi).contains(*r)).count()
+            })
+            .collect();
+        assert_eq!(counts, vec![100, 50, 50, 50, 50]);
+        // Top bucket taken wholesale from the top.
+        assert_eq!(&ranks[..3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        assert_eq!(sample_ranks(7, &[10, 10, 10, 10, 10]), sample_ranks(7, &[10, 10, 10, 10, 10]));
+    }
+
+    #[test]
+    fn sampling_caps_at_bucket_size() {
+        let ranks = sample_ranks(7, &[6000, 0, 0, 0, 0]);
+        assert_eq!(ranks.len(), 5000);
+    }
+
+    #[test]
+    fn bucket_labels() {
+        assert_eq!(RankBucket::Top5k.label(), "1-5k");
+        assert_eq!(RankBucket::To500k.to_string(), "250,001-500k");
+    }
+}

@@ -1,0 +1,87 @@
+//! Profile diff: for concrete pages, show *where* two measurement
+//! profiles disagree — which nodes one setup saw and the other did not,
+//! which nodes moved within the tree, and how that adds up per page.
+//!
+//! This is the debugging view a measurement study needs when two
+//! supposedly comparable crawls report different numbers.
+//!
+//! ```sh
+//! cargo run --release --example profile_diff            # Sim1 vs NoAction
+//! cargo run --release --example profile_diff Sim1 Sim2  # any pair
+//! ```
+
+use wmtree::tree::{diff_trees, NodeDisposition};
+use wmtree::{Experiment, ExperimentConfig, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let left_name = args.first().map(String::as_str).unwrap_or("Sim1").to_string();
+    let right_name = args.get(1).map(String::as_str).unwrap_or("NoAction").to_string();
+
+    let results = Experiment::new(ExperimentConfig::at_scale(Scale::Tiny)).run();
+    let data = &results.data;
+    let left = data.profile_index(&left_name).expect("unknown left profile");
+    let right = data.profile_index(&right_name).expect("unknown right profile");
+
+    println!("== {left_name} vs {right_name}: per-page tree diffs ==\n");
+    println!(
+        "{:<44} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9}",
+        "page", "stable", "repar.", "moved", "only-L", "only-R", "Jaccard"
+    );
+
+    let mut agg = (0usize, 0usize, 0usize, 0usize, 0usize);
+    let mut most_divergent: Option<(f64, String)> = None;
+    for page in &data.pages {
+        let d = diff_trees(&page.trees[left], &page.trees[right]);
+        agg.0 += d.stable;
+        agg.1 += d.reparented;
+        agg.2 += d.moved;
+        agg.3 += d.only_left;
+        agg.4 += d.only_right;
+        let j = d.node_jaccard();
+        let short: String = page.url.chars().take(42).collect();
+        println!(
+            "{short:<44} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9.2}",
+            d.stable, d.reparented, d.moved, d.only_left, d.only_right, j
+        );
+        if most_divergent.as_ref().map(|(bj, _)| j < *bj).unwrap_or(true) {
+            most_divergent = Some((j, page.url.clone()));
+        }
+    }
+
+    let total = agg.0 + agg.1 + agg.2 + agg.3 + agg.4;
+    println!(
+        "\nTotals: {} nodes | stable {:.0}% | reparented {:.0}% | moved {:.0}% | {left_name}-only {:.0}% | {right_name}-only {:.0}%",
+        total,
+        100.0 * agg.0 as f64 / total as f64,
+        100.0 * agg.1 as f64 / total as f64,
+        100.0 * agg.2 as f64 / total as f64,
+        100.0 * agg.3 as f64 / total as f64,
+        100.0 * agg.4 as f64 / total as f64,
+    );
+
+    // Zoom into the most divergent page.
+    if let Some((j, url)) = most_divergent {
+        let page = data.pages.iter().find(|p| p.url == url).unwrap();
+        let d = diff_trees(&page.trees[left], &page.trees[right]);
+        println!("\n== Most divergent page (Jaccard {j:.2}): {url} ==");
+        for entry in d.entries.iter().filter(|e| e.disposition != NodeDisposition::Stable).take(15) {
+            let key: String = entry.key.chars().take(68).collect();
+            match entry.disposition {
+                NodeDisposition::OnlyLeft => println!("  [-] only {left_name}: {key}"),
+                NodeDisposition::OnlyRight => println!("  [+] only {right_name}: {key}"),
+                NodeDisposition::Reparented => println!(
+                    "  [~] reparented: {key}\n      {} -> {}",
+                    entry.left_parent.as_deref().unwrap_or("?"),
+                    entry.right_parent.as_deref().unwrap_or("?")
+                ),
+                NodeDisposition::Moved => println!(
+                    "  [^] moved d{} -> d{}: {key}",
+                    entry.left_depth.unwrap_or(0),
+                    entry.right_depth.unwrap_or(0)
+                ),
+                NodeDisposition::Stable => {}
+            }
+        }
+    }
+}

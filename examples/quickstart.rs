@@ -1,0 +1,40 @@
+//! Quickstart: run the paper's five-profile measurement at laptop scale
+//! and print the full paper-style report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wmtree::{Experiment, ExperimentConfig, Report, Scale};
+
+fn main() {
+    // A Tiny run finishes in seconds; switch to Scale::Small / Medium /
+    // Large for bigger universes (the pipeline is identical).
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("small") => Scale::Small,
+        Some("medium") => Scale::Medium,
+        Some("large") => Scale::Large,
+        _ => Scale::Tiny,
+    };
+
+    println!("Generating synthetic web universe and crawling with 5 profiles ({scale:?})...");
+    let config = ExperimentConfig::at_scale(scale);
+    let experiment = Experiment::new(config);
+    println!(
+        "universe: {} sites (ranks {}..{})",
+        experiment.universe().sites().len(),
+        experiment.universe().sites().first().map(|s| s.rank).unwrap_or(0),
+        experiment.universe().sites().last().map(|s| s.rank).unwrap_or(0),
+    );
+
+    let results = experiment.run();
+    println!(
+        "crawled: {} pages discovered, {} successful visits, {} pages vetted\n",
+        results.pages_discovered,
+        results.successful_visits,
+        results.data.pages.len()
+    );
+
+    let report = Report::generate(&results);
+    println!("{}", report.render());
+}

@@ -1,0 +1,13 @@
+//! `wmtree-suite` — umbrella crate for the workspace.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The library API lives
+//! in [`wmtree`]; everything is re-exported here for convenience.
+//!
+//! See the repository README for the architecture overview and
+//! EXPERIMENTS.md for the paper-vs-measured comparison of every table
+//! and figure.
+
+#![forbid(unsafe_code)]
+
+pub use wmtree::*;

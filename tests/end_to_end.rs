@@ -1,0 +1,123 @@
+//! End-to-end integration: the full pipeline from universe generation to
+//! the rendered report, with the paper's qualitative claims asserted.
+
+use std::sync::OnceLock;
+use wmtree::{Experiment, ExperimentConfig, ExperimentResults, Report, Scale};
+
+fn results() -> &'static ExperimentResults {
+    static R: OnceLock<ExperimentResults> = OnceLock::new();
+    R.get_or_init(|| {
+        // A seed different from every unit-test fixture: integration
+        // claims must hold on unseen universes, not just tuned ones.
+        Experiment::new(ExperimentConfig::at_scale(Scale::Tiny).with_seed(0xE2E)).run()
+    })
+}
+
+fn report() -> &'static Report {
+    static R: OnceLock<Report> = OnceLock::new();
+    R.get_or_init(|| Report::generate(results()))
+}
+
+#[test]
+fn crawl_succeeds_and_vets() {
+    let r = results();
+    assert_eq!(r.data.n_profiles(), 5);
+    assert!(r.data.pages.len() >= 10, "vetted pages: {}", r.data.pages.len());
+    // Every profile individually succeeds like the paper's (<12% failure).
+    for stats in &r.profile_stats {
+        assert!(stats.success_rate() > 0.8, "{:?}", stats);
+    }
+    // Vetting drops pages (combination of profiles, not a single one).
+    assert!(r.data.pages.len() < r.pages_discovered);
+}
+
+#[test]
+fn headline_claim_first_party_more_stable() {
+    // §4.3: "The similarity of nodes in the first-party context is high,
+    // while we observe lower similarity values for third-party elements."
+    let p = &report().party_presence;
+    assert!(
+        p.fp_child_similarity > p.tp_child_similarity,
+        "FP {} vs TP {}",
+        p.fp_child_similarity,
+        p.tp_child_similarity
+    );
+    let rows = &report().table3;
+    let fp = rows.iter().find(|r| format!("{:?}", r.filter).contains("First")).unwrap();
+    let tp = rows.iter().find(|r| format!("{:?}", r.filter).contains("Third")).unwrap();
+    assert!(fp.sim.mean > tp.sim.mean);
+}
+
+#[test]
+fn headline_claim_noaction_sees_less() {
+    // §4.4: mimicked interaction loads substantially more content.
+    let t5 = &report().table5;
+    let nodes = |name: &str| t5.iter().find(|r| r.name == name).unwrap().nodes;
+    assert!(nodes("NoAction") < nodes("Sim1"));
+    assert!(nodes("NoAction") < nodes("Sim2"));
+    assert!(nodes("NoAction") < nodes("Headless"));
+    // Cookies too (§5.2).
+    let c = &report().cookie_stats;
+    let na = 3; // NoAction index in standard order
+    for (i, count) in c.per_profile.iter().enumerate() {
+        if i != na {
+            assert!(c.per_profile[na] <= *count, "{:?}", c.per_profile);
+        }
+    }
+}
+
+#[test]
+fn headline_claim_identical_setups_differ() {
+    // §4.4: "even identical setups operating in parallel ... can yield
+    // significantly different results."
+    let r = results();
+    let sim1 = 1;
+    let sim2 = 2;
+    let mut identical_pages = 0;
+    for page in &r.data.pages {
+        if page.trees[sim1] == page.trees[sim2] {
+            identical_pages += 1;
+        }
+    }
+    assert!(
+        identical_pages < r.data.pages.len(),
+        "Sim1 and Sim2 must differ on some pages"
+    );
+    // But their aggregate profile stats are similar (same config).
+    let t5 = &report().table5;
+    let nodes = |name: &str| t5.iter().find(|row| row.name == name).unwrap().nodes as f64;
+    let ratio = nodes("Sim1") / nodes("Sim2");
+    assert!((0.9..=1.1).contains(&ratio), "Sim1/Sim2 node ratio {ratio}");
+}
+
+#[test]
+fn headline_claim_tracking_less_stable() {
+    // §5.3: trackers are less stable than non-tracking nodes.
+    let t = &report().tracking_stats;
+    assert!(t.tracking_parent_sim.mean < t.non_tracking_parent_sim.mean);
+    assert!(t.third_party_share > 0.6);
+    // §4.2: tracking chains less deterministic.
+    let c = &report().chain_stats;
+    assert!(c.tracking_same_chain < c.non_tracking_same_chain);
+}
+
+#[test]
+fn headline_claim_depth_decay() {
+    // §4.2/Fig. 4: similarity decreases with depth.
+    let f4 = &report().fig4;
+    assert!(f4.parents[1] > f4.parents[4], "{:?}", f4.parents);
+}
+
+#[test]
+fn report_renders_completely() {
+    let text = report().render();
+    assert!(text.len() > 4_000, "report should be substantial: {} bytes", text.len());
+    for section in ["Table 2", "Table 7", "Fig. 8", "§5.3"] {
+        assert!(text.contains(section));
+    }
+    // And exports as JSON.
+    let json = report().to_json();
+    assert!(json.len() > 4_000);
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert!(parsed.get("table2").is_some());
+}

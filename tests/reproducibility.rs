@@ -1,0 +1,82 @@
+//! Reproducibility guarantees: the property the paper is *about*. Same
+//! configuration ⇒ byte-identical results; different seeds ⇒ different
+//! webs; analysis is a pure function of the crawl.
+
+use wmtree::{Experiment, ExperimentConfig, Report, Scale};
+
+fn tiny(seed: u64) -> ExperimentConfig {
+    ExperimentConfig::at_scale(Scale::Tiny).with_seed(seed)
+}
+
+#[test]
+fn same_config_same_everything() {
+    let a = Experiment::new(tiny(0xAB)).run();
+    let b = Experiment::new(tiny(0xAB)).run();
+    assert_eq!(a.data.pages.len(), b.data.pages.len());
+    for (pa, pb) in a.data.pages.iter().zip(&b.data.pages) {
+        assert_eq!(pa.url, pb.url);
+        assert_eq!(pa.trees, pb.trees);
+        assert_eq!(pa.cookies, pb.cookies);
+    }
+    // Reports are identical through JSON (f64-stable).
+    assert_eq!(Report::generate(&a).to_json(), Report::generate(&b).to_json());
+}
+
+#[test]
+fn different_universe_seed_different_web() {
+    let a = Experiment::new(tiny(1)).run();
+    let b = Experiment::new(tiny(2)).run();
+    let sites_a: Vec<&str> = a.data.pages.iter().map(|p| p.site.as_str()).collect();
+    let sites_b: Vec<&str> = b.data.pages.iter().map(|p| p.site.as_str()).collect();
+    assert_ne!(sites_a, sites_b);
+}
+
+#[test]
+fn different_experiment_seed_same_web_different_visits() {
+    let mut cfg_a = tiny(7);
+    cfg_a.experiment_seed = 100;
+    let mut cfg_b = tiny(7);
+    cfg_b.experiment_seed = 200;
+    let a = Experiment::new(cfg_a).run();
+    let b = Experiment::new(cfg_b).run();
+    // Same universe: same site population.
+    let sa: std::collections::BTreeSet<&str> = a.data.pages.iter().map(|p| p.site.as_str()).collect();
+    let sb: std::collections::BTreeSet<&str> = b.data.pages.iter().map(|p| p.site.as_str()).collect();
+    assert!(!sa.is_disjoint(&sb));
+    // Different visit randomness: trees differ for shared pages.
+    let mut any_diff = false;
+    for pa in &a.data.pages {
+        if let Some(pb) = b.data.pages.iter().find(|p| p.url == pa.url) {
+            if pa.trees != pb.trees {
+                any_diff = true;
+                break;
+            }
+        }
+    }
+    assert!(any_diff, "different experiment seeds must change visit outcomes");
+}
+
+#[test]
+fn experiment_data_serde_roundtrip() {
+    let a = Experiment::new(tiny(0xCD)).run();
+    let json = serde_json::to_string(&a.data).unwrap();
+    let back: wmtree::analysis::ExperimentData = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.pages.len(), a.data.pages.len());
+    for (pa, pb) in a.data.pages.iter().zip(&back.pages) {
+        assert_eq!(pa.trees, pb.trees);
+    }
+}
+
+#[test]
+fn workers_do_not_change_results() {
+    let mut cfg1 = tiny(0xEF);
+    cfg1.workers = 1;
+    let mut cfg8 = tiny(0xEF);
+    cfg8.workers = 8;
+    let a = Experiment::new(cfg1).run();
+    let b = Experiment::new(cfg8).run();
+    assert_eq!(a.data.pages.len(), b.data.pages.len());
+    for (pa, pb) in a.data.pages.iter().zip(&b.data.pages) {
+        assert_eq!(pa.trees, pb.trees, "parallelism must not affect results ({})", pa.url);
+    }
+}
