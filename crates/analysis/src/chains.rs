@@ -96,7 +96,11 @@ pub fn chain_stats(sims: &[PageNodeSimilarities]) -> ChainStats {
                 if same {
                     slot.1 += 1;
                 }
-                let tslot = if n.tracking { &mut track } else { &mut nontrack };
+                let tslot = if n.tracking {
+                    &mut track
+                } else {
+                    &mut nontrack
+                };
                 tslot.0 += 1;
                 if same {
                     tslot.1 += 1;
@@ -121,7 +125,13 @@ pub fn chain_stats(sims: &[PageNodeSimilarities]) -> ChainStats {
         }
     }
 
-    let share = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    let share = |num: usize, den: usize| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
     ChainStats {
         same_chain_share: share(in_all_same, in_all),
         unique_chain_share: share(unique, total),
@@ -182,7 +192,11 @@ pub fn table4a(sims: &[PageNodeSimilarities], top: usize) -> Vec<TypeChainRow> {
 pub fn table4b(sims: &[PageNodeSimilarities], top: usize) -> Vec<TypeChainRow> {
     let mut rows = type_chain_rows(sims);
     rows.retain(|r| r.n >= 5);
-    rows.sort_by(|a, b| a.mean_parent_similarity.partial_cmp(&b.mean_parent_similarity).unwrap());
+    rows.sort_by(|a, b| {
+        a.mean_parent_similarity
+            .partial_cmp(&b.mean_parent_similarity)
+            .unwrap()
+    });
     rows.truncate(top);
     rows
 }

@@ -85,8 +85,16 @@ pub fn composition(data: &ExperimentData, max_depth: usize) -> Composition {
     }
     Composition {
         levels,
-        first_party_share: if total == 0 { 0.0 } else { fp as f64 / total as f64 },
-        tracking_share: if total == 0 { 0.0 } else { tracking as f64 / total as f64 },
+        first_party_share: if total == 0 {
+            0.0
+        } else {
+            fp as f64 / total as f64
+        },
+        tracking_share: if total == 0 {
+            0.0
+        } else {
+            tracking as f64 / total as f64
+        },
         third_party_sites: tp_sites.len(),
     }
 }
@@ -164,15 +172,31 @@ mod tests {
         let comp = composition(data, 6);
         assert_eq!(comp.levels.len(), 7);
         // First party dominates at depth 1...
-        assert!(comp.levels[1].first_party_share() > 0.4, "{}", comp.levels[1].first_party_share());
+        assert!(
+            comp.levels[1].first_party_share() > 0.4,
+            "{}",
+            comp.levels[1].first_party_share()
+        );
         // ...but not at depth ≥3 (the paper: 95% third-party there).
         let deep = &comp.levels[4];
         if deep.total() > 10 {
-            assert!(deep.first_party_share() < 0.3, "{}", deep.first_party_share());
+            assert!(
+                deep.first_party_share() < 0.3,
+                "{}",
+                deep.first_party_share()
+            );
         }
         // Overall: third party majority, tracking a notable minority.
-        assert!(comp.first_party_share < 0.6, "fp share {}", comp.first_party_share);
-        assert!(comp.tracking_share > 0.05 && comp.tracking_share < 0.6, "{}", comp.tracking_share);
+        assert!(
+            comp.first_party_share < 0.6,
+            "fp share {}",
+            comp.first_party_share
+        );
+        assert!(
+            comp.tracking_share > 0.05 && comp.tracking_share < 0.6,
+            "{}",
+            comp.tracking_share
+        );
         assert!(comp.third_party_sites > 5);
     }
 
@@ -190,7 +214,12 @@ mod tests {
 
     #[test]
     fn depth_composition_total() {
-        let d = DepthComposition { first_party: 3, third_party: 7, tracking: 2, non_tracking: 8 };
+        let d = DepthComposition {
+            first_party: 3,
+            third_party: 7,
+            tracking: 2,
+            non_tracking: 8,
+        };
         assert_eq!(d.total(), 10);
         assert!((d.first_party_share() - 0.3).abs() < 1e-12);
         assert_eq!(DepthComposition::default().first_party_share(), 0.0);

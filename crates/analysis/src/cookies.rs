@@ -129,13 +129,20 @@ mod tests {
         }
 
         // Shares behave like the paper's: far from all cookies shared.
-        assert!(s.share_in_all > 0.05 && s.share_in_all < 0.95, "{}", s.share_in_all);
+        assert!(
+            s.share_in_all > 0.05 && s.share_in_all < 0.95,
+            "{}",
+            s.share_in_all
+        );
         assert!(s.share_in_one > 0.02, "{}", s.share_in_one);
 
         // Cookie similarity per page is meaningful but imperfect.
         assert!(s.per_page_similarity.n > 10);
-        assert!(s.per_page_similarity.mean > 0.2 && s.per_page_similarity.mean < 0.99,
-            "{}", s.per_page_similarity.mean);
+        assert!(
+            s.per_page_similarity.mean > 0.2 && s.per_page_similarity.mean < 0.99,
+            "{}",
+            s.per_page_similarity.mean
+        );
 
         // Comparing against NoAction is less similar than overall.
         assert!(
@@ -148,7 +155,10 @@ mod tests {
 
     #[test]
     fn empty_data() {
-        let data = ExperimentData { profile_names: vec!["a".into(), "b".into()], pages: vec![] };
+        let data = ExperimentData {
+            profile_names: vec!["a".into(), "b".into()],
+            pages: vec![],
+        };
         let s = cookie_stats(&data, None);
         assert_eq!(s.distinct_cookies, 0);
         assert_eq!(s.share_in_all, 0.0);

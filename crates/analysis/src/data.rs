@@ -68,7 +68,10 @@ impl ExperimentData {
                 .map(|v| {
                     v.cookies
                         .iter()
-                        .map(|c| CookieObservation { id: c.id(), attrs: c.security_attributes() })
+                        .map(|c| CookieObservation {
+                            id: c.id(),
+                            attrs: c.security_attributes(),
+                        })
                         .collect()
                 })
                 .collect();
@@ -82,7 +85,10 @@ impl ExperimentData {
                 cookies,
             });
         }
-        ExperimentData { profile_names, pages }
+        ExperimentData {
+            profile_names,
+            pages,
+        }
     }
 
     /// Number of profiles.
@@ -131,7 +137,7 @@ pub(crate) mod testutil {
                     workers: 4,
                     experiment_seed: 17,
                     reliable: true,
-                stateful: false,
+                    stateful: false,
                 },
             )
             .run();

@@ -133,7 +133,11 @@ pub fn table3(data: &ExperimentData) -> Vec<DepthSimilarityRow> {
     .into_iter()
     .map(|filter| {
         let sim = Summary::of(&depth_scores(data, filter));
-        DepthSimilarityRow { filter, category: SimilarityCategory::of(sim.mean), sim }
+        DepthSimilarityRow {
+            filter,
+            category: SimilarityCategory::of(sim.mean),
+            sim,
+        }
     })
     .collect()
 }
@@ -211,9 +215,15 @@ mod tests {
 
         // The paper's ordering: in-all ≥ first-party ≥ all ≥ with-children,
         // and third-party lowest of the party split.
-        assert!(in_all > 0.9, "nodes in all trees should be ~.99, got {in_all}");
+        assert!(
+            in_all > 0.9,
+            "nodes in all trees should be ~.99, got {in_all}"
+        );
         assert!(fp > tp, "first-party {fp} must exceed third-party {tp}");
-        assert!(all >= with_children, "all {all} vs with-children {with_children}");
+        assert!(
+            all >= with_children,
+            "all {all} vs with-children {with_children}"
+        );
         assert!(fp > 0.7, "first-party {fp}");
         assert!(tp < 0.95);
         for r in &rows {
@@ -251,20 +261,40 @@ mod diag {
             let mut by_depth: std::collections::BTreeMap<usize, (f64, usize)> = Default::default();
             for page in &data.pages {
                 let mut in_all: BTreeSet<&str> = page.trees[0]
-                    .nodes().iter().skip(1).map(|n| n.key.as_str()).collect();
+                    .nodes()
+                    .iter()
+                    .skip(1)
+                    .map(|n| n.key.as_str())
+                    .collect();
                 for t in page.trees.iter().skip(1) {
-                    let keys: BTreeSet<&str> = t.nodes().iter().skip(1).map(|n| n.key.as_str()).collect();
+                    let keys: BTreeSet<&str> =
+                        t.nodes().iter().skip(1).map(|n| n.key.as_str()).collect();
                     in_all = in_all.intersection(&keys).copied().collect();
                 }
-                let max_depth = page.trees.iter().map(|t| t.metrics().depth).max().unwrap_or(0);
+                let max_depth = page
+                    .trees
+                    .iter()
+                    .map(|t| t.metrics().depth)
+                    .max()
+                    .unwrap_or(0);
                 for depth in 1..=max_depth {
-                    let sets: Vec<BTreeSet<String>> = page.trees.iter().map(|t| {
-                        keys_at_depth(t, depth, filter, &in_all).into_iter().map(String::from).collect()
-                    }).collect();
-                    if sets.iter().all(|s| s.is_empty()) { continue; }
+                    let sets: Vec<BTreeSet<String>> = page
+                        .trees
+                        .iter()
+                        .map(|t| {
+                            keys_at_depth(t, depth, filter, &in_all)
+                                .into_iter()
+                                .map(String::from)
+                                .collect()
+                        })
+                        .collect();
+                    if sets.iter().all(|s| s.is_empty()) {
+                        continue;
+                    }
                     if let Some(score) = pairwise_mean_jaccard(&sets) {
                         let e = by_depth.entry(depth).or_insert((0.0, 0));
-                        e.0 += score; e.1 += 1;
+                        e.0 += score;
+                        e.1 += 1;
                     }
                 }
             }

@@ -7,7 +7,11 @@ use serde::{Deserialize, Serialize};
 use wmtree_stats::histogram::{Histogram, Histogram2D};
 
 /// Fig. 1: the joint distribution of tree depth (y) and breadth (x).
-pub fn depth_breadth_grid(data: &ExperimentData, max_breadth: usize, max_depth: usize) -> Histogram2D {
+pub fn depth_breadth_grid(
+    data: &ExperimentData,
+    max_breadth: usize,
+    max_depth: usize,
+) -> Histogram2D {
     let mut grid = Histogram2D::new(max_breadth, max_depth);
     for page in &data.pages {
         for tree in &page.trees {
@@ -104,7 +108,11 @@ pub fn children_by_depth(data: &ExperimentData, max_depth: usize) -> ChildrenByD
     let div = |s: f64, n: usize| if n == 0 { 0.0 } else { s / n as f64 };
     ChildrenByDepth {
         mean_children: sum.iter().zip(&cnt).map(|(s, &n)| div(*s, n)).collect(),
-        mean_children_nonleaf: sum_nl.iter().zip(&cnt_nl).map(|(s, &n)| div(*s, n)).collect(),
+        mean_children_nonleaf: sum_nl
+            .iter()
+            .zip(&cnt_nl)
+            .map(|(s, &n)| div(*s, n))
+            .collect(),
         overall_mean: div(total_children as f64, total_nodes),
         root_mean: div(root_children as f64, root_count),
         share_leafish: div(leafish as f64, nonroot),
@@ -123,7 +131,9 @@ mod tests {
         let grid = depth_breadth_grid(data, 60, 30);
         assert_eq!(grid.total() as usize, data.tree_count());
         // Mass concentrated at shallow depth / moderate breadth.
-        let shallow: u64 = (0..=8).map(|d| (0..=60).map(|b| grid.get(b, d)).sum::<u64>()).sum();
+        let shallow: u64 = (0..=8)
+            .map(|d| (0..=60).map(|b| grid.get(b, d)).sum::<u64>())
+            .sum();
         assert!(shallow as f64 / grid.total() as f64 > 0.8);
     }
 
@@ -138,7 +148,10 @@ mod tests {
         // the bimodal Fig. 2 shape.
         let rel = dist.parents.relative();
         assert!(rel[9] > 0.3, "top-bin parent mass {}", rel[9]);
-        assert!(rel[0] + rel[1] + rel[2] > 0.05, "low-similarity tail missing");
+        assert!(
+            rel[0] + rel[1] + rel[2] > 0.05,
+            "low-similarity tail missing"
+        );
     }
 
     #[test]

@@ -111,14 +111,10 @@ pub fn analyze_page(page: &PageAnalysis) -> PageNodeSimilarities {
                         meta = Some((node.resource_type, node.party, node.tracking));
                     }
                     depths.push(node.depth);
-                    let children: BTreeSet<&str> = tree
-                        .children_keys(id)
-                        .into_iter()
-                        .collect();
+                    let children: BTreeSet<&str> = tree.children_keys(id).into_iter().collect();
                     max_children = max_children.max(children.len());
                     child_sets.push(children);
-                    let parents: BTreeSet<&str> =
-                        tree.parent_key(id).into_iter().collect();
+                    let parents: BTreeSet<&str> = tree.parent_key(id).into_iter().collect();
                     parent_sets.push(Some(parents));
                     chains.push(tree.dependency_chain(id));
                 }
@@ -164,8 +160,7 @@ pub fn analyze_page(page: &PageAnalysis) -> PageNodeSimilarities {
             }
         };
 
-        let same_chain_where_present =
-            present_in >= 2 && chains.windows(2).all(|w| w[0] == w[1]);
+        let same_chain_where_present = present_in >= 2 && chains.windows(2).all(|w| w[0] == w[1]);
         let unique_chain = {
             // The chain (as observed in the first tree) appears in only
             // one tree: either the node is unique to one tree, or the
@@ -199,6 +194,8 @@ pub fn analyze_page(page: &PageAnalysis) -> PageNodeSimilarities {
 
 /// Analyze every page of an experiment.
 pub fn analyze_all(data: &crate::ExperimentData) -> Vec<PageNodeSimilarities> {
+    let _span = wmtree_telemetry::span("analysis.node_similarity");
+    wmtree_telemetry::counter!("analysis.pages_analyzed").add(data.pages.len() as u64);
     data.pages.iter().map(analyze_page).collect()
 }
 
@@ -223,7 +220,11 @@ mod tests {
     fn tree(edges: &[(&str, &str)]) -> DepTree {
         let mut t = DepTree::new_rooted("root".into());
         for (parent, child) in edges {
-            let pid = if *parent == "root" { 0 } else { t.find(parent).unwrap() };
+            let pid = if *parent == "root" {
+                0
+            } else {
+                t.find(parent).unwrap()
+            };
             t.attach(
                 pid,
                 child.to_string(),
@@ -239,11 +240,32 @@ mod tests {
     #[test]
     fn appendix_d_worked_example() {
         // Tree #1: F→{a,b,c}; c→d; d→e; e→{x,y}
-        let t1 = tree(&[("root", "a"), ("root", "b"), ("root", "c"), ("c", "d"), ("d", "e"), ("e", "x"), ("e", "y")]);
+        let t1 = tree(&[
+            ("root", "a"),
+            ("root", "b"),
+            ("root", "c"),
+            ("c", "d"),
+            ("d", "e"),
+            ("e", "x"),
+            ("e", "y"),
+        ]);
         // Tree #2: F→{a,b,c}; c→d; d→y (no e)
-        let t2 = tree(&[("root", "a"), ("root", "b"), ("root", "c"), ("c", "d"), ("d", "y")]);
+        let t2 = tree(&[
+            ("root", "a"),
+            ("root", "b"),
+            ("root", "c"),
+            ("c", "d"),
+            ("d", "y"),
+        ]);
         // Tree #3: F→{a,c}; c→d; d→e; e→{x,y}
-        let t3 = tree(&[("root", "a"), ("root", "c"), ("c", "d"), ("d", "e"), ("e", "x"), ("e", "y")]);
+        let t3 = tree(&[
+            ("root", "a"),
+            ("root", "c"),
+            ("c", "d"),
+            ("d", "e"),
+            ("e", "x"),
+            ("e", "y"),
+        ]);
         let page = page_of(vec![t1, t2, t3]);
         let sims = analyze_page(&page);
 

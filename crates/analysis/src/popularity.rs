@@ -46,7 +46,13 @@ pub fn popularity(data: &ExperimentData, sims: &[PageNodeSimilarities]) -> Popul
     }
     let mut buckets: BTreeMap<String, Acc> = BTreeMap::new();
     // Keep the paper's bucket ordering.
-    let order = ["1-5k", "5,001-10k", "10,001-50k", "50,001-250k", "250,001-500k"];
+    let order = [
+        "1-5k",
+        "5,001-10k",
+        "10,001-50k",
+        "50,001-250k",
+        "250,001-500k",
+    ];
 
     for (page, sim) in data.pages.iter().zip(sims) {
         let Some(bucket) = &page.bucket else { continue };
@@ -65,7 +71,13 @@ pub fn popularity(data: &ExperimentData, sims: &[PageNodeSimilarities]) -> Popul
         }
     }
 
-    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     let mut rows: Vec<BucketRow> = buckets
         .iter()
         .map(|(b, acc)| BucketRow {
@@ -76,10 +88,16 @@ pub fn popularity(data: &ExperimentData, sims: &[PageNodeSimilarities]) -> Popul
             pages: acc.pages,
         })
         .collect();
-    rows.sort_by_key(|r| order.iter().position(|o| *o == r.bucket).unwrap_or(usize::MAX));
+    rows.sort_by_key(|r| {
+        order
+            .iter()
+            .position(|o| *o == r.bucket)
+            .unwrap_or(usize::MAX)
+    });
 
-    let groups =
-        |f: fn(&Acc) -> &Vec<f64>| -> Vec<&[f64]> { buckets.values().map(|a| f(a).as_slice()).collect() };
+    let groups = |f: fn(&Acc) -> &Vec<f64>| -> Vec<&[f64]> {
+        buckets.values().map(|a| f(a).as_slice()).collect()
+    };
     let test = |gs: Vec<&[f64]>| {
         if gs.len() >= 2 && gs.iter().all(|g| !g.is_empty()) {
             kruskal_wallis(&gs).ok()
@@ -136,7 +154,10 @@ mod tests {
 
     #[test]
     fn pages_without_bucket_are_skipped() {
-        let data = ExperimentData { profile_names: vec!["a".into()], pages: vec![] };
+        let data = ExperimentData {
+            profile_names: vec!["a".into()],
+            pages: vec![],
+        };
         let pop = popularity(&data, &[]);
         assert!(pop.rows.is_empty());
         assert!(pop.nodes_test.is_none());

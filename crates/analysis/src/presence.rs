@@ -105,7 +105,11 @@ mod tests {
 
         // Node presence: between 1 and all 5; most nodes shared, a
         // noticeable share unique — the qualitative Table 2 shape.
-        assert!(t2.avg_presence > 2.5 && t2.avg_presence < 5.0, "{}", t2.avg_presence);
+        assert!(
+            t2.avg_presence > 2.5 && t2.avg_presence < 5.0,
+            "{}",
+            t2.avg_presence
+        );
         assert!(t2.share_in_all > 0.3, "in all: {}", t2.share_in_all);
         assert!(t2.share_in_one > 0.05, "in one: {}", t2.share_in_one);
         assert!(t2.share_in_all + t2.share_in_one < 1.0);
@@ -114,7 +118,10 @@ mod tests {
 
     #[test]
     fn empty_experiment() {
-        let data = ExperimentData { profile_names: vec!["a".into()], pages: vec![] };
+        let data = ExperimentData {
+            profile_names: vec!["a".into()],
+            pages: vec![],
+        };
         let t2 = tree_overview(&data, &[]);
         assert_eq!(t2.nodes.n, 0);
         assert_eq!(t2.share_in_all, 0.0);

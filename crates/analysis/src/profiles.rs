@@ -40,9 +40,8 @@ pub fn table5(data: &ExperimentData) -> Vec<ProfileRow> {
         })
         .collect();
     for page in &data.pages {
-        for p in 0..k {
+        for (p, row) in rows.iter_mut().enumerate().take(k) {
             let tree = &page.trees[p];
-            let row = &mut rows[p];
             let m = tree.metrics();
             row.nodes += m.nodes - 1; // root excluded: count loaded resources
             row.max_depth = row.max_depth.max(m.depth);
@@ -114,7 +113,9 @@ pub fn compare_pair(data: &ExperimentData, a: usize, b: usize) -> ProfileCompari
         let tb = &page.trees[b];
         // Nodes present in both trees.
         for node in ta.nodes().iter().skip(1) {
-            let Some(idb) = tb.find(&node.key) else { continue };
+            let Some(idb) = tb.find(&node.key) else {
+                continue;
+            };
             let ida = ta.find(&node.key).expect("node from tree a");
             let party_idx = match node.party {
                 Party::First => 0,
@@ -204,13 +205,20 @@ pub fn level_split_similarity(
                 continue;
             }
             let j = jaccard(&sa, &sb);
-            let slot = if depth <= split { &mut shallow } else { &mut deep };
+            let slot = if depth <= split {
+                &mut shallow
+            } else {
+                &mut deep
+            };
             slot.0 += j;
             slot.1 += 1;
         }
     }
     let mean = |(s, n): (f64, usize)| if n == 0 { 0.0 } else { s / n as f64 };
-    LevelSplitSimilarity { shallow: mean(shallow), deep: mean(deep) }
+    LevelSplitSimilarity {
+        shallow: mean(shallow),
+        deep: mean(deep),
+    }
 }
 
 #[cfg(test)]
@@ -263,8 +271,12 @@ mod tests {
         assert!(sim2.tp_parent_perfect < sim2.fp_parent_perfect);
         // Headless ≈ Sim2 magnitude (paper found no significant effect);
         // allow generous tolerance but require the same ballpark.
-        assert!((headless.child_sim_mean - sim2.child_sim_mean).abs() < 0.12,
-            "headless {} vs sim2 {}", headless.child_sim_mean, sim2.child_sim_mean);
+        assert!(
+            (headless.child_sim_mean - sim2.child_sim_mean).abs() < 0.12,
+            "headless {} vs sim2 {}",
+            headless.child_sim_mean,
+            sim2.child_sim_mean
+        );
     }
 
     #[test]

@@ -96,8 +96,16 @@ pub fn significance(
             }
         }
     }
-    let groups: Vec<&[f64]> = by_type.values().filter(|v| v.len() >= 5).map(|v| v.as_slice()).collect();
-    let type_vs_similarity = if groups.len() >= 2 { kruskal_wallis(&groups).ok() } else { None };
+    let groups: Vec<&[f64]> = by_type
+        .values()
+        .filter(|v| v.len() >= 5)
+        .map(|v| v.as_slice())
+        .collect();
+    let type_vs_similarity = if groups.len() >= 2 {
+        kruskal_wallis(&groups).ok()
+    } else {
+        None
+    };
 
     SignificanceReport {
         children_vs_similarity,

@@ -102,7 +102,9 @@ pub fn accumulation_curve(data: &ExperimentData, order: &[usize]) -> Vec<f64> {
             sums[i] += acc.len() as f64 / union_all.len() as f64;
         }
     }
-    sums.into_iter().map(|s| if pages == 0 { 0.0 } else { s / pages as f64 }).collect()
+    sums.into_iter()
+        .map(|s| if pages == 0 { 0.0 } else { s / pages as f64 })
+        .collect()
 }
 
 /// The composite stability index of one page, in [0, 1].
@@ -116,11 +118,29 @@ pub fn page_stability_index(page: &PageNodeSimilarities) -> f64 {
         return 1.0;
     }
     let k = page.n_trees as f64;
-    let presence: f64 =
-        page.nodes.iter().map(|n| n.present_in as f64 / k).sum::<f64>() / page.nodes.len() as f64;
-    let child: Vec<f64> = page.nodes.iter().filter_map(|n| n.child_similarity).collect();
-    let parent: Vec<f64> = page.nodes.iter().filter_map(|n| n.parent_similarity).collect();
-    let mean = |v: &[f64]| if v.is_empty() { 1.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let presence: f64 = page
+        .nodes
+        .iter()
+        .map(|n| n.present_in as f64 / k)
+        .sum::<f64>()
+        / page.nodes.len() as f64;
+    let child: Vec<f64> = page
+        .nodes
+        .iter()
+        .filter_map(|n| n.child_similarity)
+        .collect();
+    let parent: Vec<f64> = page
+        .nodes
+        .iter()
+        .filter_map(|n| n.parent_similarity)
+        .collect();
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            1.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     (presence + mean(&child) + mean(&parent)) / 3.0
 }
 
@@ -181,7 +201,11 @@ mod tests {
         let na = r.per_profile[3];
         for (i, &v) in r.per_profile.iter().enumerate() {
             if i != 3 {
-                assert!(na <= v + 1e-9, "NoAction should have lowest recall: {:?}", r.per_profile);
+                assert!(
+                    na <= v + 1e-9,
+                    "NoAction should have lowest recall: {:?}",
+                    r.per_profile
+                );
             }
         }
     }

@@ -92,7 +92,11 @@ pub fn tracking_stats(data: &ExperimentData, sims: &[PageNodeSimilarities]) -> T
             for node in tree.nodes().iter().skip(1) {
                 let c = node.children.len();
                 if c > 0 {
-                    let slot = if node.tracking { &mut t_children } else { &mut nt_children };
+                    let slot = if node.tracking {
+                        &mut t_children
+                    } else {
+                        &mut nt_children
+                    };
                     slot.0 += c;
                     slot.1 += 1;
                 }
@@ -148,7 +152,11 @@ mod tests {
         let s = tracking_stats(data, &sims);
 
         // Tracking is a meaningful minority of nodes.
-        assert!(s.tracking_share > 0.05 && s.tracking_share < 0.6, "{}", s.tracking_share);
+        assert!(
+            s.tracking_share > 0.05 && s.tracking_share < 0.6,
+            "{}",
+            s.tracking_share
+        );
         // Trackers are less stable than non-trackers, in children and
         // parents alike.
         assert!(

@@ -90,21 +90,26 @@ pub struct TypeDepthSimilarity {
 }
 
 /// Compute Fig. 7 up to `max_depth` (deeper folds into the last slot).
-pub fn type_depth_similarity(sims: &[PageNodeSimilarities], max_depth: usize) -> TypeDepthSimilarity {
+pub fn type_depth_similarity(
+    sims: &[PageNodeSimilarities],
+    max_depth: usize,
+) -> TypeDepthSimilarity {
     let mut cs: BTreeMap<ResourceType, Vec<(f64, usize)>> = BTreeMap::new();
     let mut ps: BTreeMap<ResourceType, Vec<(f64, usize)>> = BTreeMap::new();
     for page in sims {
         for n in &page.nodes {
             let d = n.depth().min(max_depth);
             if let Some(s) = n.child_similarity {
-                let slot =
-                    cs.entry(n.resource_type).or_insert_with(|| vec![(0.0, 0); max_depth + 1]);
+                let slot = cs
+                    .entry(n.resource_type)
+                    .or_insert_with(|| vec![(0.0, 0); max_depth + 1]);
                 slot[d].0 += s;
                 slot[d].1 += 1;
             }
             if let Some(s) = n.parent_similarity {
-                let slot =
-                    ps.entry(n.resource_type).or_insert_with(|| vec![(0.0, 0); max_depth + 1]);
+                let slot = ps
+                    .entry(n.resource_type)
+                    .or_insert_with(|| vec![(0.0, 0); max_depth + 1]);
                 slot[d].0 += s;
                 slot[d].1 += 1;
             }
@@ -122,7 +127,10 @@ pub fn type_depth_similarity(sims: &[PageNodeSimilarities], max_depth: usize) ->
             })
             .collect::<BTreeMap<_, _>>()
     };
-    TypeDepthSimilarity { children: finish(cs), parents: finish(ps) }
+    TypeDepthSimilarity {
+        children: finish(cs),
+        parents: finish(ps),
+    }
 }
 
 /// §4.2: mean parent/child similarity of pages **with** and **without**
@@ -150,15 +158,38 @@ pub fn subframe_impact(sims: &[PageNodeSimilarities]) -> SubframeImpact {
     let mut without = (0.0, 0.0, 0usize);
     let mut with = (0.0, 0.0, 0usize);
     for page in sims {
-        let has_subframe = page.nodes.iter().any(|n| n.resource_type == ResourceType::SubFrame);
-        let parents: Vec<f64> = page.nodes.iter().filter_map(|n| n.parent_similarity).collect();
-        let children: Vec<f64> = page.nodes.iter().filter_map(|n| n.child_similarity).collect();
+        let has_subframe = page
+            .nodes
+            .iter()
+            .any(|n| n.resource_type == ResourceType::SubFrame);
+        let parents: Vec<f64> = page
+            .nodes
+            .iter()
+            .filter_map(|n| n.parent_similarity)
+            .collect();
+        let children: Vec<f64> = page
+            .nodes
+            .iter()
+            .filter_map(|n| n.child_similarity)
+            .collect();
         if parents.is_empty() && children.is_empty() {
             continue;
         }
-        let pmean = if parents.is_empty() { 1.0 } else { parents.iter().sum::<f64>() / parents.len() as f64 };
-        let cmean = if children.is_empty() { 1.0 } else { children.iter().sum::<f64>() / children.len() as f64 };
-        let slot = if has_subframe { &mut with } else { &mut without };
+        let pmean = if parents.is_empty() {
+            1.0
+        } else {
+            parents.iter().sum::<f64>() / parents.len() as f64
+        };
+        let cmean = if children.is_empty() {
+            1.0
+        } else {
+            children.iter().sum::<f64>() / children.len() as f64
+        };
+        let slot = if has_subframe {
+            &mut with
+        } else {
+            &mut without
+        };
         slot.0 += pmean;
         slot.1 += cmean;
         slot.2 += 1;

@@ -141,7 +141,11 @@ mod tests {
         assert!(s.distinct_nodes > 200);
         assert!(s.unique_nodes > 0);
         // A notable share of the dataset is unique (paper: 24%).
-        assert!(s.unique_share > 0.05 && s.unique_share < 0.8, "{}", s.unique_share);
+        assert!(
+            s.unique_share > 0.05 && s.unique_share < 0.8,
+            "{}",
+            s.unique_share
+        );
         // Unique nodes are dominated by third-party content (paper: 90%).
         assert!(s.third_party_share > 0.6, "{}", s.third_party_share);
         // Tracking content is overrepresented among uniques.

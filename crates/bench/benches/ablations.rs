@@ -25,7 +25,9 @@ fn ablation_callstack(c: &mut Criterion) {
     let cfg = config();
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
-    group.bench_function("callstack_mode", |b| b.iter(|| black_box(ablation::callstack_mode(&cfg))));
+    group.bench_function("callstack_mode", |b| {
+        b.iter(|| black_box(ablation::callstack_mode(&cfg)))
+    });
     group.finish();
 }
 
@@ -51,7 +53,9 @@ fn ablation_tree_metric(c: &mut Criterion) {
     let cfg = config();
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
-    group.bench_function("tree_metric", |b| b.iter(|| black_box(ablation::tree_metric(&cfg))));
+    group.bench_function("tree_metric", |b| {
+        b.iter(|| black_box(ablation::tree_metric(&cfg)))
+    });
     group.finish();
 }
 
@@ -59,7 +63,9 @@ fn ablation_statefulness(c: &mut Criterion) {
     let cfg = config();
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
-    group.bench_function("statefulness", |b| b.iter(|| black_box(ablation::statefulness(&cfg))));
+    group.bench_function("statefulness", |b| {
+        b.iter(|| black_box(ablation::statefulness(&cfg)))
+    });
     group.finish();
 }
 
@@ -67,7 +73,9 @@ fn ablation_filter_lists(c: &mut Criterion) {
     let cfg = config();
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
-    group.bench_function("filter_lists", |b| b.iter(|| black_box(ablation::filter_lists(&cfg))));
+    group.bench_function("filter_lists", |b| {
+        b.iter(|| black_box(ablation::filter_lists(&cfg)))
+    });
     group.finish();
 }
 

@@ -96,12 +96,45 @@ fn end_to_end_crawl(c: &mut Criterion) {
                     workers: 4,
                     experiment_seed: 3,
                     reliable: true,
-                stateful: false,
+                    stateful: false,
                 },
             );
             black_box(commander.run())
         })
     });
+    group.finish();
+}
+
+/// Crawl throughput with recording on vs off — the telemetry overhead
+/// budget is < 5%, and every record path is a relaxed atomic, so the
+/// two arms should be within noise of each other.
+fn telemetry_overhead(c: &mut Criterion) {
+    let universe = WebUniverse::generate(UniverseConfig {
+        seed: 7,
+        sites_per_bucket: [4, 2, 2, 2, 2],
+        max_subpages: 4,
+    });
+    let crawl = || {
+        let commander = Commander::new(
+            &universe,
+            standard_profiles(),
+            CrawlOptions {
+                max_pages_per_site: 4,
+                workers: 4,
+                experiment_seed: 3,
+                reliable: true,
+                stateful: false,
+            },
+        );
+        black_box(commander.run())
+    };
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+    wmtree::telemetry::set_enabled(true);
+    group.bench_function("crawl_telemetry_on", |b| b.iter(crawl));
+    wmtree::telemetry::set_enabled(false);
+    group.bench_function("crawl_telemetry_off", |b| b.iter(crawl));
+    wmtree::telemetry::set_enabled(true);
     group.finish();
 }
 
@@ -117,6 +150,7 @@ criterion_group! {
     tree_construction,
     filter_matching,
     end_to_end_crawl,
+    telemetry_overhead,
 
 }
 criterion_main!(pipeline);

@@ -37,7 +37,9 @@ fn table4_chains(c: &mut Criterion) {
 
 fn table5_profiles(c: &mut Criterion) {
     let results = tiny_results();
-    c.bench_function("table5_profiles", |b| b.iter(|| black_box(profiles::table5(&results.data))));
+    c.bench_function("table5_profiles", |b| {
+        b.iter(|| black_box(profiles::table5(&results.data)))
+    });
 }
 
 fn table6_profile_diffs(c: &mut Criterion) {

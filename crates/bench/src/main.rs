@@ -8,7 +8,13 @@
 //! repro --case cookies       # §5 case studies: unique-nodes | cookies | tracking
 //! repro --fig 6              # Appendix D worked example
 //! repro --json report.json   # export the raw report
+//! repro --telemetry DIR      # write telemetry.json (run manifest) into DIR
+//! repro --no-telemetry       # disable all metric/span recording
 //! ```
+//!
+//! Unless `--no-telemetry` is given, every run ends with a telemetry
+//! summary on stderr, and `--telemetry DIR` (or `--csv DIR`) writes the
+//! machine-readable manifest next to the exported tables.
 
 use wmtree::{Experiment, ExperimentConfig, Report, Scale};
 
@@ -26,9 +32,13 @@ fn main() {
             "repro — regenerate the IMC'23 tables and figures\n\n\
              USAGE: repro [--scale tiny|small|medium|large] \
              [--table 1..7] [--fig 1..8] [--case unique-nodes|cookies|tracking] \
-             [--json FILE] [--csv DIR] [--ablations]"
+             [--json FILE] [--csv DIR] [--telemetry DIR] [--no-telemetry] [--ablations]"
         );
         return;
+    }
+
+    if args.iter().any(|a| a == "--no-telemetry") {
+        wmtree::telemetry::set_enabled(false);
     }
 
     // Fig. 6 (Appendix D) is a worked example, not a crawl artifact.
@@ -45,13 +55,18 @@ fn main() {
     };
 
     eprintln!("[repro] running the five-profile experiment at {scale:?} scale...");
-    let results = Experiment::new(ExperimentConfig::at_scale(scale)).run();
+    let mut results = Experiment::new(ExperimentConfig::at_scale(scale)).run();
     eprintln!(
         "[repro] {} vetted pages ({} trees); generating report...",
         results.data.pages.len(),
         results.data.pages.len() * 5
     );
+    let render_start = std::time::Instant::now();
     let report = Report::generate(&results);
+    results
+        .manifest
+        .push_stage("render", render_start.elapsed());
+    results.manifest.timings = wmtree::telemetry::global().timings().snapshot();
 
     if let Some(path) = get("--json") {
         std::fs::write(&path, report.to_json()).expect("write JSON report");
@@ -62,6 +77,18 @@ fn main() {
             .write_csv_dir(std::path::Path::new(&dir))
             .expect("write CSV directory");
         eprintln!("[repro] wrote {} CSV files to {dir}", files.len());
+    }
+    // The manifest lands next to the exported tables (or wherever
+    // --telemetry points), and its summary goes to stderr.
+    if wmtree::telemetry::enabled() {
+        if let Some(dir) = get("--telemetry").or_else(|| get("--csv")) {
+            let path = results
+                .manifest
+                .write_to_dir(std::path::Path::new(&dir))
+                .expect("write telemetry.json");
+            eprintln!("[repro] wrote {}", path.display());
+        }
+        eprint!("{}", Report::render_telemetry(&results.manifest));
     }
 
     if let Some(table) = get("--table") {
@@ -162,11 +189,16 @@ fn print_appendix_d() {
     use std::collections::BTreeSet;
     use wmtree::stats::jaccard::{jaccard, pairwise_mean_jaccard};
 
-    let set = |items: &[&str]| -> BTreeSet<String> { items.iter().map(|s| s.to_string()).collect() };
+    let set =
+        |items: &[&str]| -> BTreeSet<String> { items.iter().map(|s| s.to_string()).collect() };
     println!("== Appendix D: worked comparison example ==");
 
     // Horizontal, depth one: {a,b,c}, {a,c}, {a,b,c} → .77
-    let d1 = vec![set(&["a", "b", "c"]), set(&["a", "c"]), set(&["a", "b", "c"])];
+    let d1 = vec![
+        set(&["a", "b", "c"]),
+        set(&["a", "c"]),
+        set(&["a", "b", "c"]),
+    ];
     println!(
         "depth-1 Jaccard (2/3 + 1 + 2/3)/3 = {:.2}   (paper: .77)",
         pairwise_mean_jaccard(&d1).unwrap()

@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = BrowserConfig::default().with_version(86).with_interaction(false).with_headless(true);
+        let c = BrowserConfig::default()
+            .with_version(86)
+            .with_interaction(false)
+            .with_headless(true);
         assert_eq!(c.version, 86);
         assert!(!c.interaction);
         assert!(c.headless);

@@ -47,8 +47,7 @@ impl<'a> Browser<'a> {
         visit_seed: u64,
         jar: &mut CookieJar,
     ) -> VisitResult {
-        let result = visit_page_with_jar(self.universe, &self.config, page_url, visit_seed, jar);
-        result
+        visit_page_with_jar(self.universe, &self.config, page_url, visit_seed, jar)
     }
 }
 
@@ -91,9 +90,11 @@ pub fn visit_page_with_jar(
     visit_seed: u64,
     jar: &mut CookieJar,
 ) -> VisitResult {
+    wmtree_telemetry::counter!("browser.visit.started").inc();
     // Crawler-level failure (bot blocks, crashes, unreachable hosts).
     let fail_roll = stable_hash(visit_seed, b"visit-fail") as f64 / u64::MAX as f64;
     if fail_roll < config.visit_failure_rate {
+        wmtree_telemetry::counter!("browser.visit.failed").inc();
         return VisitResult::failed(page_url.clone());
     }
 
@@ -130,7 +131,10 @@ pub fn visit_page_with_jar(
         call_stack: Vec::new(),
         trigger: TriggerSource::Navigation,
         redirect_from: None,
-        frame_navigation: Some(FrameNav { frame_id: 0, parent_frame_id: None }),
+        frame_navigation: Some(FrameNav {
+            frame_id: 0,
+            parent_frame_id: None,
+        }),
     };
     queue.push(Reverse((0, seq, TaskBox(root_task))));
     seq += 1;
@@ -147,7 +151,9 @@ pub fn visit_page_with_jar(
         }
         // Parse the concrete URL; templates were materialized at
         // scheduling time.
-        let Ok(url) = Url::parse(&task.url) else { continue };
+        let Ok(url) = Url::parse(&task.url) else {
+            continue;
+        };
 
         // Per-visit cache: each distinct URL is fetched once.
         if !seen_urls.insert(task.url.clone()) {
@@ -320,8 +326,17 @@ pub fn visit_page_with_jar(
     }
 
     if !main_doc_loaded {
+        wmtree_telemetry::counter!("browser.visit.failed").inc();
         return VisitResult::failed(page_url.clone());
     }
+
+    wmtree_telemetry::counter!("browser.visit.ok").inc();
+    if timed_out {
+        wmtree_telemetry::counter!("browser.visit.timeout").inc();
+    }
+    // Both are virtual-clock quantities — deterministic per seed.
+    wmtree_telemetry::histogram!("browser.visit.requests").record(requests.len() as u64);
+    wmtree_telemetry::histogram!("browser.visit.duration_ms").record(last_completed);
 
     VisitResult {
         page_url: page_url.clone(),
@@ -468,7 +483,8 @@ mod tests {
         let page = u.sites()[0].landing_url();
         let vo = old.visit(&page, 3);
         let vn = new.visit(&page, 3);
-        let has = |v: &VisitResult, frag: &str| v.requests.iter().any(|r| r.url.as_str().contains(frag));
+        let has =
+            |v: &VisitResult, frag: &str| v.requests.iter().any(|r| r.url.as_str().contains(frag));
         assert!(has(&vo, "app-legacy"));
         assert!(!has(&vn, "app-legacy"));
         assert!(has(&vn, "app-v"));
@@ -493,14 +509,13 @@ mod tests {
         // Find a visit with analytics traffic.
         for (i, site) in u.sites().iter().enumerate() {
             let v = b.visit(&site.landing_url(), 100 + i as u64);
-            if let Some(r) = v
-                .requests
-                .iter()
-                .find(|r| {
-                    r.url.host().ends_with("metricsphere.com") && r.url.path().starts_with("/collect")
-                })
-            {
-                assert_eq!(r.call_stack.last().unwrap().url, "https://metricsphere.com/tag.js");
+            if let Some(r) = v.requests.iter().find(|r| {
+                r.url.host().ends_with("metricsphere.com") && r.url.path().starts_with("/collect")
+            }) {
+                assert_eq!(
+                    r.call_stack.last().unwrap().url,
+                    "https://metricsphere.com/tag.js"
+                );
                 return;
             }
         }
@@ -555,7 +570,11 @@ mod tests {
         // Find a site whose pages load the consent manager.
         for (i, site) in u.sites().iter().enumerate() {
             let fresh = b.visit(&site.landing_url(), 700 + i as u64);
-            let has_cmp = |v: &VisitResult| v.requests.iter().any(|r| r.url.host().contains("consent-shield"));
+            let has_cmp = |v: &VisitResult| {
+                v.requests
+                    .iter()
+                    .any(|r| r.url.host().contains("consent-shield"))
+            };
             if !has_cmp(&fresh) {
                 continue;
             }
@@ -565,7 +584,10 @@ mod tests {
             assert!(has_cmp(&first), "first stateful visit is fresh");
             assert!(!jar.is_empty(), "jar carries cookies forward");
             let second = b.visit_stateful(&site.page_url(1), 800 + i as u64, &mut jar);
-            assert!(!has_cmp(&second), "returning visitor skips the consent banner");
+            assert!(
+                !has_cmp(&second),
+                "returning visitor skips the consent banner"
+            );
             // Stateless visit of the same page still shows it.
             let stateless = b.visit(&site.page_url(1), 800 + i as u64);
             assert!(has_cmp(&stateless));
@@ -598,7 +620,8 @@ mod tests {
         // Nothing starts at or after the timeout.
         assert!(v.requests.iter().all(|r| r.started_ms < 15));
         // Far fewer requests than the untimed visit.
-        let full = Browser::new(&u, BrowserConfig::reliable()).visit(&u.sites()[0].landing_url(), 5);
+        let full =
+            Browser::new(&u, BrowserConfig::reliable()).visit(&u.sites()[0].landing_url(), 5);
         assert!(v.request_count() < full.request_count());
     }
 
@@ -611,7 +634,8 @@ mod tests {
         for (i, site) in u.sites().iter().enumerate() {
             let vg = gui.visit(&site.landing_url(), 40 + i as u64);
             let vh = headless.visit(&site.landing_url(), 40 + i as u64);
-            let prem = |v: &VisitResult| v.requests.iter().any(|r| r.url.path().contains("premium"));
+            let prem =
+                |v: &VisitResult| v.requests.iter().any(|r| r.url.path().contains("premium"));
             if prem(&vg) {
                 assert!(!prem(&vh), "headless browser must skip premium slots");
                 return;

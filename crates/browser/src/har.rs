@@ -126,8 +126,14 @@ pub fn to_har(visit: &VisitResult) -> Har {
             pageref: page_id.clone(),
             started: format!("{}ms", r.started_ms),
             time: r.completed_ms.saturating_sub(r.started_ms),
-            request: HarRequest { method: "GET".into(), url: r.url.as_str() },
-            response: HarResponse { status: r.status.0, set_cookies: r.set_cookies.clone() },
+            request: HarRequest {
+                method: "GET".into(),
+                url: r.url.as_str(),
+            },
+            response: HarResponse {
+                status: r.status.0,
+                set_cookies: r.set_cookies.clone(),
+            },
             wmtree: HarExt {
                 resource_type: r.resource_type.label().to_string(),
                 frame_id: r.frame_id,
@@ -147,12 +153,17 @@ pub fn to_har(visit: &VisitResult) -> Har {
     Har {
         log: HarLog {
             version: "1.2".into(),
-            creator: HarCreator { name: "wmtree".into(), version: env!("CARGO_PKG_VERSION").into() },
+            creator: HarCreator {
+                name: "wmtree".into(),
+                version: env!("CARGO_PKG_VERSION").into(),
+            },
             pages: vec![HarPage {
                 id: page_id,
                 title: visit.page_url.as_str(),
                 started: "0ms".into(),
-                timings: HarPageTimings { on_load: visit.duration_ms },
+                timings: HarPageTimings {
+                    on_load: visit.duration_ms,
+                },
             }],
             entries,
         },
@@ -196,7 +207,11 @@ mod tests {
         // Navigation entry first.
         assert_eq!(har.log.entries[0].wmtree.trigger, "navigation");
         // Some entry carries an initiator script (call stack).
-        assert!(har.log.entries.iter().any(|e| e.wmtree.initiator_script.is_some()));
+        assert!(har
+            .log
+            .entries
+            .iter()
+            .any(|e| e.wmtree.initiator_script.is_some()));
     }
 
     #[test]

@@ -22,8 +22,14 @@ impl VisitIds {
     /// Derive the visit's identifiers from its seed.
     pub fn new(visit_seed: u64) -> VisitIds {
         VisitIds {
-            sid: format!("{:012x}", stable_hash(visit_seed, b"sid") & 0xffff_ffff_ffff),
-            uid: format!("{:012x}", stable_hash(visit_seed, b"uid") & 0xffff_ffff_ffff),
+            sid: format!(
+                "{:012x}",
+                stable_hash(visit_seed, b"sid") & 0xffff_ffff_ffff
+            ),
+            uid: format!(
+                "{:012x}",
+                stable_hash(visit_seed, b"uid") & 0xffff_ffff_ffff
+            ),
             cb_counter: 0,
             cb_seed: stable_hash(visit_seed, b"cb"),
         }
@@ -42,7 +48,9 @@ impl VisitIds {
     /// Materialize all placeholders in a URL template. Each call
     /// consumes fresh cache-busters for `{cb}` occurrences.
     pub fn materialize(&mut self, template: &str) -> String {
-        let mut out = template.replace("{sid}", &self.sid).replace("{uid}", &self.uid);
+        let mut out = template
+            .replace("{sid}", &self.sid)
+            .replace("{uid}", &self.uid);
         while let Some(pos) = out.find("{cb}") {
             self.cb_counter += 1;
             let cb = stable_hash(self.cb_seed, &self.cb_counter.to_le_bytes()) & 0xffff_ffff;

@@ -106,13 +106,22 @@ pub fn url_normalization(config: &ExperimentConfig) -> AblationOutcome {
         &db,
         &profiles,
         &meta,
-        &TreeConfig { normalize_urls: false, ..TreeConfig::default() },
+        &TreeConfig {
+            normalize_urls: false,
+            ..TreeConfig::default()
+        },
     );
     AblationOutcome {
         knob: "url-normalization (mean child similarity)".into(),
         arms: vec![
-            (format!("normalized ({} nodes)", distinct_nodes(&on) as u64), mean_child_similarity(&on)),
-            (format!("raw ({} nodes)", distinct_nodes(&off) as u64), mean_child_similarity(&off)),
+            (
+                format!("normalized ({} nodes)", distinct_nodes(&on) as u64),
+                mean_child_similarity(&on),
+            ),
+            (
+                format!("raw ({} nodes)", distinct_nodes(&off) as u64),
+                mean_child_similarity(&off),
+            ),
         ],
     }
 }
@@ -125,7 +134,10 @@ pub fn callstack_mode(config: &ExperimentConfig) -> AblationOutcome {
         &db,
         &profiles,
         &meta,
-        &TreeConfig { call_stack_mode: CallStackMode::FullWalk, ..TreeConfig::default() },
+        &TreeConfig {
+            call_stack_mode: CallStackMode::FullWalk,
+            ..TreeConfig::default()
+        },
     );
     AblationOutcome {
         knob: "callstack-attribution (mean child similarity)".into(),
@@ -144,7 +156,10 @@ pub fn vetting(config: &ExperimentConfig) -> AblationOutcome {
     let arms = (1..=db.n_profiles())
         .map(|k| (format!("k≥{k}"), db.vetted_pages_k(k).len() as f64))
         .collect();
-    AblationOutcome { knob: format!("vetting (pages kept; all-profiles keeps {k_all})"), arms }
+    AblationOutcome {
+        knob: format!("vetting (pages kept; all-profiles keeps {k_all})"),
+        arms,
+    }
 }
 
 /// §3.1.1 ablation: how much traffic simulated interaction adds
@@ -165,7 +180,10 @@ pub fn interaction_variants(config: &ExperimentConfig) -> AblationOutcome {
     };
     AblationOutcome {
         knob: "user-interaction (total nodes)".into(),
-        arms: vec![("with".into(), nodes(&with)), ("without".into(), nodes(&without))],
+        arms: vec![
+            ("with".into(), nodes(&with)),
+            ("without".into(), nodes(&without)),
+        ],
     }
 }
 
@@ -196,13 +214,23 @@ pub fn filter_lists(config: &ExperimentConfig) -> AblationOutcome {
                 }
             }
         }
-        if total == 0 { 0.0 } else { tracking as f64 / total as f64 }
+        if total == 0 {
+            0.0
+        } else {
+            tracking as f64 / total as f64
+        }
     };
     AblationOutcome {
         knob: "filter-lists (tracking node share)".into(),
         arms: vec![
-            ("EasyList analogue (paper)".into(), share(embedded::tracking_list())),
-            ("+ EasyPrivacy analogue".into(), share(embedded::combined_list())),
+            (
+                "EasyList analogue (paper)".into(),
+                share(embedded::tracking_list()),
+            ),
+            (
+                "+ EasyPrivacy analogue".into(),
+                share(embedded::combined_list()),
+            ),
         ],
     }
 }
@@ -238,7 +266,10 @@ pub fn statefulness(config: &ExperimentConfig) -> AblationOutcome {
     };
     AblationOutcome {
         knob: "statefulness (consent requests per visit)".into(),
-        arms: vec![("stateless (paper)".into(), run(false)), ("stateful".into(), run(true))],
+        arms: vec![
+            ("stateless (paper)".into(), run(false)),
+            ("stateful".into(), run(true)),
+        ],
     }
 }
 
@@ -275,7 +306,13 @@ pub fn tree_metric(config: &ExperimentConfig) -> AblationOutcome {
         };
         edge_set.push(jaccard(&edges(ta), &edges(tb)));
     }
-    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     AblationOutcome {
         knob: "tree-metric (Sim1 vs Sim2 similarity)".into(),
         arms: vec![
@@ -346,7 +383,10 @@ mod tests {
         let out = statefulness(cfg());
         let stateless = out.arms[0].1;
         let stateful = out.arms[1].1;
-        assert!(stateful < stateless, "stateful {stateful} vs stateless {stateless}");
+        assert!(
+            stateful < stateless,
+            "stateful {stateful} vs stateless {stateless}"
+        );
     }
 
     #[test]

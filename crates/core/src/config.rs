@@ -74,7 +74,9 @@ impl ExperimentConfig {
             },
             profiles: wmtree_crawler::standard_profiles(),
             max_pages_per_site: scale.max_pages(),
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             experiment_seed: 0x1317,
             reliable: false,
             tree: TreeConfig::default(),

@@ -83,7 +83,10 @@ impl Report {
     /// Fig. 7 as CSV: `kind,resource_type,depth,similarity`.
     pub fn fig7_csv(&self) -> String {
         let mut out = String::from("kind,resource_type,depth,similarity\n");
-        for (kind, m) in [("children", &self.fig7.children), ("parents", &self.fig7.parents)] {
+        for (kind, m) in [
+            ("children", &self.fig7.children),
+            ("parents", &self.fig7.parents),
+        ] {
             for (ty, series) in m {
                 for (d, v) in series.iter().enumerate() {
                     let _ = writeln!(out, "{kind},{},{d},{v:.6}", field(ty.label()));

@@ -3,10 +3,12 @@
 
 use crate::config::ExperimentConfig;
 use std::collections::BTreeMap;
+use std::time::Duration;
 use wmtree_analysis::node_similarity::{analyze_all, PageNodeSimilarities};
 use wmtree_analysis::ExperimentData;
 use wmtree_crawler::{Commander, CrawlOptions, ProfileStats};
 use wmtree_filterlist::embedded::tracking_list;
+use wmtree_telemetry::{ManifestProfile, MetricValue, ProgressTracker, RunManifest, Stopwatch};
 use wmtree_webgen::WebUniverse;
 
 /// Everything a run produces, ready for [`crate::Report::generate`].
@@ -24,6 +26,10 @@ pub struct ExperimentResults {
     pub successful_visits: usize,
     /// Sites surviving vetting.
     pub vetted_sites: usize,
+    /// Observability record of the run: stage wall times, crawl
+    /// progress, and the metrics recorded between run start and end
+    /// (snapshot diff, so concurrent history does not leak in).
+    pub manifest: RunManifest,
 }
 
 /// A configured experiment.
@@ -31,13 +37,23 @@ pub struct ExperimentResults {
 pub struct Experiment {
     config: ExperimentConfig,
     universe: WebUniverse,
+    /// Wall time of universe generation (the `generate` stage happens
+    /// in [`Experiment::new`], before `run`).
+    gen_wall: Duration,
 }
 
 impl Experiment {
     /// Generate the universe for a configuration.
     pub fn new(config: ExperimentConfig) -> Experiment {
+        let _span = wmtree_telemetry::span("experiment.generate");
+        let mut sw = Stopwatch::start();
         let universe = WebUniverse::generate(config.universe);
-        Experiment { config, universe }
+        let gen_wall = sw.lap("generate");
+        Experiment {
+            config,
+            universe,
+            gen_wall,
+        }
     }
 
     /// The generated universe.
@@ -50,8 +66,38 @@ impl Experiment {
         &self.config
     }
 
-    /// Run the crawl and all per-node analyses.
+    /// Run the crawl and all per-node analyses, assembling the run
+    /// manifest (stage wall times, crawl progress, metric diff) along
+    /// the way.
     pub fn run(&self) -> ExperimentResults {
+        let _run_span = wmtree_telemetry::span("experiment.run");
+        let metrics_before = wmtree_telemetry::global().snapshot();
+        let mut sw = Stopwatch::start();
+        let mut manifest = RunManifest::new(
+            self.config.experiment_seed,
+            format!(
+                "{} sites × ≤{} pages × {} profiles",
+                self.universe.sites().len(),
+                self.config.max_pages_per_site,
+                self.config.profiles.len(),
+            ),
+        );
+        manifest.profiles = self
+            .config
+            .profiles
+            .iter()
+            .map(|p| ManifestProfile {
+                name: p.name.clone(),
+                version: p.version,
+                user_interaction: p.user_interaction,
+                gui: p.gui,
+                country: p.country.clone(),
+            })
+            .collect();
+        manifest.push_stage("generate", self.gen_wall);
+
+        let progress =
+            ProgressTracker::new(self.universe.sites().len(), self.config.workers.max(1));
         let commander = Commander::new(
             &self.universe,
             self.config.profiles.clone(),
@@ -63,7 +109,9 @@ impl Experiment {
                 stateful: false,
             },
         );
-        let db = commander.run();
+        let db = commander.run_with_progress(&progress);
+        let crawl_wall = sw.lap("crawl");
+        manifest.push_stage("crawl", crawl_wall);
 
         let site_meta: BTreeMap<String, (u32, String)> = self
             .universe
@@ -71,14 +119,35 @@ impl Experiment {
             .iter()
             .map(|s| (s.domain.clone(), (s.rank, s.bucket.label().to_string())))
             .collect();
-        let names = self.config.profiles.iter().map(|p| p.name.clone()).collect();
+        let names = self
+            .config
+            .profiles
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
         let filter = if self.config.use_filter_list {
             Some(tracking_list())
         } else {
             None
         };
-        let data = ExperimentData::from_db(&db, names, filter, &self.config.tree, &site_meta);
+        let data = {
+            let _span = wmtree_telemetry::span("experiment.build_trees");
+            ExperimentData::from_db(&db, names, filter, &self.config.tree, &site_meta)
+        };
+        manifest.push_stage("build_trees", sw.lap("build_trees"));
         let sims = analyze_all(&data);
+        manifest.push_stage("analyze", sw.lap("analyze"));
+
+        manifest.metrics = wmtree_telemetry::global().snapshot().since(&metrics_before);
+        let mut progress_snap = progress.snapshot();
+        // Stalls are sampled deep inside the network model where the
+        // tracker is out of reach; recover the count from the metric
+        // diff so the progress record is complete.
+        if let Some(MetricValue::Counter(n)) = manifest.metrics.metrics.get("net.fetch.stalled") {
+            progress_snap.stalls = *n;
+        }
+        manifest.progress = Some(progress_snap);
+        manifest.timings = wmtree_telemetry::global().timings().snapshot();
 
         ExperimentResults {
             profile_stats: db.profile_stats(),
@@ -87,6 +156,7 @@ impl Experiment {
             vetted_sites: db.vetted_sites().len(),
             sims,
             data,
+            manifest,
         }
     }
 }

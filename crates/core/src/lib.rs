@@ -56,6 +56,7 @@ pub use wmtree_crawler as crawler;
 pub use wmtree_filterlist as filterlist;
 pub use wmtree_net as net;
 pub use wmtree_stats as stats;
+pub use wmtree_telemetry as telemetry;
 pub use wmtree_tree as tree;
 pub use wmtree_url as url;
 pub use wmtree_webgen as webgen;

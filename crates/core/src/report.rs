@@ -15,7 +15,9 @@ use wmtree_analysis::profiles::{self, LevelSplitSimilarity, ProfileComparison, P
 use wmtree_analysis::significance::{self, SignificanceReport};
 use wmtree_analysis::stability::{self, StabilityReport};
 use wmtree_analysis::tracking::{self, TrackingStats};
-use wmtree_analysis::type_similarity::{self, SubframeImpact, TypeDepthSimilarity, TypeShareBySimilarity};
+use wmtree_analysis::type_similarity::{
+    self, SubframeImpact, TypeDepthSimilarity, TypeShareBySimilarity,
+};
 use wmtree_analysis::unique_nodes::{self, UniqueNodeStats};
 use wmtree_stats::histogram::Histogram2D;
 
@@ -106,6 +108,13 @@ impl Report {
             .collect();
         let no_interaction: Vec<usize> = noaction.into_iter().collect();
 
+        // Wall-time each artifact under `report.<artifact>` so slow
+        // tables show up in the run manifest's timing section.
+        fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
+            let _span = wmtree_telemetry::span(name);
+            f()
+        }
+
         Report {
             crawl: CrawlSummary {
                 pages_discovered: results.pages_discovered,
@@ -119,39 +128,69 @@ impl Report {
                     .zip(results.profile_stats.iter().map(|s| s.success_rate()))
                     .collect(),
             },
-            table2: presence::tree_overview(data, sims),
-            table3: depth_similarity::table3(data),
-            table4a: chains::table4a(sims, 5),
-            table4b: chains::table4b(sims, 5),
-            table5: profiles::table5(data),
-            table6: profiles::table6(data, reference),
-            table7: popularity::popularity(data, sims),
-            fig1: distributions::depth_breadth_grid(data, 60, 30),
-            fig2: distributions::similarity_distributions(sims),
-            fig3: composition::composition(data, 6),
-            fig4: depth_similarity::similarity_by_depth(sims, 4),
-            fig5a: type_similarity::type_share_by_similarity(
-                sims,
-                type_similarity::SimilarityKind::Parent,
-                10,
-            ),
-            fig5b: type_similarity::type_share_by_similarity(
-                sims,
-                type_similarity::SimilarityKind::Child,
-                10,
-            ),
-            fig7: type_similarity::type_depth_similarity(sims, 10),
-            fig8: distributions::children_by_depth(data, 20),
-            chain_stats: chains::chain_stats(sims),
-            subframe_impact: type_similarity::subframe_impact(sims),
-            party_presence: composition::party_presence(sims),
-            sim1_sim2_split: profiles::level_split_similarity(data, reference, sim2, 5),
-            unique_nodes: unique_nodes::unique_node_stats(data, 5),
-            cookie_stats: cookies::cookie_stats(data, noaction),
-            tracking_stats: tracking::tracking_stats(data, sims),
-            significance: significance::significance(data, sims, &interaction, &no_interaction),
-            stability: stability::experiment_stability(data, sims),
+            table2: timed("report.table2", || presence::tree_overview(data, sims)),
+            table3: timed("report.table3", || depth_similarity::table3(data)),
+            table4a: timed("report.table4a", || chains::table4a(sims, 5)),
+            table4b: timed("report.table4b", || chains::table4b(sims, 5)),
+            table5: timed("report.table5", || profiles::table5(data)),
+            table6: timed("report.table6", || profiles::table6(data, reference)),
+            table7: timed("report.table7", || popularity::popularity(data, sims)),
+            fig1: timed("report.fig1", || {
+                distributions::depth_breadth_grid(data, 60, 30)
+            }),
+            fig2: timed("report.fig2", || {
+                distributions::similarity_distributions(sims)
+            }),
+            fig3: timed("report.fig3", || composition::composition(data, 6)),
+            fig4: timed("report.fig4", || {
+                depth_similarity::similarity_by_depth(sims, 4)
+            }),
+            fig5a: timed("report.fig5a", || {
+                type_similarity::type_share_by_similarity(
+                    sims,
+                    type_similarity::SimilarityKind::Parent,
+                    10,
+                )
+            }),
+            fig5b: timed("report.fig5b", || {
+                type_similarity::type_share_by_similarity(
+                    sims,
+                    type_similarity::SimilarityKind::Child,
+                    10,
+                )
+            }),
+            fig7: timed("report.fig7", || {
+                type_similarity::type_depth_similarity(sims, 10)
+            }),
+            fig8: timed("report.fig8", || distributions::children_by_depth(data, 20)),
+            chain_stats: timed("report.chains", || chains::chain_stats(sims)),
+            subframe_impact: timed("report.subframes", || {
+                type_similarity::subframe_impact(sims)
+            }),
+            party_presence: timed("report.party_presence", || {
+                composition::party_presence(sims)
+            }),
+            sim1_sim2_split: timed("report.sim1_sim2", || {
+                profiles::level_split_similarity(data, reference, sim2, 5)
+            }),
+            unique_nodes: timed("report.unique_nodes", || {
+                unique_nodes::unique_node_stats(data, 5)
+            }),
+            cookie_stats: timed("report.cookies", || cookies::cookie_stats(data, noaction)),
+            tracking_stats: timed("report.tracking", || tracking::tracking_stats(data, sims)),
+            significance: timed("report.significance", || {
+                significance::significance(data, sims, &interaction, &no_interaction)
+            }),
+            stability: timed("report.stability", || {
+                stability::experiment_stability(data, sims)
+            }),
         }
+    }
+
+    /// Render the run's telemetry summary (stage wall times, crawl
+    /// progress, metrics) in the report's section style.
+    pub fn render_telemetry(manifest: &wmtree_telemetry::RunManifest) -> String {
+        format!("== Telemetry (run manifest) ==\n{}\n", manifest.summary())
     }
 
     /// Serialize the full report to pretty JSON (the raw-data release).
@@ -161,6 +200,7 @@ impl Report {
 
     /// Render the full paper-style text report.
     pub fn render(&self) -> String {
+        let _span = wmtree_telemetry::span("report.render");
         let mut out = String::new();
         let _ = write!(
             out,
@@ -198,7 +238,11 @@ impl Report {
             self.crawl.vetted_pages, self.crawl.vetted_sites
         );
         for (name, rate) in &self.crawl.success_rates {
-            let _ = writeln!(s, "  {name:<9} success rate {:.1}%  (paper: ≥89%)", rate * 100.0);
+            let _ = writeln!(
+                s,
+                "  {name:<9} success rate {:.1}%  (paper: ≥89%)",
+                rate * 100.0
+            );
         }
         s.push('\n');
         s
@@ -208,11 +252,19 @@ impl Report {
     pub fn render_table2(&self) -> String {
         let t = &self.table2;
         let mut s = String::from("== Table 2: high-level overview of the measured trees ==\n");
-        let _ = writeln!(s, "{:<9} {:>8} {:>8} {:>8} {:>8}", "Tree", "avg", "SD", "min", "max");
+        let _ = writeln!(
+            s,
+            "{:<9} {:>8} {:>8} {:>8} {:>8}",
+            "Tree", "avg", "SD", "min", "max"
+        );
         for (name, v, paper) in [
             ("nodes", &t.nodes, "paper: avg 84, SD 99, min 1, max 12k"),
             ("depth", &t.depth, "paper: avg 3.6, SD 2.2, min 0, max 30"),
-            ("breadth", &t.breadth, "paper: avg 44, SD 58, min 1, max 12k"),
+            (
+                "breadth",
+                &t.breadth,
+                "paper: avg 44, SD 58, min 1, max 12k",
+            ),
         ] {
             let _ = writeln!(
                 s,
@@ -225,8 +277,16 @@ impl Report {
             "node present in X profiles (avg): {:.1}   (paper: 3.6)",
             t.avg_presence
         );
-        let _ = writeln!(s, "present in all profiles: {:.0}%   (paper: 52%)", t.share_in_all * 100.0);
-        let _ = writeln!(s, "present in one profile:  {:.0}%   (paper: 24%)", t.share_in_one * 100.0);
+        let _ = writeln!(
+            s,
+            "present in all profiles: {:.0}%   (paper: 52%)",
+            t.share_in_all * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "present in one profile:  {:.0}%   (paper: 24%)",
+            t.share_in_one * 100.0
+        );
         let _ = writeln!(
             s,
             "trees with depth<6 and breadth<21: {:.0}%   (paper: 56%)\n",
@@ -240,7 +300,11 @@ impl Report {
         let mut s = String::from("== Fig. 1: depth (rows) × breadth (cols) distribution ==\n");
         let g = &self.fig1;
         // Coarse 10×10 view of the 60×30 grid.
-        let _ = writeln!(s, "(counts, breadth bucketed by 6, depth by 3; total {})", g.total());
+        let _ = writeln!(
+            s,
+            "(counts, breadth bucketed by 6, depth by 3; total {})",
+            g.total()
+        );
         for dr in 0..10 {
             let mut row = String::new();
             for br in 0..10 {
@@ -261,7 +325,7 @@ impl Report {
     /// Fig. 2 rendering.
     pub fn render_fig2(&self) -> String {
         let mut s = String::from("== Fig. 2: distribution of node similarities ==\n");
-        let _ = writeln!(s, "{:<10} {}", "bin", "children / parents (relative frequency)");
+        let _ = writeln!(s, "{:<10} children / parents (relative frequency)", "bin");
         let rc = self.fig2.children.relative();
         let rp = self.fig2.parents.relative();
         for i in 0..rc.len() {
@@ -315,7 +379,11 @@ impl Report {
                 continue;
             }
             let pct = |n: usize| 100.0 * n as f64 / total as f64;
-            let label = if d + 1 == self.fig3.levels.len() { format!("{d}+") } else { d.to_string() };
+            let label = if d + 1 == self.fig3.levels.len() {
+                format!("{d}+")
+            } else {
+                d.to_string()
+            };
             let _ = writeln!(
                 s,
                 "{label:<7} {total:>9} {:>6.0}% {:>6.0}% {:>8.0}% {:>11.0}%",
@@ -347,7 +415,10 @@ impl Report {
                 row.n
             );
         }
-        let _ = writeln!(s, "(paper: main frames 90%, Web sockets 88%, XHR 75%, JS 65%, CSS 54%)");
+        let _ = writeln!(
+            s,
+            "(paper: main frames 90%, Web sockets 88%, XHR 75%, JS 65%, CSS 54%)"
+        );
         s.push_str("== Table 4b: types with the lowest parent similarity ==\n");
         for row in &self.table4b {
             let _ = writeln!(
@@ -358,7 +429,10 @@ impl Report {
                 row.n
             );
         }
-        let _ = writeln!(s, "(paper: CSP reports .10, images .25, Web sockets .27, CSS .31, beacons .34)\n");
+        let _ = writeln!(
+            s,
+            "(paper: CSP reports .10, images .25, Web sockets .27, CSS .31, beacons .34)\n"
+        );
         s
     }
 
@@ -373,10 +447,20 @@ impl Report {
             .zip(&self.fig4.counts)
             .enumerate()
         {
-            let label = if d + 1 == self.fig4.children.len() { format!("{d}+") } else { d.to_string() };
-            let _ = writeln!(s, "depth {label:<3} children {c:.2}  parents {p:.2}  (n={n})");
+            let label = if d + 1 == self.fig4.children.len() {
+                format!("{d}+")
+            } else {
+                d.to_string()
+            };
+            let _ = writeln!(
+                s,
+                "depth {label:<3} children {c:.2}  parents {p:.2}  (n={n})"
+            );
         }
-        let _ = writeln!(s, "(paper: similarity decays with depth, recovering in very deep branches)\n");
+        let _ = writeln!(
+            s,
+            "(paper: similarity decays with depth, recovering in very deep branches)\n"
+        );
         s
     }
 
@@ -385,7 +469,11 @@ impl Report {
         let mut s =
             String::from("== Fig. 5: resource-type share by per-page average similarity ==\n");
         for (name, fig) in [("5a parents", &self.fig5a), ("5b children", &self.fig5b)] {
-            let _ = writeln!(s, "-- {name} (pages per bucket: {:?})", fig.pages_per_bucket);
+            let _ = writeln!(
+                s,
+                "-- {name} (pages per bucket: {:?})",
+                fig.pages_per_bucket
+            );
             for (ty, series) in &fig.shares {
                 if series.iter().all(|v| *v == 0.0) {
                     continue;
@@ -431,14 +519,33 @@ impl Report {
             let _ = write!(s, "{:>10}", c.name);
         }
         s.push('\n');
-        let rows: Vec<(&str, Box<dyn Fn(&ProfileComparison) -> f64>)> = vec![
-            ("FP children perfect %", Box::new(|c| c.fp_children_perfect * 100.0)),
-            ("FP children none %", Box::new(|c| c.fp_children_none * 100.0)),
-            ("TP children perfect %", Box::new(|c| c.tp_children_perfect * 100.0)),
-            ("TP children none %", Box::new(|c| c.tp_children_none * 100.0)),
-            ("FP parent perfect %", Box::new(|c| c.fp_parent_perfect * 100.0)),
+        type RowExtractor = Box<dyn Fn(&ProfileComparison) -> f64>;
+        let rows: Vec<(&str, RowExtractor)> = vec![
+            (
+                "FP children perfect %",
+                Box::new(|c| c.fp_children_perfect * 100.0),
+            ),
+            (
+                "FP children none %",
+                Box::new(|c| c.fp_children_none * 100.0),
+            ),
+            (
+                "TP children perfect %",
+                Box::new(|c| c.tp_children_perfect * 100.0),
+            ),
+            (
+                "TP children none %",
+                Box::new(|c| c.tp_children_none * 100.0),
+            ),
+            (
+                "FP parent perfect %",
+                Box::new(|c| c.fp_parent_perfect * 100.0),
+            ),
             ("FP parent none %", Box::new(|c| c.fp_parent_none * 100.0)),
-            ("TP parent perfect %", Box::new(|c| c.tp_parent_perfect * 100.0)),
+            (
+                "TP parent perfect %",
+                Box::new(|c| c.tp_parent_perfect * 100.0),
+            ),
             ("TP parent none %", Box::new(|c| c.tp_parent_none * 100.0)),
             ("parent sim mean (✻ d≥2)", Box::new(|c| c.parent_sim_mean)),
             ("child sim mean (✚)", Box::new(|c| c.child_sim_mean)),
@@ -487,8 +594,11 @@ impl Report {
             u.depth.sd,
             u.depth1_share * 100.0
         );
-        let hosts: Vec<String> =
-            u.top_hosts.iter().map(|(h, p)| format!("{h} ({:.0}%)", p * 100.0)).collect();
+        let hosts: Vec<String> = u
+            .top_hosts
+            .iter()
+            .map(|(h, p)| format!("{h} ({:.0}%)", p * 100.0))
+            .collect();
         let _ = writeln!(s, "top unique-node hosts: {}", hosts.join(", "));
         let _ = writeln!(
             s,
@@ -522,7 +632,11 @@ impl Report {
 
         let t = &self.tracking_stats;
         s.push_str("== §5.3 Tracking requests ==\n");
-        let _ = writeln!(s, "tracking node share {:.0}%   (paper: 22%)", t.tracking_share * 100.0);
+        let _ = writeln!(
+            s,
+            "tracking node share {:.0}%   (paper: 22%)",
+            t.tracking_share * 100.0
+        );
         let _ = writeln!(
             s,
             "children sim: tracking {:.2} vs non {:.2}   (paper: .62 vs .75)",
@@ -586,7 +700,10 @@ impl Report {
     /// Fig. 7 rendering.
     pub fn render_fig7(&self) -> String {
         let mut s = String::from("== Fig. 7: similarity by resource type and depth ==\n");
-        for (name, m) in [("children", &self.fig7.children), ("parents", &self.fig7.parents)] {
+        for (name, m) in [
+            ("children", &self.fig7.children),
+            ("parents", &self.fig7.parents),
+        ] {
             let _ = writeln!(s, "-- {name} (depth 0..10+)");
             for (ty, series) in m {
                 let vals: Vec<String> = series.iter().map(|v| format!("{v:.2}")).collect();
@@ -617,7 +734,11 @@ impl Report {
             if *m == 0.0 && *mnl == 0.0 {
                 continue;
             }
-            let label = if d + 1 == self.fig8.mean_children.len() { format!("{d}+") } else { d.to_string() };
+            let label = if d + 1 == self.fig8.mean_children.len() {
+                format!("{d}+")
+            } else {
+                d.to_string()
+            };
             let _ = writeln!(s, "depth {label:<3} mean {m:.2}  (non-leaf only: {mnl:.2})");
         }
         s.push('\n');
@@ -628,14 +749,46 @@ impl Report {
     pub fn render_chains(&self) -> String {
         let c = &self.chain_stats;
         let mut s = String::from("== §4.2 Dependency chains ==\n");
-        let _ = writeln!(s, "same chains (nodes in all trees):     {:.0}%   (paper: 75%)", c.same_chain_share * 100.0);
-        let _ = writeln!(s, "same chains excluding depth 1:        {:.0}%   (paper: 57%)", c.same_chain_share_depth2 * 100.0);
-        let _ = writeln!(s, "unique chains:                        {:.0}%   (paper: 18%)", c.unique_chain_share * 100.0);
-        let _ = writeln!(s, "first-party same chain:               {:.0}%   (paper: 86%)", c.fp_same_chain * 100.0);
-        let _ = writeln!(s, "third-party same chain:               {:.0}%   (paper: 56%)", c.tp_same_chain * 100.0);
-        let _ = writeln!(s, "tracking same chain:                  {:.0}%   (paper: 28%)", c.tracking_same_chain * 100.0);
-        let _ = writeln!(s, "non-tracking same chain:              {:.0}%   (paper: 66%)", c.non_tracking_same_chain * 100.0);
-        let _ = writeln!(s, "same parent (same-depth, d≥2):        {:.0}%   (paper: 61%)", c.same_parent_share * 100.0);
+        let _ = writeln!(
+            s,
+            "same chains (nodes in all trees):     {:.0}%   (paper: 75%)",
+            c.same_chain_share * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "same chains excluding depth 1:        {:.0}%   (paper: 57%)",
+            c.same_chain_share_depth2 * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "unique chains:                        {:.0}%   (paper: 18%)",
+            c.unique_chain_share * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "first-party same chain:               {:.0}%   (paper: 86%)",
+            c.fp_same_chain * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "third-party same chain:               {:.0}%   (paper: 56%)",
+            c.tp_same_chain * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "tracking same chain:                  {:.0}%   (paper: 28%)",
+            c.tracking_same_chain * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "non-tracking same chain:              {:.0}%   (paper: 66%)",
+            c.non_tracking_same_chain * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "same parent (same-depth, d≥2):        {:.0}%   (paper: 61%)",
+            c.same_parent_share * 100.0
+        );
         let _ = writeln!(
             s,
             "parent similarity bands H/M/L:        {:.0}%/{:.0}%/{:.0}%   (paper: 63/17/20)",
@@ -666,8 +819,10 @@ impl Report {
     /// §8 stability metrics rendering.
     pub fn render_stability(&self) -> String {
         let st = &self.stability;
-        let mut s = String::from("== §8 takeaway: measurement stability metrics ==
-");
+        let mut s = String::from(
+            "== §8 takeaway: measurement stability metrics ==
+",
+        );
         let _ = writeln!(
             s,
             "page stability index: mean {:.2} (SD {:.2}, min {:.2}) — 1.0 = a page whose measurement never fluctuates",
@@ -684,7 +839,11 @@ impl Report {
                 .collect::<Vec<_>>()
                 .join(" ")
         );
-        let curve: Vec<String> = st.accumulation.iter().map(|v| format!("{:.2}", v)).collect();
+        let curve: Vec<String> = st
+            .accumulation
+            .iter()
+            .map(|v| format!("{:.2}", v))
+            .collect();
         let _ = writeln!(s, "profile accumulation curve: {}", curve.join(" → "));
         let _ = writeln!(
             s,

@@ -14,6 +14,7 @@ use crate::db::{CrawlDb, PageKey};
 use crate::discovery::discover_pages;
 use crate::profile::Profile;
 use wmtree_browser::Browser;
+use wmtree_telemetry::ProgressTracker;
 use wmtree_webgen::{stable_hash, WebUniverse};
 
 /// Options of a crawl run.
@@ -58,7 +59,11 @@ impl<'a> Commander<'a> {
     /// Create a commander over a universe with a set of profiles.
     pub fn new(universe: &'a WebUniverse, profiles: Vec<Profile>, options: CrawlOptions) -> Self {
         assert!(!profiles.is_empty(), "need at least one profile");
-        Commander { universe, profiles, options }
+        Commander {
+            universe,
+            profiles,
+            options,
+        }
     }
 
     /// The profiles of this experiment.
@@ -66,13 +71,27 @@ impl<'a> Commander<'a> {
         &self.profiles
     }
 
-    /// Run the full crawl and return the database.
+    /// Run the full crawl and return the database, tracking progress on
+    /// an internal throwaway tracker. Use [`run_with_progress`] to
+    /// observe the crawl from outside.
+    ///
+    /// [`run_with_progress`]: Commander::run_with_progress
     pub fn run(&self) -> CrawlDb {
+        let progress =
+            ProgressTracker::new(self.universe.sites().len(), self.options.workers.max(1));
+        self.run_with_progress(&progress)
+    }
+
+    /// Run the full crawl, feeding `progress` as sites and visits
+    /// complete (share the tracker to watch a crawl live, or snapshot
+    /// it afterwards for the run manifest).
+    pub fn run_with_progress(&self, progress: &ProgressTracker) -> CrawlDb {
+        let _run_span = wmtree_telemetry::span("crawl.run");
         let sites = self.universe.sites();
         if self.options.workers <= 1 {
             let mut db = CrawlDb::new(self.profiles.len());
             for site_idx in 0..sites.len() {
-                self.crawl_site(site_idx, &mut db);
+                self.crawl_site(site_idx, &mut db, 0, progress);
             }
             return db;
         }
@@ -81,14 +100,14 @@ impl<'a> Commander<'a> {
         // profile visits happen inside one worker task).
         let workers = self.options.workers.min(sites.len().max(1));
         let mut shards: Vec<CrawlDb> = Vec::with_capacity(workers);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
-                let handle = scope.spawn(move |_| {
+                let handle = scope.spawn(move || {
                     let mut db = CrawlDb::new(self.profiles.len());
                     let mut site_idx = w;
                     while site_idx < sites.len() {
-                        self.crawl_site(site_idx, &mut db);
+                        self.crawl_site(site_idx, &mut db, w, progress);
                         site_idx += workers;
                     }
                     db
@@ -98,9 +117,9 @@ impl<'a> Commander<'a> {
             for h in handles {
                 shards.push(h.join().expect("crawl worker panicked"));
             }
-        })
-        .expect("crawl scope panicked");
+        });
 
+        let _merge_span = wmtree_telemetry::span("crawl.merge");
         let mut db = CrawlDb::new(self.profiles.len());
         for shard in shards {
             db.merge(shard);
@@ -110,9 +129,17 @@ impl<'a> Commander<'a> {
 
     /// Crawl one site with every profile ("semi-parallel": all profiles
     /// get the same page list, visits differ only by their seeds).
-    fn crawl_site(&self, site_idx: usize, db: &mut CrawlDb) {
+    fn crawl_site(
+        &self,
+        site_idx: usize,
+        db: &mut CrawlDb,
+        worker: usize,
+        progress: &ProgressTracker,
+    ) {
+        let _site_span = wmtree_telemetry::span("crawl.site");
         let site = &self.universe.sites()[site_idx];
         let pages = discover_pages(self.universe, site, self.options.max_pages_per_site);
+        wmtree_telemetry::counter!("crawler.pages.discovered").add(pages.len() as u64);
         for (profile_id, profile) in self.profiles.iter().enumerate() {
             let cfg = if self.options.reliable {
                 profile.reliable_browser_config()
@@ -131,13 +158,25 @@ impl<'a> Commander<'a> {
                 } else {
                     browser.visit(page_url, visit_seed)
                 };
+                progress.visit(result.success);
+                if result.timed_out {
+                    progress.timeout();
+                }
                 db.insert(
-                    PageKey { site: site.domain.clone(), url: page_url.as_str() },
+                    PageKey {
+                        site: site.domain.clone(),
+                        url: page_url.as_str(),
+                    },
                     profile_id,
                     result,
                 );
             }
         }
+        for _ in &pages {
+            progress.page_done();
+        }
+        progress.site_done(worker);
+        wmtree_telemetry::counter!("crawler.sites.crawled").inc();
     }
 }
 
@@ -186,7 +225,10 @@ mod tests {
         let par = Commander::new(
             &u,
             standard_profiles(),
-            CrawlOptions { workers: 4, ..options() },
+            CrawlOptions {
+                workers: 4,
+                ..options()
+            },
         )
         .run();
         // Same pages, same per-profile request URLs.
@@ -216,7 +258,10 @@ mod tests {
                 break;
             }
         }
-        assert!(any_diff, "parallel identical profiles must not be byte-identical");
+        assert!(
+            any_diff,
+            "parallel identical profiles must not be byte-identical"
+        );
     }
 
     #[test]
@@ -225,7 +270,10 @@ mod tests {
         let db = Commander::new(
             &u,
             standard_profiles(),
-            CrawlOptions { reliable: false, ..options() },
+            CrawlOptions {
+                reliable: false,
+                ..options()
+            },
         )
         .run();
         let vetted = db.vetted_pages().len();
@@ -243,7 +291,10 @@ mod tests {
         let stateful = Commander::new(
             &u,
             standard_profiles(),
-            CrawlOptions { stateful: true, ..options() },
+            CrawlOptions {
+                stateful: true,
+                ..options()
+            },
         )
         .run();
         let consent_requests = |db: &crate::CrawlDb| -> usize {
@@ -256,7 +307,30 @@ mod tests {
         };
         let a = consent_requests(&stateless);
         let b = consent_requests(&stateful);
-        assert!(b < a, "stateful crawling re-triggers fewer consent flows: {b} vs {a}");
+        assert!(
+            b < a,
+            "stateful crawling re-triggers fewer consent flows: {b} vs {a}"
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_database() {
+        // Stronger than `parallel_equals_sequential`: the whole
+        // database must serialize byte-identically whatever the worker
+        // count, since sharding only reorders who crawls which site.
+        let u = uni();
+        let opts = |workers: usize| CrawlOptions {
+            workers,
+            ..options()
+        };
+        let one = Commander::new(&u, standard_profiles(), opts(1)).run();
+        let eight = Commander::new(&u, standard_profiles(), opts(8)).run();
+        let a = serde_json::to_string(&one).unwrap();
+        let b = serde_json::to_string(&eight).unwrap();
+        assert_eq!(
+            a, b,
+            "workers=1 and workers=8 must produce identical databases"
+        );
     }
 
     #[test]

@@ -35,6 +35,44 @@ impl ProfileStats {
     }
 }
 
+/// Why two crawl databases refused to merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The databases were created for different profile counts.
+    ProfileCountMismatch {
+        /// Profile count of the receiving database.
+        ours: usize,
+        /// Profile count of the database being merged in.
+        theirs: usize,
+    },
+    /// Both databases recorded a visit for the same `(page, profile)`.
+    VisitConflict {
+        /// The doubly-recorded page.
+        page: PageKey,
+        /// The doubly-recorded profile.
+        profile: ProfileId,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::ProfileCountMismatch { ours, theirs } => {
+                write!(f, "profile count mismatch: merging a {theirs}-profile database into a {ours}-profile one")
+            }
+            MergeError::VisitConflict { page, profile } => {
+                write!(
+                    f,
+                    "visit conflict: profile {profile} visited {} / {} in both databases",
+                    page.site, page.url
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// In-memory store of all visits of an experiment.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct CrawlDb {
@@ -46,7 +84,10 @@ pub struct CrawlDb {
 impl CrawlDb {
     /// An empty database for an experiment with `n_profiles` profiles.
     pub fn new(n_profiles: usize) -> CrawlDb {
-        CrawlDb { n_profiles, visits: BTreeMap::new() }
+        CrawlDb {
+            n_profiles,
+            visits: BTreeMap::new(),
+        }
     }
 
     /// Number of profiles.
@@ -64,9 +105,44 @@ impl CrawlDb {
         slot[profile] = Some(result);
     }
 
-    /// Merge another database (parallel crawl shards).
+    /// Merge another database (parallel crawl shards). Panics on the
+    /// errors [`try_merge`][CrawlDb::try_merge] reports — shards from
+    /// the same crawl can never trigger them, so a panic here means a
+    /// caller merged databases from different experiments.
     pub fn merge(&mut self, other: CrawlDb) {
-        assert_eq!(self.n_profiles, other.n_profiles, "profile count mismatch");
+        if let Err(e) = self.try_merge(other) {
+            panic!("{e}");
+        }
+    }
+
+    /// Merge another database, rejecting incompatible shards:
+    ///
+    /// * profile counts must match — the per-page visit vectors are
+    ///   indexed by profile id and would silently misalign otherwise;
+    /// * a `(page, profile)` visit recorded in **both** databases is a
+    ///   conflict — shards of one crawl partition the site space, so an
+    ///   overlap means the inputs were not shards of the same crawl.
+    ///
+    /// On error, `self` is left untouched.
+    pub fn try_merge(&mut self, other: CrawlDb) -> Result<(), MergeError> {
+        if self.n_profiles != other.n_profiles {
+            return Err(MergeError::ProfileCountMismatch {
+                ours: self.n_profiles,
+                theirs: other.n_profiles,
+            });
+        }
+        for (page, results) in &other.visits {
+            if let Some(slot) = self.visits.get(page) {
+                for (i, r) in results.iter().enumerate() {
+                    if r.is_some() && slot[i].is_some() {
+                        return Err(MergeError::VisitConflict {
+                            page: page.clone(),
+                            profile: i,
+                        });
+                    }
+                }
+            }
+        }
         for (page, results) in other.visits {
             let slot = self
                 .visits
@@ -78,6 +154,7 @@ impl CrawlDb {
                 }
             }
         }
+        Ok(())
     }
 
     /// All pages with any recorded visit.
@@ -171,7 +248,10 @@ mod tests {
     use wmtree_url::Url;
 
     fn page(n: u32) -> PageKey {
-        PageKey { site: "a.com".into(), url: format!("https://www.a.com/page/{n}") }
+        PageKey {
+            site: "a.com".into(),
+            url: format!("https://www.a.com/page/{n}"),
+        }
     }
 
     fn ok_visit() -> VisitResult {
@@ -190,7 +270,10 @@ mod tests {
         db.insert(page(1), 0, ok_visit());
         db.insert(page(1), 1, bad_visit());
         assert!(db.visit(&page(1), 0).is_some());
-        assert!(db.visit(&page(1), 1).is_none(), "failed visits are filtered");
+        assert!(
+            db.visit(&page(1), 1).is_none(),
+            "failed visits are filtered"
+        );
         assert!(db.visit(&page(2), 0).is_none());
         assert_eq!(db.page_count(), 1);
     }
@@ -219,9 +302,21 @@ mod tests {
         db.insert(page(2), 0, bad_visit());
         db.insert(page(1), 1, ok_visit());
         let stats = db.profile_stats();
-        assert_eq!(stats[0], ProfileStats { attempted: 2, succeeded: 1 });
+        assert_eq!(
+            stats[0],
+            ProfileStats {
+                attempted: 2,
+                succeeded: 1
+            }
+        );
         assert_eq!(stats[0].success_rate(), 0.5);
-        assert_eq!(stats[1], ProfileStats { attempted: 1, succeeded: 1 });
+        assert_eq!(
+            stats[1],
+            ProfileStats {
+                attempted: 1,
+                succeeded: 1
+            }
+        );
         assert_eq!(db.total_successful_visits(), 2);
     }
 
@@ -234,6 +329,56 @@ mod tests {
         b.insert(page(2), 0, ok_visit());
         a.merge(b);
         assert_eq!(a.page_count(), 2);
+        assert!(a.visit(&page(1), 0).is_some());
+        assert!(a.visit(&page(1), 1).is_some());
+    }
+
+    #[test]
+    fn merge_rejects_profile_count_mismatch() {
+        let mut a = CrawlDb::new(2);
+        a.insert(page(1), 0, ok_visit());
+        let mut b = CrawlDb::new(3);
+        b.insert(page(2), 0, ok_visit());
+        let err = a.try_merge(b).unwrap_err();
+        assert_eq!(err, MergeError::ProfileCountMismatch { ours: 2, theirs: 3 });
+        assert_eq!(a.page_count(), 1, "failed merge must not modify the target");
+    }
+
+    #[test]
+    #[should_panic(expected = "profile count mismatch")]
+    fn merge_panics_on_profile_count_mismatch() {
+        let mut a = CrawlDb::new(2);
+        a.merge(CrawlDb::new(5));
+    }
+
+    #[test]
+    fn merge_rejects_overlapping_visits() {
+        let mut a = CrawlDb::new(2);
+        a.insert(page(1), 0, ok_visit());
+        a.insert(page(2), 0, ok_visit());
+        let mut b = CrawlDb::new(2);
+        b.insert(page(3), 0, ok_visit());
+        b.insert(page(1), 0, bad_visit());
+        let err = a.try_merge(b).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::VisitConflict {
+                page: page(1),
+                profile: 0
+            }
+        );
+        // `a` unchanged: page 3 was not merged in, page 1 kept its visit.
+        assert_eq!(a.page_count(), 2);
+        assert!(a.visit(&page(1), 0).is_some());
+    }
+
+    #[test]
+    fn merge_allows_same_page_different_profiles() {
+        let mut a = CrawlDb::new(2);
+        a.insert(page(1), 0, ok_visit());
+        let mut b = CrawlDb::new(2);
+        b.insert(page(1), 1, ok_visit());
+        assert!(a.try_merge(b).is_ok());
         assert!(a.visit(&page(1), 0).is_some());
         assert!(a.visit(&page(1), 1).is_some());
     }

@@ -20,7 +20,7 @@ pub fn discover_pages(universe: &WebUniverse, site: &SiteSpec, max_pages: usize)
     let h = stable_hash(seed, format!("discover:{}", site.domain).as_bytes());
     // ~1% of sites are not meant for humans (CDN/ad-network landing
     // pages) and yield nothing.
-    if h % 100 == 0 {
+    if h.is_multiple_of(100) {
         return Vec::new();
     }
     let mut pages = vec![site.landing_url()];
@@ -28,7 +28,7 @@ pub fn discover_pages(universe: &WebUniverse, site: &SiteSpec, max_pages: usize)
     for n in 1..=available {
         // A small share of pre-crawled links rot before the experiment.
         let rot = stable_hash(seed, format!("rot:{}:{}", site.domain, n).as_bytes());
-        if rot % 20 == 0 {
+        if rot.is_multiple_of(20) {
             continue;
         }
         pages.push(site.page_url(n));
@@ -89,8 +89,15 @@ mod tests {
     fn some_discovery_loss_exists() {
         let u = uni();
         let total_possible: usize = u.sites().iter().map(|s| 1 + s.n_subpages).sum();
-        let total_found: usize = u.sites().iter().map(|s| discover_pages(&u, s, 25).len()).sum();
-        assert!(total_found < total_possible, "rot/failure should lose some pages");
+        let total_found: usize = u
+            .sites()
+            .iter()
+            .map(|s| discover_pages(&u, s, 25).len())
+            .sum();
+        assert!(
+            total_found < total_possible,
+            "rot/failure should lose some pages"
+        );
         assert!(total_found > total_possible / 2, "but most pages survive");
     }
 }

@@ -79,8 +79,10 @@ pub fn write_jsonl<W: Write>(db: &CrawlDb, mut out: W) -> Result<usize, ExportEr
                     profile,
                     visit: visit.clone(),
                 };
-                serde_json::to_writer(&mut out, &line)
-                    .map_err(|source| ExportError::Parse { line: written, source })?;
+                serde_json::to_writer(&mut out, &line).map_err(|source| ExportError::Parse {
+                    line: written,
+                    source,
+                })?;
                 out.write_all(b"\n")?;
                 written += 1;
             }
@@ -100,10 +102,16 @@ pub fn read_jsonl<R: BufRead>(input: R, n_profiles: usize) -> Result<CrawlDb, Ex
         let record: VisitRecordLine =
             serde_json::from_str(&line).map_err(|source| ExportError::Parse { line: i, source })?;
         if record.profile >= n_profiles {
-            return Err(ExportError::ProfileOutOfRange { line: i, profile: record.profile });
+            return Err(ExportError::ProfileOutOfRange {
+                line: i,
+                profile: record.profile,
+            });
         }
         db.insert(
-            PageKey { site: record.site, url: record.url },
+            PageKey {
+                site: record.site,
+                url: record.url,
+            },
             record.profile,
             record.visit,
         );
@@ -148,8 +156,16 @@ mod tests {
         assert_eq!(back.page_count(), db.page_count());
         assert_eq!(back.total_successful_visits(), db.total_successful_visits());
         // Vetted sets identical.
-        let a: Vec<_> = db.vetted_pages().into_iter().map(|(p, _)| p.clone()).collect();
-        let b: Vec<_> = back.vetted_pages().into_iter().map(|(p, _)| p.clone()).collect();
+        let a: Vec<_> = db
+            .vetted_pages()
+            .into_iter()
+            .map(|(p, _)| p.clone())
+            .collect();
+        let b: Vec<_> = back
+            .vetted_pages()
+            .into_iter()
+            .map(|(p, _)| p.clone())
+            .collect();
         assert_eq!(a, b);
     }
 

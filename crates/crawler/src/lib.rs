@@ -15,7 +15,7 @@
 //!   short).
 //! * [`Commander`] — runs the measurement over a
 //!   [`wmtree_webgen::WebUniverse`], optionally fanning sites out over
-//!   worker threads (crossbeam scoped threads; the work is CPU-bound
+//!   worker threads (std scoped threads; the work is CPU-bound
 //!   simulation, so threads — not async — are the right tool).
 //! * [`CrawlDb`] — vetting (§3.2: keep only pages successfully crawled
 //!   by *all* profiles) and per-profile accounting.
@@ -30,7 +30,7 @@ pub mod export;
 mod profile;
 
 pub use commander::{Commander, CrawlOptions};
-pub use db::{CrawlDb, PageKey, ProfileStats};
+pub use db::{CrawlDb, MergeError, PageKey, ProfileStats};
 pub use discovery::discover_pages;
 pub use profile::{standard_profiles, Profile, ProfileId, STANDARD_PROFILES};
 

@@ -19,13 +19,19 @@ pub struct Profile {
     /// Spawn a GUI (false = headless)?
     pub gui: bool,
     /// Measurement location (all of the paper's run from Germany).
-    pub country: &'static str,
+    pub country: String,
 }
 
 impl Profile {
     /// Construct a profile.
     pub fn new(name: &str, version: u32, user_interaction: bool, gui: bool) -> Profile {
-        Profile { name: name.to_string(), version, user_interaction, gui, country: "DE" }
+        Profile {
+            name: name.to_string(),
+            version,
+            user_interaction,
+            gui,
+            country: "DE".into(),
+        }
     }
 
     /// The browser configuration implementing this profile.

@@ -125,22 +125,46 @@ mod tests {
 
     #[test]
     fn ad_networks_blocked() {
-        assert!(tracking("https://px.syndicate-ads.net/imp?id=1", ResourceType::Image));
-        assert!(tracking("https://rtb-exchange.net/rtb/bid?x=2", ResourceType::Xhr));
-        assert!(tracking("https://cdn.bidstream-x.com/lib.js", ResourceType::Script));
+        assert!(tracking(
+            "https://px.syndicate-ads.net/imp?id=1",
+            ResourceType::Image
+        ));
+        assert!(tracking(
+            "https://rtb-exchange.net/rtb/bid?x=2",
+            ResourceType::Xhr
+        ));
+        assert!(tracking(
+            "https://cdn.bidstream-x.com/lib.js",
+            ResourceType::Script
+        ));
     }
 
     #[test]
     fn analytics_blocked() {
-        assert!(tracking("https://metricsphere.com/collect?e=pv", ResourceType::Beacon));
-        assert!(tracking("https://t.pixel-trail.com/track/pixel", ResourceType::Image));
-        assert!(tracking("https://a.site.com/static/analytics.js", ResourceType::Script));
+        assert!(tracking(
+            "https://metricsphere.com/collect?e=pv",
+            ResourceType::Beacon
+        ));
+        assert!(tracking(
+            "https://t.pixel-trail.com/track/pixel",
+            ResourceType::Image
+        ));
+        assert!(tracking(
+            "https://a.site.com/static/analytics.js",
+            ResourceType::Script
+        ));
     }
 
     #[test]
     fn generic_paths_blocked() {
-        assert!(tracking("https://anything.com/adserve/slot1", ResourceType::SubFrame));
-        assert!(tracking("https://shop.com/img/x-tracking-pixel.gif", ResourceType::Image));
+        assert!(tracking(
+            "https://anything.com/adserve/slot1",
+            ResourceType::SubFrame
+        ));
+        assert!(tracking(
+            "https://shop.com/img/x-tracking-pixel.gif",
+            ResourceType::Image
+        ));
         assert!(tracking("https://shop.com/telemetry/v2", ResourceType::Xhr));
     }
 
@@ -160,7 +184,10 @@ mod tests {
         ));
         // Same path but as an image → the /ads/banner/-style generic
         // rules do not hit it, and the font exception is type-scoped.
-        assert!(tracking("https://x.com/ads/banner/1.png", ResourceType::Image));
+        assert!(tracking(
+            "https://x.com/ads/banner/1.png",
+            ResourceType::Image
+        ));
     }
 
     #[test]
@@ -168,7 +195,10 @@ mod tests {
         let page = page();
         let creative = Url::parse("https://staticfiles-cdn.com/creatives/c1.jpg?id=5").unwrap();
         let req = RequestInfo::new(&creative, &page, ResourceType::Image);
-        assert!(!tracking_list().is_tracking(&req), "base list leaves CDN creatives alone");
+        assert!(
+            !tracking_list().is_tracking(&req),
+            "base list leaves CDN creatives alone"
+        );
         assert!(privacy_list().is_tracking(&req), "privacy list flags them");
         assert!(combined_list().is_tracking(&req));
         // Exceptions from the base list still apply in the combination.
@@ -178,8 +208,17 @@ mod tests {
 
     #[test]
     fn benign_cdns_clean() {
-        assert!(!tracking("https://cdn-fastedge.net/lib/jquery.js", ResourceType::Script));
-        assert!(!tracking("https://fontlibrary.org/inter.woff2", ResourceType::Font));
-        assert!(!tracking("https://staticfiles-cdn.com/img/logo.png", ResourceType::Image));
+        assert!(!tracking(
+            "https://cdn-fastedge.net/lib/jquery.js",
+            ResourceType::Script
+        ));
+        assert!(!tracking(
+            "https://fontlibrary.org/inter.woff2",
+            ResourceType::Font
+        ));
+        assert!(!tracking(
+            "https://staticfiles-cdn.com/img/logo.png",
+            ResourceType::Image
+        ));
     }
 }

@@ -89,7 +89,11 @@ impl Pattern {
         if !lit.is_empty() {
             tokens.push(Token::Literal(lit));
         }
-        Pattern { anchor, end_anchor, tokens }
+        Pattern {
+            anchor,
+            end_anchor,
+            tokens,
+        }
     }
 
     /// Match the pattern against `url` (full URL string); `host` is the
@@ -173,16 +177,32 @@ mod tests {
     #[test]
     fn host_anchor_matches_domain_and_subdomains() {
         assert!(m("||tracker.com^", "https://tracker.com/px", "tracker.com"));
-        assert!(m("||tracker.com^", "https://cdn.tracker.com/px", "cdn.tracker.com"));
-        assert!(!m("||tracker.com^", "https://nottracker.com/px", "nottracker.com"));
+        assert!(m(
+            "||tracker.com^",
+            "https://cdn.tracker.com/px",
+            "cdn.tracker.com"
+        ));
+        assert!(!m(
+            "||tracker.com^",
+            "https://nottracker.com/px",
+            "nottracker.com"
+        ));
         // Host anchor must not match inside the path.
-        assert!(!m("||tracker.com^", "https://safe.com/tracker.com/px", "safe.com"));
+        assert!(!m(
+            "||tracker.com^",
+            "https://safe.com/tracker.com/px",
+            "safe.com"
+        ));
     }
 
     #[test]
     fn host_anchor_separator_blocks_prefix_domains() {
         // ||ad.com^ should not match ad.company.com even though the string continues.
-        assert!(!m("||ad.com^", "https://ad.company.com/x", "ad.company.com"));
+        assert!(!m(
+            "||ad.com^",
+            "https://ad.company.com/x",
+            "ad.company.com"
+        ));
         assert!(m("||ad.com^", "https://ad.com/x", "ad.com"));
         assert!(m("||ad.com^", "https://ad.com:8080/x", "ad.com"));
     }
@@ -190,7 +210,11 @@ mod tests {
     #[test]
     fn start_anchor() {
         assert!(m("|https://ads.", "https://ads.x.com/a", "ads.x.com"));
-        assert!(!m("|https://ads.", "http://x.com/?u=https://ads.y.com", "x.com"));
+        assert!(!m(
+            "|https://ads.",
+            "http://x.com/?u=https://ads.y.com",
+            "x.com"
+        ));
     }
 
     #[test]
@@ -201,7 +225,11 @@ mod tests {
 
     #[test]
     fn wildcard() {
-        assert!(m("/ads/*/banner", "https://x.com/ads/v2/banner.png", "x.com"));
+        assert!(m(
+            "/ads/*/banner",
+            "https://x.com/ads/v2/banner.png",
+            "x.com"
+        ));
         assert!(m("/ads/*/banner", "https://x.com/ads//banner", "x.com"));
         assert!(!m("/ads/*/banner", "https://x.com/ads/banner0", "x.com"));
     }
@@ -234,12 +262,20 @@ mod tests {
 
     #[test]
     fn host_anchor_with_path() {
-        assert!(m("||stats.net/collect", "https://stats.net/collect?e=1", "stats.net"));
+        assert!(m(
+            "||stats.net/collect",
+            "https://stats.net/collect?e=1",
+            "stats.net"
+        ));
         assert!(m(
             "||stats.net/collect",
             "https://eu.stats.net/collect",
             "eu.stats.net"
         ));
-        assert!(!m("||stats.net/collect", "https://stats.net/other", "stats.net"));
+        assert!(!m(
+            "||stats.net/collect",
+            "https://stats.net/other",
+            "stats.net"
+        ));
     }
 }

@@ -162,7 +162,10 @@ mod tests {
 
     #[test]
     fn exception_detected() {
-        assert!(matches!(parse_line("@@||good.com^"), ParsedLine::Exception(_)));
+        assert!(matches!(
+            parse_line("@@||good.com^"),
+            ParsedLine::Exception(_)
+        ));
     }
 
     #[test]

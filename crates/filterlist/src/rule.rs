@@ -21,7 +21,11 @@ pub struct RequestInfo<'a> {
 impl<'a> RequestInfo<'a> {
     /// Bundle a request context.
     pub fn new(url: &'a Url, page: &'a Url, resource_type: ResourceType) -> Self {
-        RequestInfo { url, page, resource_type }
+        RequestInfo {
+            url,
+            page,
+            resource_type,
+        }
     }
 
     /// Is this request third-party w.r.t. the page?
@@ -170,8 +174,10 @@ impl FilterRule {
         if self.options.match_case {
             self.pattern.matches(&target, req.url.host())
         } else {
-            self.pattern
-                .matches(&target.to_ascii_lowercase(), &req.url.host().to_ascii_lowercase())
+            self.pattern.matches(
+                &target.to_ascii_lowercase(),
+                &req.url.host().to_ascii_lowercase(),
+            )
         }
     }
 }
@@ -199,9 +205,18 @@ mod tests {
 
     #[test]
     fn option_names() {
-        assert_eq!(TypeMask::from_option_name("script"), Some(ResourceType::Script));
-        assert_eq!(TypeMask::from_option_name("subdocument"), Some(ResourceType::SubFrame));
-        assert_eq!(TypeMask::from_option_name("ping"), Some(ResourceType::Beacon));
+        assert_eq!(
+            TypeMask::from_option_name("script"),
+            Some(ResourceType::Script)
+        );
+        assert_eq!(
+            TypeMask::from_option_name("subdocument"),
+            Some(ResourceType::SubFrame)
+        );
+        assert_eq!(
+            TypeMask::from_option_name("ping"),
+            Some(ResourceType::Beacon)
+        );
         assert_eq!(TypeMask::from_option_name("bogus"), None);
     }
 

@@ -6,7 +6,10 @@ use wmtree_net::ResourceType;
 use wmtree_url::Url;
 
 fn host() -> impl Strategy<Value = String> {
-    ("[a-z]{2,8}", prop::sample::select(vec!["com", "net", "org", "io"]))
+    (
+        "[a-z]{2,8}",
+        prop::sample::select(vec!["com", "net", "org", "io"]),
+    )
         .prop_map(|(n, t)| format!("{n}.{t}"))
 }
 

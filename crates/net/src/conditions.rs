@@ -75,9 +75,11 @@ impl NetworkConditions {
     pub fn sample(&self, visit_seed: u64, url: &Url) -> FetchOutcome {
         let mut rng = StdRng::seed_from_u64(mix(visit_seed, url.as_str().as_bytes()));
         if rng.random::<f64>() < self.failure_rate {
+            wmtree_telemetry::counter!("net.fetch.failed").inc();
             return FetchOutcome::Failed;
         }
         if rng.random::<f64>() < self.stall_rate {
+            wmtree_telemetry::counter!("net.fetch.stalled").inc();
             return FetchOutcome::Stalled;
         }
         let mut latency = self.base_latency_ms;
@@ -87,7 +89,13 @@ impl NetworkConditions {
         if is_slow_host(url.host()) {
             latency += self.slow_host_latency_ms;
         }
-        FetchOutcome::Arrived { latency_ms: latency }
+        wmtree_telemetry::counter!("net.fetch.arrived").inc();
+        // Simulated latency is seeded (deterministic), so it may live in
+        // the metrics registry without breaking snapshot equality.
+        wmtree_telemetry::histogram!("net.fetch.latency_ms").record(latency);
+        FetchOutcome::Arrived {
+            latency_ms: latency,
+        }
     }
 }
 
@@ -159,7 +167,10 @@ mod tests {
 
     #[test]
     fn slow_hosts_get_extra_latency() {
-        let c = NetworkConditions { jitter_ms: 0, ..NetworkConditions::default() };
+        let c = NetworkConditions {
+            jitter_ms: 0,
+            ..NetworkConditions::default()
+        };
         let normal = c.sample(7, &url("https://cdn.site.com/a.js"));
         let slow = c.sample(7, &url("https://ads.adnet.com/a.js"));
         if let (FetchOutcome::Arrived { latency_ms: a }, FetchOutcome::Arrived { latency_ms: b }) =

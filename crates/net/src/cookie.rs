@@ -107,11 +107,8 @@ impl Cookie {
                         cookie.host_only = false;
                     }
                 }
-                "path" => {
-                    if val.starts_with('/') {
-                        cookie.path = val.to_string();
-                    }
-                }
+                "path" if val.starts_with('/') => cookie.path = val.to_string(),
+                "path" => {}
                 "secure" => cookie.secure = true,
                 "httponly" => cookie.http_only = true,
                 "samesite" => {
@@ -132,12 +129,20 @@ impl Cookie {
 
     /// The RFC 6265 identity `(name, domain, path)`.
     pub fn id(&self) -> CookieId {
-        CookieId { name: self.name.clone(), domain: self.domain.clone(), path: self.path.clone() }
+        CookieId {
+            name: self.name.clone(),
+            domain: self.domain.clone(),
+            path: self.path.clone(),
+        }
     }
 
     /// The security attributes of this cookie.
     pub fn security_attributes(&self) -> SecurityAttributes {
-        SecurityAttributes { secure: self.secure, http_only: self.http_only, same_site: self.same_site }
+        SecurityAttributes {
+            secure: self.secure,
+            http_only: self.http_only,
+            same_site: self.same_site,
+        }
     }
 
     /// Does this cookie match a request to `url` (domain-match and
@@ -310,7 +315,11 @@ mod tests {
 
     #[test]
     fn domain_match_subdomains() {
-        let c = Cookie::parse("x=1; Domain=shop.com; Path=/", &url("https://www.shop.com/")).unwrap();
+        let c = Cookie::parse(
+            "x=1; Domain=shop.com; Path=/",
+            &url("https://www.shop.com/"),
+        )
+        .unwrap();
         assert!(c.matches(&url("https://www.shop.com/")));
         assert!(c.matches(&url("https://api.shop.com/v1")));
         assert!(!c.matches(&url("https://notshop.com/")));

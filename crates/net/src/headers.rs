@@ -72,7 +72,9 @@ impl Headers {
 
 impl FromIterator<(String, String)> for Headers {
     fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
-        Headers { entries: iter.into_iter().collect() }
+        Headers {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -109,7 +109,13 @@ impl Request {
     /// A GET request with empty headers at time zero — the common case
     /// in tests.
     pub fn get(url: Url, resource_type: ResourceType) -> Request {
-        Request { method: Method::Get, url, resource_type, headers: Headers::new(), timestamp_ms: 0 }
+        Request {
+            method: Method::Get,
+            url,
+            resource_type,
+            headers: Headers::new(),
+            timestamp_ms: 0,
+        }
     }
 }
 
@@ -131,14 +137,24 @@ pub struct Response {
 impl Response {
     /// A 200 response with no headers.
     pub fn ok() -> Response {
-        Response { status: Status::OK, headers: Headers::new(), body_len: 0, timestamp_ms: 0 }
+        Response {
+            status: Status::OK,
+            headers: Headers::new(),
+            body_len: 0,
+            timestamp_ms: 0,
+        }
     }
 
     /// A redirect to `location`.
     pub fn redirect(status: Status, location: &str) -> Response {
         let mut headers = Headers::new();
         headers.set("Location", location);
-        Response { status, headers, body_len: 0, timestamp_ms: 0 }
+        Response {
+            status,
+            headers,
+            body_len: 0,
+            timestamp_ms: 0,
+        }
     }
 
     /// The redirect target, when this is a redirect with a Location.

@@ -148,13 +148,28 @@ mod tests {
 
     #[test]
     fn inference_from_extension() {
-        assert_eq!(ResourceType::infer_from_path("/a/b.js"), ResourceType::Script);
-        assert_eq!(ResourceType::infer_from_path("/x.css"), ResourceType::Stylesheet);
+        assert_eq!(
+            ResourceType::infer_from_path("/a/b.js"),
+            ResourceType::Script
+        );
+        assert_eq!(
+            ResourceType::infer_from_path("/x.css"),
+            ResourceType::Stylesheet
+        );
         assert_eq!(ResourceType::infer_from_path("/i.PNG"), ResourceType::Image);
-        assert_eq!(ResourceType::infer_from_path("/f.woff2"), ResourceType::Font);
+        assert_eq!(
+            ResourceType::infer_from_path("/f.woff2"),
+            ResourceType::Font
+        );
         assert_eq!(ResourceType::infer_from_path("/v.mp4"), ResourceType::Media);
-        assert_eq!(ResourceType::infer_from_path("/page.html"), ResourceType::SubFrame);
-        assert_eq!(ResourceType::infer_from_path("/api.json?x=1"), ResourceType::Xhr);
+        assert_eq!(
+            ResourceType::infer_from_path("/page.html"),
+            ResourceType::SubFrame
+        );
+        assert_eq!(
+            ResourceType::infer_from_path("/api.json?x=1"),
+            ResourceType::Xhr
+        );
         assert_eq!(ResourceType::infer_from_path("/noext"), ResourceType::Other);
     }
 }

@@ -53,7 +53,10 @@ where
     if data.is_empty() || resamples == 0 {
         return None;
     }
-    assert!((0.0..1.0).contains(&(1.0 - level)), "level must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&(1.0 - level)),
+        "level must be in (0,1)"
+    );
     let estimate = statistic(data);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stats = Vec::with_capacity(resamples);
@@ -66,14 +69,22 @@ where
     }
     stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN statistic"));
     let alpha = (1.0 - level) / 2.0;
-    let idx = |q: f64| -> usize {
-        (((resamples as f64) * q).floor() as usize).min(resamples - 1)
-    };
-    Some(ConfidenceInterval { estimate, lo: stats[idx(alpha)], hi: stats[idx(1.0 - alpha)], level })
+    let idx = |q: f64| -> usize { (((resamples as f64) * q).floor() as usize).min(resamples - 1) };
+    Some(ConfidenceInterval {
+        estimate,
+        lo: stats[idx(alpha)],
+        hi: stats[idx(1.0 - alpha)],
+        level,
+    })
 }
 
 /// Bootstrap CI for the mean — the common case.
-pub fn mean_ci(data: &[f64], resamples: usize, level: f64, seed: u64) -> Option<ConfidenceInterval> {
+pub fn mean_ci(
+    data: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
     bootstrap_ci(
         data,
         |s| s.iter().sum::<f64>() / s.len() as f64,
@@ -117,7 +128,10 @@ mod tests {
         let data: Vec<f64> = (0..100).map(|i| (i % 13) as f64).collect();
         let ci90 = mean_ci(&data, 2000, 0.90, 7).unwrap();
         let ci99 = mean_ci(&data, 2000, 0.99, 7).unwrap();
-        assert!(ci99.width() >= ci90.width(), "99%: {ci99:?} vs 90%: {ci90:?}");
+        assert!(
+            ci99.width() >= ci90.width(),
+            "99%: {ci99:?} vs 90%: {ci90:?}"
+        );
     }
 
     #[test]

@@ -25,7 +25,14 @@ impl Summary {
     /// sample (n = 0) so table rows can render without special-casing.
     pub fn of(values: &[f64]) -> Summary {
         if values.is_empty() {
-            return Summary { n: 0, mean: 0.0, sd: 0.0, min: 0.0, max: 0.0, median: 0.0 };
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                sd: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            };
         }
         let n = values.len();
         let mean = values.iter().sum::<f64>() / n as f64;
@@ -72,7 +79,13 @@ pub struct Accumulator {
 impl Accumulator {
     /// A fresh accumulator.
     pub fn new() -> Self {
-        Accumulator { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Accumulator {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Feed one observation.
@@ -116,22 +129,38 @@ impl Accumulator {
 
     /// Mean so far (0 when empty).
     pub fn mean(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.mean }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Sample SD so far (0 for n < 2).
     pub fn sd(&self) -> f64 {
-        if self.n < 2 { 0.0 } else { (self.m2 / (self.n - 1) as f64).sqrt() }
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
     }
 
     /// Minimum so far (0 when empty, matching `Summary::of`).
     pub fn min(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.min }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
     }
 
     /// Maximum so far (0 when empty).
     pub fn max(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.max }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
     }
 }
 

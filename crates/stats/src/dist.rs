@@ -30,7 +30,7 @@ pub fn normal_two_sided_p(z: f64) -> f64 {
 /// Natural log of the gamma function (Lanczos approximation, g = 7).
 pub fn ln_gamma(x: f64) -> f64 {
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
         771.323_428_777_653_1,

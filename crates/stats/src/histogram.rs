@@ -22,7 +22,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// The bin index a value falls into.
@@ -55,7 +60,10 @@ impl Histogram {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// Midpoint of bin `i`.
@@ -88,7 +96,12 @@ pub struct Histogram2D {
 impl Histogram2D {
     /// A grid covering `0..=max_x` × `0..=max_y`.
     pub fn new(max_x: usize, max_y: usize) -> Self {
-        Histogram2D { max_x, max_y, counts: vec![0; (max_x + 1) * (max_y + 1)], total: 0 }
+        Histogram2D {
+            max_x,
+            max_y,
+            counts: vec![0; (max_x + 1) * (max_y + 1)],
+            total: 0,
+        }
     }
 
     /// Record one `(x, y)` observation (clamped).

@@ -141,7 +141,11 @@ mod tests {
     /// Jaccard of (2/3 + 1 + 2/3)/3 ≈ .77.
     #[test]
     fn appendix_d_depth_one_example() {
-        let sets = vec![set(&["a", "b", "c"]), set(&["a", "c"]), set(&["a", "b", "c"])];
+        let sets = vec![
+            set(&["a", "b", "c"]),
+            set(&["a", "c"]),
+            set(&["a", "b", "c"]),
+        ];
         let m = pairwise_mean_jaccard(&sets).unwrap();
         assert!((m - (2.0 / 3.0 + 1.0 + 2.0 / 3.0) / 3.0).abs() < 1e-12);
         assert!((m - 0.7777).abs() < 1e-3);

@@ -85,7 +85,14 @@ pub fn kruskal_wallis(groups: &[&[f64]]) -> Result<KruskalResult, KruskalError> 
     let df = groups.len() - 1;
     let p = chi2_sf(h, df as f64);
     let epsilon_squared = if n > 1 { h / (nf - 1.0) } else { 0.0 };
-    Ok(KruskalResult { test: TestResult { statistic: h, p_value: p }, df, epsilon_squared })
+    Ok(KruskalResult {
+        test: TestResult {
+            statistic: h,
+            p_value: p,
+        },
+        df,
+        epsilon_squared,
+    })
 }
 
 #[cfg(test)]
@@ -94,7 +101,10 @@ mod tests {
 
     #[test]
     fn too_few_groups() {
-        assert_eq!(kruskal_wallis(&[&[1.0][..]]).unwrap_err(), KruskalError::TooFewGroups);
+        assert_eq!(
+            kruskal_wallis(&[&[1.0][..]]).unwrap_err(),
+            KruskalError::TooFewGroups
+        );
     }
 
     #[test]

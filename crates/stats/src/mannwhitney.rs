@@ -44,12 +44,18 @@ pub fn u_test(x: &[f64], y: &[f64]) -> Result<TestResult, MannWhitneyError> {
     let tie_sum = tie_correction_sum(&combined);
     let var = n1 * n2 / 12.0 * ((n + 1.0) - tie_sum / (n * (n - 1.0)));
     if var <= 0.0 {
-        return Ok(TestResult { statistic: u, p_value: 1.0 });
+        return Ok(TestResult {
+            statistic: u,
+            p_value: 1.0,
+        });
     }
     let mean = n1 * n2 / 2.0;
     let num = ((u - mean).abs() - 0.5).max(0.0);
     let z = num / var.sqrt();
-    Ok(TestResult { statistic: u, p_value: normal_two_sided_p(z) })
+    Ok(TestResult {
+        statistic: u,
+        p_value: normal_two_sided_p(z),
+    })
 }
 
 #[cfg(test)]

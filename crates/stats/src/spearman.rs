@@ -122,8 +122,14 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert_eq!(spearman(&[1.0], &[1.0, 2.0]).unwrap_err(), SpearmanError::LengthMismatch);
-        assert_eq!(spearman(&[1.0, 2.0], &[1.0, 2.0]).unwrap_err(), SpearmanError::TooFewPairs);
+        assert_eq!(
+            spearman(&[1.0], &[1.0, 2.0]).unwrap_err(),
+            SpearmanError::LengthMismatch
+        );
+        assert_eq!(
+            spearman(&[1.0, 2.0], &[1.0, 2.0]).unwrap_err(),
+            SpearmanError::TooFewPairs
+        );
         assert_eq!(
             spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).unwrap_err(),
             SpearmanError::ConstantInput

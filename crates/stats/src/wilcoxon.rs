@@ -67,12 +67,18 @@ pub fn signed_rank(x: &[f64], y: &[f64]) -> Result<TestResult, WilcoxonError> {
     let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_sum / 48.0;
     if var <= 0.0 {
         // All differences tied to a single value and n tiny — degenerate.
-        return Ok(TestResult { statistic: w, p_value: 1.0 });
+        return Ok(TestResult {
+            statistic: w,
+            p_value: 1.0,
+        });
     }
     // Continuity correction of 0.5 toward the mean.
     let num = (w - mean).abs() - 0.5;
     let z = num.max(0.0) / var.sqrt();
-    Ok(TestResult { statistic: w, p_value: normal_two_sided_p(z) })
+    Ok(TestResult {
+        statistic: w,
+        p_value: normal_two_sided_p(z),
+    })
 }
 
 #[cfg(test)]
@@ -106,8 +112,12 @@ mod tests {
     #[test]
     fn known_example() {
         // Classic textbook data (n = 10 nonzero diffs).
-        let x = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
-        let y = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        let x = [
+            125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0,
+        ];
+        let y = [
+            110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0,
+        ];
         let r = signed_rank(&x, &y).unwrap();
         // One zero difference dropped → n = 9; W = min(W+, W-) = 18.
         assert!((r.statistic - 18.0).abs() < 1e-9);

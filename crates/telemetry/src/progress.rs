@@ -1,0 +1,200 @@
+//! Crawl progress tracking: shared counters the crawl workers bump and
+//! anyone can snapshot for a live view or a final accounting.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Shared progress state for one crawl.
+///
+/// Cheap enough to leave on permanently: every update is one relaxed
+/// atomic increment. Clone-free sharing is by `Arc<ProgressTracker>`.
+#[derive(Debug)]
+pub struct ProgressTracker {
+    started: Instant,
+    sites_total: u64,
+    sites_done: AtomicU64,
+    pages_done: AtomicU64,
+    visits_ok: AtomicU64,
+    visits_failed: AtomicU64,
+    timeouts: AtomicU64,
+    stalls: AtomicU64,
+    /// Sites completed per worker, for shard-balance reporting.
+    per_worker: Vec<AtomicU64>,
+}
+
+impl ProgressTracker {
+    /// Tracker for a crawl over `sites_total` sites with `workers`
+    /// worker slots (use 1 for a sequential crawl).
+    pub fn new(sites_total: usize, workers: usize) -> ProgressTracker {
+        ProgressTracker {
+            started: Instant::now(),
+            sites_total: sites_total as u64,
+            sites_done: AtomicU64::new(0),
+            pages_done: AtomicU64::new(0),
+            visits_ok: AtomicU64::new(0),
+            visits_failed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            per_worker: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// A worker finished one site.
+    pub fn site_done(&self, worker: usize) {
+        self.sites_done.fetch_add(1, Ordering::Relaxed);
+        if let Some(w) = self.per_worker.get(worker) {
+            w.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A page was visited by every profile.
+    pub fn page_done(&self) {
+        self.pages_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One page visit finished; `ok` is whether it succeeded.
+    pub fn visit(&self, ok: bool) {
+        if ok {
+            self.visits_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.visits_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A page visit timed out.
+    pub fn timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A fetch stalled.
+    pub fn stall(&self) {
+        self.stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time view of the crawl.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let sites_done = self.sites_done.load(Ordering::Relaxed);
+        let per_worker: Vec<u64> = self
+            .per_worker
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect();
+        ProgressSnapshot {
+            sites_total: self.sites_total,
+            sites_done,
+            pages_done: self.pages_done.load(Ordering::Relaxed),
+            visits_ok: self.visits_ok.load(Ordering::Relaxed),
+            visits_failed: self.visits_failed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            elapsed_s: elapsed,
+            sites_per_s: if elapsed > 0.0 {
+                sites_done as f64 / elapsed
+            } else {
+                0.0
+            },
+            per_worker_sites: per_worker,
+        }
+    }
+}
+
+/// Frozen view of crawl progress.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProgressSnapshot {
+    /// Sites in the crawl plan.
+    pub sites_total: u64,
+    /// Sites fully crawled.
+    pub sites_done: u64,
+    /// Pages visited by every profile.
+    pub pages_done: u64,
+    /// Successful page visits.
+    pub visits_ok: u64,
+    /// Failed page visits.
+    pub visits_failed: u64,
+    /// Visit timeouts.
+    pub timeouts: u64,
+    /// Stalled fetches.
+    pub stalls: u64,
+    /// Wall time since the tracker was created.
+    pub elapsed_s: f64,
+    /// Site throughput over the whole crawl so far.
+    pub sites_per_s: f64,
+    /// Sites completed by each worker (shard balance).
+    pub per_worker_sites: Vec<u64>,
+}
+
+impl ProgressSnapshot {
+    /// Shard imbalance: max over min sites per worker (1.0 = perfectly
+    /// balanced; meaningful only once every worker finished a site).
+    pub fn shard_imbalance(&self) -> f64 {
+        let min = self.per_worker_sites.iter().copied().min().unwrap_or(0);
+        let max = self.per_worker_sites.iter().copied().max().unwrap_or(0);
+        if min == 0 {
+            if max == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_flow_through() {
+        let p = ProgressTracker::new(4, 2);
+        p.site_done(0);
+        p.site_done(1);
+        p.site_done(1);
+        p.page_done();
+        p.visit(true);
+        p.visit(false);
+        p.timeout();
+        p.stall();
+        let s = p.snapshot();
+        assert_eq!(s.sites_total, 4);
+        assert_eq!(s.sites_done, 3);
+        assert_eq!(s.pages_done, 1);
+        assert_eq!((s.visits_ok, s.visits_failed), (1, 1));
+        assert_eq!((s.timeouts, s.stalls), (1, 1));
+        assert_eq!(s.per_worker_sites, vec![1, 2]);
+        assert_eq!(s.shard_imbalance(), 2.0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_exact() {
+        let p = Arc::new(ProgressTracker::new(100, 4));
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let p = p.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        p.site_done(w);
+                        p.visit(true);
+                    }
+                });
+            }
+        });
+        let s = p.snapshot();
+        assert_eq!(s.sites_done, 100);
+        assert_eq!(s.visits_ok, 100);
+        assert_eq!(s.per_worker_sites, vec![25; 4]);
+        assert_eq!(s.shard_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_edge_cases() {
+        let p = ProgressTracker::new(10, 2);
+        assert_eq!(p.snapshot().shard_imbalance(), 1.0);
+        p.site_done(0);
+        assert!(p.snapshot().shard_imbalance().is_infinite());
+    }
+}

@@ -32,7 +32,10 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { normalize_urls: true, call_stack_mode: CallStackMode::LatestEntry }
+        TreeConfig {
+            normalize_urls: true,
+            call_stack_mode: CallStackMode::LatestEntry,
+        }
     }
 }
 
@@ -67,8 +70,11 @@ pub fn build_tree(
         .map(|f| (f.frame_id, config.key_of(&f.document_url)))
         .collect();
     // Frame id → parent frame id.
-    let frame_parent: HashMap<u32, Option<u32>> =
-        visit.frames.iter().map(|f| (f.frame_id, f.parent_frame_id)).collect();
+    let frame_parent: HashMap<u32, Option<u32>> = visit
+        .frames
+        .iter()
+        .map(|f| (f.frame_id, f.parent_frame_id))
+        .collect();
 
     for req in &visit.requests {
         let key = config.key_of(&req.url.as_str());
@@ -196,7 +202,10 @@ mod tests {
         let without = build_tree(
             &v,
             None,
-            &TreeConfig { normalize_urls: false, ..TreeConfig::default() },
+            &TreeConfig {
+                normalize_urls: false,
+                ..TreeConfig::default()
+            },
         );
         assert!(with.node_count() <= without.node_count());
     }
@@ -206,7 +215,8 @@ mod tests {
         let (u, _) = crawl_one();
         // Find a visit with tracking traffic.
         for (i, site) in u.sites().iter().enumerate() {
-            let v = Browser::new(&u, BrowserConfig::reliable()).visit(&site.landing_url(), i as u64);
+            let v =
+                Browser::new(&u, BrowserConfig::reliable()).visit(&site.landing_url(), i as u64);
             let t = build_tree(&v, Some(tracking_list()), &TreeConfig::default());
             if t.nodes().iter().any(|n| n.tracking) {
                 // Without a list nothing is tracking.
@@ -247,6 +257,9 @@ mod tests {
             let t = build_tree(&v, None, &TreeConfig::default());
             max_depth = max_depth.max(t.metrics().depth);
         }
-        assert!(max_depth >= 5, "ad chains should reach depth ≥5, got {max_depth}");
+        assert!(
+            max_depth >= 5,
+            "ad chains should reach depth ≥5, got {max_depth}"
+        );
     }
 }

@@ -168,7 +168,9 @@ pub fn diff_trees(left: &DepTree, right: &DepTree) -> TreeDiff {
             NodeDisposition::OnlyLeft => 3,
             NodeDisposition::OnlyRight => 4,
         };
-        rank(a.disposition).cmp(&rank(b.disposition)).then(a.key.cmp(&b.key))
+        rank(a.disposition)
+            .cmp(&rank(b.disposition))
+            .then(a.key.cmp(&b.key))
     });
 
     TreeDiff {
@@ -190,8 +192,18 @@ mod tests {
     fn tree(edges: &[(&str, &str)]) -> DepTree {
         let mut t = DepTree::new_rooted("root".into());
         for (parent, child) in edges {
-            let pid = if *parent == "root" { 0 } else { t.find(parent).unwrap() };
-            t.attach(pid, child.to_string(), ResourceType::Script, Party::Third, false);
+            let pid = if *parent == "root" {
+                0
+            } else {
+                t.find(parent).unwrap()
+            };
+            t.attach(
+                pid,
+                child.to_string(),
+                ResourceType::Script,
+                Party::Third,
+                false,
+            );
         }
         t
     }

@@ -60,7 +60,10 @@ impl DepTree {
         };
         let mut by_key = HashMap::new();
         by_key.insert(root_key, 0);
-        DepTree { nodes: vec![root], by_key }
+        DepTree {
+            nodes: vec![root],
+            by_key,
+        }
     }
 
     /// The root node id (always 0).
@@ -119,7 +122,11 @@ impl DepTree {
 
     /// The keys of a node's direct children.
     pub fn children_keys(&self, id: NodeId) -> Vec<&str> {
-        self.nodes[id].children.iter().map(|&c| self.nodes[c].key.as_str()).collect()
+        self.nodes[id]
+            .children
+            .iter()
+            .map(|&c| self.nodes[c].key.as_str())
+            .collect()
     }
 
     /// The dependency chain of a node: its ancestors' keys, nearest

@@ -50,8 +50,16 @@ pub fn normalize_percent_encoding(s: &str) -> String {
                     out.push(decoded as char);
                 } else {
                     out.push('%');
-                    out.push(char::from_digit(hi as u32, 16).unwrap().to_ascii_uppercase());
-                    out.push(char::from_digit(lo as u32, 16).unwrap().to_ascii_uppercase());
+                    out.push(
+                        char::from_digit(hi as u32, 16)
+                            .unwrap()
+                            .to_ascii_uppercase(),
+                    );
+                    out.push(
+                        char::from_digit(lo as u32, 16)
+                            .unwrap()
+                            .to_ascii_uppercase(),
+                    );
                 }
                 i += 3;
                 continue;
@@ -91,7 +99,10 @@ mod tests {
 
     #[test]
     fn plain_text_unchanged() {
-        assert_eq!(normalize_percent_encoding("/path/to/file.js"), "/path/to/file.js");
+        assert_eq!(
+            normalize_percent_encoding("/path/to/file.js"),
+            "/path/to/file.js"
+        );
         assert_eq!(normalize_percent_encoding(""), "");
     }
 

@@ -73,7 +73,10 @@ impl Url {
         let scheme_end = input.find("://").ok_or(ParseError::MissingScheme)?;
         let scheme = &input[..scheme_end];
         if scheme.is_empty()
-            || !scheme.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+            || !scheme
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic())
             || !scheme
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || matches!(c, '+' | '-' | '.'))
@@ -83,17 +86,20 @@ impl Url {
         let rest = &input[scheme_end + 3..];
 
         // Authority ends at the first of `/`, `?`, `#`.
-        let auth_end = rest
-            .find(['/', '?', '#'])
-            .unwrap_or(rest.len());
+        let auth_end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
         let authority = &rest[..auth_end];
         let after = &rest[auth_end..];
 
         // We do not model userinfo; strip it if present (rare in traffic).
         let hostport = authority.rsplit('@').next().unwrap_or(authority);
         let (host, port) = match hostport.rfind(':') {
-            Some(i) if hostport[i + 1..].chars().all(|c| c.is_ascii_digit()) && i + 1 < hostport.len() => {
-                let port: u16 = hostport[i + 1..].parse().map_err(|_| ParseError::InvalidPort)?;
+            Some(i)
+                if hostport[i + 1..].chars().all(|c| c.is_ascii_digit())
+                    && i + 1 < hostport.len() =>
+            {
+                let port: u16 = hostport[i + 1..]
+                    .parse()
+                    .map_err(|_| ParseError::InvalidPort)?;
                 (&hostport[..i], Some(port))
             }
             Some(i) if i + 1 == hostport.len() => (&hostport[..i], None),
@@ -115,13 +121,14 @@ impl Url {
             None => (after, None),
         };
         let (path, query) = match before_frag.find('?') {
-            Some(i) => (
-                &before_frag[..i],
-                Some(before_frag[i + 1..].to_string()),
-            ),
+            Some(i) => (&before_frag[..i], Some(before_frag[i + 1..].to_string())),
             None => (before_frag, None),
         };
-        let path = if path.is_empty() { "/".to_string() } else { path.to_string() };
+        let path = if path.is_empty() {
+            "/".to_string()
+        } else {
+            path.to_string()
+        };
 
         Ok(Url {
             scheme: scheme.to_ascii_lowercase(),
@@ -210,7 +217,8 @@ impl Url {
     /// assert_eq!(u.normalize_for_comparison(), "https://foo.com/scriptA.js?s_id=&b=");
     /// ```
     pub fn normalize_for_comparison(&self) -> String {
-        let mut out = String::with_capacity(self.scheme.len() + self.host.len() + self.path.len() + 8);
+        let mut out =
+            String::with_capacity(self.scheme.len() + self.host.len() + self.path.len() + 8);
         out.push_str(&self.scheme);
         out.push_str("://");
         out.push_str(&self.host);
@@ -354,12 +362,18 @@ mod tests {
 
     #[test]
     fn rejects_missing_scheme() {
-        assert_eq!(Url::parse("example.com/x").unwrap_err(), ParseError::MissingScheme);
+        assert_eq!(
+            Url::parse("example.com/x").unwrap_err(),
+            ParseError::MissingScheme
+        );
     }
 
     #[test]
     fn rejects_bad_scheme() {
-        assert_eq!(Url::parse("1ht tp://a.com").unwrap_err(), ParseError::InvalidScheme);
+        assert_eq!(
+            Url::parse("1ht tp://a.com").unwrap_err(),
+            ParseError::InvalidScheme
+        );
     }
 
     #[test]
@@ -388,7 +402,10 @@ mod tests {
     #[test]
     fn normalize_drops_values_keeps_keys() {
         let u = Url::parse("https://foo.com/s.js?s_id=1234&x=abcd").unwrap();
-        assert_eq!(u.normalize_for_comparison(), "https://foo.com/s.js?s_id=&x=");
+        assert_eq!(
+            u.normalize_for_comparison(),
+            "https://foo.com/s.js?s_id=&x="
+        );
     }
 
     #[test]
@@ -443,13 +460,19 @@ mod tests {
     #[test]
     fn join_absolute_path() {
         let base = Url::parse("https://a.com/dir/page.html?q=1").unwrap();
-        assert_eq!(base.join("/img/x.png").unwrap().as_str(), "https://a.com/img/x.png");
+        assert_eq!(
+            base.join("/img/x.png").unwrap().as_str(),
+            "https://a.com/img/x.png"
+        );
     }
 
     #[test]
     fn join_relative_path() {
         let base = Url::parse("https://a.com/dir/page.html").unwrap();
-        assert_eq!(base.join("x.png").unwrap().as_str(), "https://a.com/dir/x.png");
+        assert_eq!(
+            base.join("x.png").unwrap().as_str(),
+            "https://a.com/dir/x.png"
+        );
     }
 
     #[test]
@@ -461,7 +484,10 @@ mod tests {
     #[test]
     fn join_fragment_only() {
         let base = Url::parse("https://a.com/p?x=1").unwrap();
-        assert_eq!(base.join("#sec").unwrap().as_str(), "https://a.com/p?x=1#sec");
+        assert_eq!(
+            base.join("#sec").unwrap().as_str(),
+            "https://a.com/p?x=1#sec"
+        );
     }
 
     #[test]

@@ -15,25 +15,102 @@ use std::sync::OnceLock;
 /// longest matching rule.
 const SUFFIXES: &[&str] = &[
     // Generic TLDs.
-    "com", "org", "net", "edu", "gov", "mil", "int", "info", "biz", "io",
-    "co", "ai", "app", "dev", "xyz", "online", "site", "shop", "cloud",
-    "media", "news", "agency", "tech", "store", "blog", "live", "today",
+    "com",
+    "org",
+    "net",
+    "edu",
+    "gov",
+    "mil",
+    "int",
+    "info",
+    "biz",
+    "io",
+    "co",
+    "ai",
+    "app",
+    "dev",
+    "xyz",
+    "online",
+    "site",
+    "shop",
+    "cloud",
+    "media",
+    "news",
+    "agency",
+    "tech",
+    "store",
+    "blog",
+    "live",
+    "today",
     // Country TLDs used by the generator / tests.
-    "de", "uk", "fr", "nl", "ru", "cn", "jp", "br", "in", "it", "es", "pl",
-    "ca", "au", "ch", "at", "se", "no", "eu", "us", "tv", "me", "cc",
+    "de",
+    "uk",
+    "fr",
+    "nl",
+    "ru",
+    "cn",
+    "jp",
+    "br",
+    "in",
+    "it",
+    "es",
+    "pl",
+    "ca",
+    "au",
+    "ch",
+    "at",
+    "se",
+    "no",
+    "eu",
+    "us",
+    "tv",
+    "me",
+    "cc",
     // Multi-label public suffixes.
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk",
-    "com.au", "net.au", "org.au", "edu.au",
-    "co.jp", "ne.jp", "or.jp", "ac.jp",
-    "com.br", "net.br", "org.br",
-    "com.cn", "net.cn", "org.cn", "gov.cn",
-    "co.in", "net.in", "org.in",
-    "com.de", "co.at", "or.at",
+    "co.uk",
+    "org.uk",
+    "ac.uk",
+    "gov.uk",
+    "me.uk",
+    "net.uk",
+    "com.au",
+    "net.au",
+    "org.au",
+    "edu.au",
+    "co.jp",
+    "ne.jp",
+    "or.jp",
+    "ac.jp",
+    "com.br",
+    "net.br",
+    "org.br",
+    "com.cn",
+    "net.cn",
+    "org.cn",
+    "gov.cn",
+    "co.in",
+    "net.in",
+    "org.in",
+    "com.de",
+    "co.at",
+    "or.at",
     // Private-registry suffixes (treated as public suffixes by the PSL).
-    "github.io", "gitlab.io", "herokuapp.com", "appspot.com",
-    "cloudfront.net", "azurewebsites.net", "web.app", "firebaseapp.com",
-    "blogspot.com", "netlify.app", "vercel.app", "pages.dev", "workers.dev",
-    "s3.amazonaws.com", "fastly.net", "akamaized.net",
+    "github.io",
+    "gitlab.io",
+    "herokuapp.com",
+    "appspot.com",
+    "cloudfront.net",
+    "azurewebsites.net",
+    "web.app",
+    "firebaseapp.com",
+    "blogspot.com",
+    "netlify.app",
+    "vercel.app",
+    "pages.dev",
+    "workers.dev",
+    "s3.amazonaws.com",
+    "fastly.net",
+    "akamaized.net",
 ];
 
 /// Wildcard rules: `*.<base>` — every direct child label of `<base>` is
@@ -55,7 +132,10 @@ fn is_ip_literal(host: &str) -> bool {
         return true;
     }
     let parts: Vec<&str> = host.split('.').collect();
-    parts.len() == 4 && parts.iter().all(|p| !p.is_empty() && p.parse::<u8>().is_ok())
+    parts.len() == 4
+        && parts
+            .iter()
+            .all(|p| !p.is_empty() && p.parse::<u8>().is_ok())
 }
 
 /// Is `candidate` (a dot-joined label sequence) a public suffix?

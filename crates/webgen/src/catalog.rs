@@ -34,7 +34,10 @@ pub enum ServiceKind {
 }
 
 /// A third-party service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serializes for reporting; not deserializable because the domain is
+/// a `&'static str` borrowed from the compiled-in catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct Service {
     /// Registerable domain.
     pub domain: &'static str,
@@ -46,71 +49,137 @@ pub struct Service {
 }
 
 /// Analytics.
-pub const METRICSPHERE: Service =
-    Service { domain: "metricsphere.com", kind: ServiceKind::Analytics, tracking: true };
+pub const METRICSPHERE: Service = Service {
+    domain: "metricsphere.com",
+    kind: ServiceKind::Analytics,
+    tracking: true,
+};
 /// Simple hit counter.
-pub const STATCOUNTER: Service =
-    Service { domain: "statcounter-pro.net", kind: ServiceKind::Analytics, tracking: true };
+pub const STATCOUNTER: Service = Service {
+    domain: "statcounter-pro.net",
+    kind: ServiceKind::Analytics,
+    tracking: true,
+};
 /// Secondary analytics relay (also receives CSP reports).
-pub const ANALYTICS_RELAY: Service =
-    Service { domain: "analytics-relay.com", kind: ServiceKind::Analytics, tracking: true };
+pub const ANALYTICS_RELAY: Service = Service {
+    domain: "analytics-relay.com",
+    kind: ServiceKind::Analytics,
+    tracking: true,
+};
 /// Tag manager.
-pub const TAGROUTER: Service =
-    Service { domain: "tagrouter.com", kind: ServiceKind::TagManager, tracking: true };
+pub const TAGROUTER: Service = Service {
+    domain: "tagrouter.com",
+    kind: ServiceKind::TagManager,
+    tracking: true,
+};
 /// Primary ad network (slot serving).
-pub const SYNDICATE_ADS: Service =
-    Service { domain: "syndicate-ads.net", kind: ServiceKind::AdNetwork, tracking: true };
+pub const SYNDICATE_ADS: Service = Service {
+    domain: "syndicate-ads.net",
+    kind: ServiceKind::AdNetwork,
+    tracking: true,
+};
 /// Header-bidding exchange (nested frames).
-pub const RTB_EXCHANGE: Service =
-    Service { domain: "rtb-exchange.net", kind: ServiceKind::AdNetwork, tracking: true };
+pub const RTB_EXCHANGE: Service = Service {
+    domain: "rtb-exchange.net",
+    kind: ServiceKind::AdNetwork,
+    tracking: true,
+};
 /// Demand-side bid streams.
-pub const BIDSTREAM: Service =
-    Service { domain: "bidstream-x.com", kind: ServiceKind::AdNetwork, tracking: true };
+pub const BIDSTREAM: Service = Service {
+    domain: "bidstream-x.com",
+    kind: ServiceKind::AdNetwork,
+    tracking: true,
+};
 /// Creative hosting.
-pub const BANNERFARM: Service =
-    Service { domain: "bannerfarm.biz", kind: ServiceKind::AdNetwork, tracking: true };
+pub const BANNERFARM: Service = Service {
+    domain: "bannerfarm.biz",
+    kind: ServiceKind::AdNetwork,
+    tracking: true,
+};
 /// Second-tier ad network.
-pub const POPMEDIA: Service =
-    Service { domain: "popmedia-ads.com", kind: ServiceKind::AdNetwork, tracking: true };
+pub const POPMEDIA: Service = Service {
+    domain: "popmedia-ads.com",
+    kind: ServiceKind::AdNetwork,
+    tracking: true,
+};
 /// Tracking-pixel host.
-pub const PIXEL_TRAIL: Service =
-    Service { domain: "pixel-trail.com", kind: ServiceKind::CookieSync, tracking: true };
+pub const PIXEL_TRAIL: Service = Service {
+    domain: "pixel-trail.com",
+    kind: ServiceKind::CookieSync,
+    tracking: true,
+};
 /// Live beacon/WebSocket infrastructure.
-pub const BEACON_HUB: Service =
-    Service { domain: "beacon-hub.io", kind: ServiceKind::Analytics, tracking: true };
+pub const BEACON_HUB: Service = Service {
+    domain: "beacon-hub.io",
+    kind: ServiceKind::Analytics,
+    tracking: true,
+};
 /// Cookie-sync hub.
-pub const SYNC_PARTNERS: Service =
-    Service { domain: "sync-partners.net", kind: ServiceKind::CookieSync, tracking: true };
+pub const SYNC_PARTNERS: Service = Service {
+    domain: "sync-partners.net",
+    kind: ServiceKind::CookieSync,
+    tracking: true,
+};
 /// ID-graph receiver.
-pub const USERTRACK: Service =
-    Service { domain: "usertrack-cdn.net", kind: ServiceKind::CookieSync, tracking: true };
+pub const USERTRACK: Service = Service {
+    domain: "usertrack-cdn.net",
+    kind: ServiceKind::CookieSync,
+    tracking: true,
+};
 /// Fingerprinting vendor.
-pub const FINGERPRINT_LAB: Service =
-    Service { domain: "fingerprint-lab.net", kind: ServiceKind::Fingerprinting, tracking: true };
+pub const FINGERPRINT_LAB: Service = Service {
+    domain: "fingerprint-lab.net",
+    kind: ServiceKind::Fingerprinting,
+    tracking: true,
+};
 /// Social network widgets.
-pub const SOCIALVERSE: Service =
-    Service { domain: "socialverse.com", kind: ServiceKind::Social, tracking: false };
+pub const SOCIALVERSE: Service = Service {
+    domain: "socialverse.com",
+    kind: ServiceKind::Social,
+    tracking: false,
+};
 /// Share-count widget.
-pub const SHAREBAR: Service =
-    Service { domain: "sharebar.net", kind: ServiceKind::Social, tracking: false };
+pub const SHAREBAR: Service = Service {
+    domain: "sharebar.net",
+    kind: ServiceKind::Social,
+    tracking: false,
+};
 /// General-purpose CDN.
-pub const CDN_FASTEDGE: Service =
-    Service { domain: "cdn-fastedge.net", kind: ServiceKind::Cdn, tracking: false };
+pub const CDN_FASTEDGE: Service = Service {
+    domain: "cdn-fastedge.net",
+    kind: ServiceKind::Cdn,
+    tracking: false,
+};
 /// Static asset CDN.
-pub const STATICFILES: Service =
-    Service { domain: "staticfiles-cdn.com", kind: ServiceKind::Cdn, tracking: false };
+pub const STATICFILES: Service = Service {
+    domain: "staticfiles-cdn.com",
+    kind: ServiceKind::Cdn,
+    tracking: false,
+};
 /// JS library CDN.
-pub const JSLIBS: Service =
-    Service { domain: "jslibs-cdn.net", kind: ServiceKind::Cdn, tracking: false };
+pub const JSLIBS: Service = Service {
+    domain: "jslibs-cdn.net",
+    kind: ServiceKind::Cdn,
+    tracking: false,
+};
 /// Web fonts.
-pub const FONTLIBRARY: Service =
-    Service { domain: "fontlibrary.org", kind: ServiceKind::Fonts, tracking: false };
+pub const FONTLIBRARY: Service = Service {
+    domain: "fontlibrary.org",
+    kind: ServiceKind::Fonts,
+    tracking: false,
+};
 /// Consent management platform.
-pub const CONSENT_SHIELD: Service =
-    Service { domain: "consent-shield.com", kind: ServiceKind::Consent, tracking: false };
+pub const CONSENT_SHIELD: Service = Service {
+    domain: "consent-shield.com",
+    kind: ServiceKind::Consent,
+    tracking: false,
+};
 /// Video embeds.
-pub const STREAMVID: Service =
-    Service { domain: "streamvid-cdn.com", kind: ServiceKind::Video, tracking: false };
+pub const STREAMVID: Service = Service {
+    domain: "streamvid-cdn.com",
+    kind: ServiceKind::Video,
+    tracking: false,
+};
 
 /// Every service in the catalog.
 pub const ALL: [Service; 22] = [
@@ -155,7 +224,10 @@ mod tests {
 
     #[test]
     fn lookup_works() {
-        assert_eq!(by_domain("metricsphere.com").unwrap().kind, ServiceKind::Analytics);
+        assert_eq!(
+            by_domain("metricsphere.com").unwrap().kind,
+            ServiceKind::Analytics
+        );
         assert!(by_domain("unknown.example").is_none());
     }
 
@@ -169,8 +241,11 @@ mod tests {
             // A generic resource on each tracking domain should be
             // flagged by the embedded list (host-anchor rules).
             let u = Url::parse(&format!("https://x.{}/anything/r?id=1", svc.domain)).unwrap();
-            let flagged = embedded::tracking_list()
-                .is_tracking(&RequestInfo::new(&u, &page, ResourceType::Image));
+            let flagged = embedded::tracking_list().is_tracking(&RequestInfo::new(
+                &u,
+                &page,
+                ResourceType::Image,
+            ));
             // Tag manager & relay rules are path-scoped; allow those two
             // to be flagged via their canonical endpoints instead.
             if !flagged {

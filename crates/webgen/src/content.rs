@@ -46,7 +46,12 @@ pub struct Embed {
 impl Embed {
     /// An unconditional, immediate embed.
     pub fn always(url: impl Into<String>, resource_type: ResourceType) -> Embed {
-        Embed { url: url.into(), resource_type, condition: Condition::Always, delay_ms: 0 }
+        Embed {
+            url: url.into(),
+            resource_type,
+            condition: Condition::Always,
+            delay_ms: 0,
+        }
     }
 
     /// Builder: set the condition.
@@ -122,7 +127,10 @@ pub enum Content {
 impl Content {
     /// A leaf with a given size and no cookies.
     pub fn leaf(body_len: u64) -> Content {
-        Content::Leaf { body_len, set_cookies: Vec::new() }
+        Content::Leaf {
+            body_len,
+            set_cookies: Vec::new(),
+        }
     }
 
     /// The `Set-Cookie` lines of this content, if any.
@@ -166,7 +174,10 @@ mod tests {
 
     #[test]
     fn content_set_cookies_accessor() {
-        let c = Content::Leaf { body_len: 10, set_cookies: vec!["a=1".into()] };
+        let c = Content::Leaf {
+            body_len: 10,
+            set_cookies: vec!["a=1".into()],
+        };
         assert_eq!(c.set_cookies(), ["a=1".to_string()]);
         let ws = Content::WebSocket { pushes: vec![] };
         assert!(ws.set_cookies().is_empty());
@@ -175,10 +186,16 @@ mod tests {
     #[test]
     fn content_embeds_accessor() {
         let e = Embed::always("https://a.com/i.png", ResourceType::Image);
-        let d = Content::Document { embeds: vec![e.clone()], set_cookies: vec![] };
+        let d = Content::Document {
+            embeds: vec![e.clone()],
+            set_cookies: vec![],
+        };
         assert_eq!(d.embeds().len(), 1);
         assert!(Content::leaf(5).embeds().is_empty());
-        let r = Content::Redirect { to: "https://b.com/".into(), set_cookies: vec![] };
+        let r = Content::Redirect {
+            to: "https://b.com/".into(),
+            set_cookies: vec![],
+        };
         assert!(r.embeds().is_empty());
     }
 }

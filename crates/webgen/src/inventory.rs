@@ -97,7 +97,9 @@ pub fn page_inventory(
         *by_gate.entry(gate).or_insert(0) += 1;
         max_depth = max_depth.max(depth);
 
-        let Ok(url) = Url::parse(&concrete) else { continue };
+        let Ok(url) = Url::parse(&concrete) else {
+            continue;
+        };
         let reply = universe.serve(&url, ctx);
         // Gates are sticky along a branch: content behind an
         // interaction gate stays interaction-gated even if its own
@@ -111,7 +113,12 @@ pub fn page_inventory(
         }
     }
 
-    PageInventory { page: page.as_str(), by_gate, total: seen.len(), max_depth }
+    PageInventory {
+        page: page.as_str(),
+        by_gate,
+        total: seen.len(),
+        max_depth,
+    }
 }
 
 #[cfg(test)]
@@ -163,7 +170,11 @@ mod tests {
             pervisit += inv.share(GateClass::PerVisit);
             n += 1.0;
         }
-        assert!(interaction / n > 0.03, "interaction share {}", interaction / n);
+        assert!(
+            interaction / n > 0.03,
+            "interaction share {}",
+            interaction / n
+        );
         assert!(pervisit / n > 0.05, "per-visit share {}", pervisit / n);
     }
 
@@ -174,7 +185,11 @@ mod tests {
         let u = uni();
         for site in u.sites().iter() {
             let inv = page_inventory(&u, &site.landing_url(), &VisitCtx::standard(1), 4000);
-            let gated = inv.by_gate.get(&GateClass::Interaction).copied().unwrap_or(0);
+            let gated = inv
+                .by_gate
+                .get(&GateClass::Interaction)
+                .copied()
+                .unwrap_or(0);
             if gated > 3 {
                 // More gated nodes than the handful of top-level lazy
                 // images → descendants inherited the gate.

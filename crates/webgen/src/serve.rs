@@ -64,7 +64,13 @@ impl SiteProfile {
     /// ads, more services) — Appendix F finds larger trees at the top
     /// of the ranking.
     pub fn derive(seed: u64, site: &SiteSpec) -> SiteProfile {
-        let h = |label: &str| SeedMixer::new(seed).with("siteprof").with(&site.domain).with(label).finish();
+        let h = |label: &str| {
+            SeedMixer::new(seed)
+                .with("siteprof")
+                .with(&site.domain)
+                .with(label)
+                .finish()
+        };
         let popularity = match site.bucket {
             RankBucket::Top5k => 1.0,
             RankBucket::To10k => 0.92,
@@ -95,9 +101,7 @@ impl SiteProfile {
         };
         SiteProfile {
             n_css: 1 + bounded(h("css"), 2) as usize,
-            n_images_above: 2
-                + (8.0 * popularity) as usize
-                + bounded(h("imga"), 4) as usize,
+            n_images_above: 2 + (8.0 * popularity) as usize + bounded(h("imga"), 4) as usize,
             n_images_below: 1 + bounded(h("imgb"), 3) as usize,
             app_version: 1 + bounded(h("appv"), 9) as u32,
             has_analytics: chance(h("ga"), 0.88 * popularity),
@@ -149,11 +153,17 @@ pub fn serve(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerReply {
 }
 
 fn ok(content: Content) -> ServerReply {
-    ServerReply { status: Status::OK, content }
+    ServerReply {
+        status: Status::OK,
+        content,
+    }
 }
 
 fn not_found() -> ServerReply {
-    ServerReply { status: Status::NOT_FOUND, content: Content::leaf(512) }
+    ServerReply {
+        status: Status::NOT_FOUND,
+        content: Content::leaf(512),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -181,7 +191,9 @@ fn first_party(universe: &WebUniverse, site: &SiteSpec, url: &Url, ctx: &VisitCt
         return site_api(seed, site, url, ctx);
     }
     if path.starts_with("/img/") || path.starts_with("/fonts/") || path.starts_with("/media/") {
-        return ok(Content::leaf(4_096 + bounded(stable_hash(seed, path.as_bytes()), 60_000)));
+        return ok(Content::leaf(
+            4_096 + bounded(stable_hash(seed, path.as_bytes()), 60_000),
+        ));
     }
     // Anything else on a first-party host: a small static page asset.
     if url.host().starts_with("cdn.") || url.host().starts_with("static.") {
@@ -202,7 +214,12 @@ fn site_document(
     let d = &site.domain;
     let page_key = url.path().to_string();
     let ph = |label: &str| {
-        SeedMixer::new(seed).with("page").with(d).with(&page_key).with(label).finish()
+        SeedMixer::new(seed)
+            .with("page")
+            .with(d)
+            .with(&page_key)
+            .with(label)
+            .finish()
     };
     let mut embeds: Vec<Embed> = Vec::new();
 
@@ -215,25 +232,37 @@ fn site_document(
     }
     embeds.push(
         Embed::always(
-            format!("https://cdn.{d}/assets/app-v{}.js?sid={{sid}}", profile.app_version),
+            format!(
+                "https://cdn.{d}/assets/app-v{}.js?sid={{sid}}",
+                profile.app_version
+            ),
             ResourceType::Script,
         )
         .when(Condition::MinVersion(90)),
     );
     embeds.push(
-        Embed::always(format!("https://cdn.{d}/assets/app-legacy.js?sid={{sid}}"), ResourceType::Script)
-            .when(Condition::BelowVersion(90)),
+        Embed::always(
+            format!("https://cdn.{d}/assets/app-legacy.js?sid={{sid}}"),
+            ResourceType::Script,
+        )
+        .when(Condition::BelowVersion(90)),
     );
     // Above-the-fold images: stable per page.
     let n_above = profile.n_images_above + bounded(ph("extraimg"), 3) as usize;
     for i in 0..n_above {
         let mut e = Embed::always(
-            format!("https://static.{d}/img{}{i}.jpg", page_key.replace('/', "-")),
+            format!(
+                "https://static.{d}/img{}{i}.jpg",
+                page_key.replace('/', "-")
+            ),
             ResourceType::Image,
         );
         // A couple of slots are A/B-tested hero banners.
         if i < 2 && chance(ph("ab"), 0.35) {
-            let variant = bounded(stable_hash(ctx.visit_seed, format!("ab{d}{page_key}{i}").as_bytes()), 2);
+            let variant = bounded(
+                stable_hash(ctx.visit_seed, format!("ab{d}{page_key}{i}").as_bytes()),
+                2,
+            );
             e = Embed::always(
                 format!(
                     "https://static.{d}/img{}{i}-hero.jpg?v={variant}",
@@ -248,7 +277,10 @@ fn site_document(
     for i in 0..profile.n_images_below {
         embeds.push(
             Embed::always(
-                format!("https://static.{d}/img{}lazy{i}.jpg", page_key.replace('/', "-")),
+                format!(
+                    "https://static.{d}/img{}lazy{i}.jpg",
+                    page_key.replace('/', "-")
+                ),
                 ResourceType::Image,
             )
             .when(Condition::RequiresInteraction),
@@ -256,14 +288,20 @@ fn site_document(
     }
     if profile.has_api {
         embeds.push(Embed::always(
-            format!("https://www.{d}/api/recs?page={}&sid={{sid}}", page_key.replace('/', "")),
+            format!(
+                "https://www.{d}/api/recs?page={}&sid={{sid}}",
+                page_key.replace('/', "")
+            ),
             ResourceType::Xhr,
         ));
     }
     if chance(ph("promo"), 0.2) {
         embeds.push(
-            Embed::always(format!("https://static.{d}/media/promo.mp4"), ResourceType::Media)
-                .when(Condition::PerVisit(0.5)),
+            Embed::always(
+                format!("https://static.{d}/media/promo.mp4"),
+                ResourceType::Media,
+            )
+            .when(Condition::PerVisit(0.5)),
         );
     }
 
@@ -277,18 +315,27 @@ fn site_document(
     }
     if profile.has_webfonts {
         embeds.push(Embed::always(
-            format!("https://fontlibrary.org/css2?family=family{}", bounded(ph("fam"), 12)),
+            format!(
+                "https://fontlibrary.org/css2?family=family{}",
+                bounded(ph("fam"), 12)
+            ),
             ResourceType::Stylesheet,
         ));
     }
     if profile.has_analytics {
-        embeds.push(Embed::always("https://metricsphere.com/tag.js", ResourceType::Script));
+        embeds.push(Embed::always(
+            "https://metricsphere.com/tag.js",
+            ResourceType::Script,
+        ));
     }
     if profile.has_statcounter {
         // Hit counters sample traffic: loaded on most, not all, visits.
         embeds.push(
-            Embed::always("https://statcounter-pro.net/counter.js", ResourceType::Script)
-                .when(Condition::PerVisit(0.9)),
+            Embed::always(
+                "https://statcounter-pro.net/counter.js",
+                ResourceType::Script,
+            )
+            .when(Condition::PerVisit(0.9)),
         );
     }
     if profile.has_tagmanager {
@@ -330,7 +377,10 @@ fn site_document(
     }
     if profile.has_video && chance(ph("vidpage"), 0.6) {
         embeds.push(Embed::always(
-            format!("https://streamvid-cdn.com/embed/v{}", bounded(ph("vid"), 500)),
+            format!(
+                "https://streamvid-cdn.com/embed/v{}",
+                bounded(ph("vid"), 500)
+            ),
             ResourceType::SubFrame,
         ));
     }
@@ -342,13 +392,19 @@ fn site_document(
     }
     if profile.has_websocket {
         embeds.push(
-            Embed::always(format!("wss://live.beacon-hub.io/socket?ch={d}"), ResourceType::WebSocket)
-                .when(Condition::PerVisit(0.8)),
+            Embed::always(
+                format!("wss://live.beacon-hub.io/socket?ch={d}"),
+                ResourceType::WebSocket,
+            )
+            .when(Condition::PerVisit(0.8)),
         );
     }
     if profile.ad_slots > 1 {
         // Retargeting experiment tags rotate per visit and per campaign.
-        let exp = bounded(stable_hash(ctx.visit_seed, format!("rtg{d}").as_bytes()), 100_000);
+        let exp = bounded(
+            stable_hash(ctx.visit_seed, format!("rtg{d}").as_bytes()),
+            100_000,
+        );
         embeds.push(
             Embed::always(
                 format!("https://bidstream-x.com/tag/exp-{exp}.js"),
@@ -375,10 +431,16 @@ fn site_document(
     if chance(ph("abc"), 0.5) {
         // Experiments rotate per visit within a site-scoped pool, so a
         // given experiment cookie is usually seen by only some profiles.
-        let exp = bounded(stable_hash(ctx.visit_seed, format!("abexp{d}").as_bytes()), 8);
+        let exp = bounded(
+            stable_hash(ctx.visit_seed, format!("abexp{d}").as_bytes()),
+            8,
+        );
         set_cookies.push(format!("ab_exp_{exp}=on; Path=/; Domain={d}"));
     }
-    ok(Content::Document { embeds, set_cookies })
+    ok(Content::Document {
+        embeds,
+        set_cookies,
+    })
 }
 
 fn site_stylesheet(site: &SiteSpec, _profile: &SiteProfile, path: &str) -> ServerReply {
@@ -389,8 +451,14 @@ fn site_stylesheet(site: &SiteSpec, _profile: &SiteProfile, path: &str) -> Serve
         .parse()
         .unwrap_or(0);
     let loads = vec![
-        Embed::always(format!("https://cdn.{d}/fonts/brand-{t}.woff2"), ResourceType::Font),
-        Embed::always(format!("https://static.{d}/img/bg-{t}.png"), ResourceType::Image),
+        Embed::always(
+            format!("https://cdn.{d}/fonts/brand-{t}.woff2"),
+            ResourceType::Font,
+        ),
+        Embed::always(
+            format!("https://static.{d}/img/bg-{t}.png"),
+            ResourceType::Image,
+        ),
     ];
     ok(Content::Stylesheet { loads })
 }
@@ -403,7 +471,13 @@ fn site_app_script(
     legacy: bool,
 ) -> ServerReply {
     let d = &site.domain;
-    let h = |label: &str| SeedMixer::new(seed).with("appjs").with(d).with(label).finish();
+    let h = |label: &str| {
+        SeedMixer::new(seed)
+            .with("appjs")
+            .with(d)
+            .with(label)
+            .finish()
+    };
     let mut actions = vec![Embed::always(
         format!("https://www.{d}/api/state?sid={{sid}}"),
         ResourceType::Xhr,
@@ -418,8 +492,11 @@ fn site_app_script(
     let n_scroll = 1 + bounded(h("scroll"), 3) as usize;
     for i in 0..n_scroll {
         actions.push(
-            Embed::always(format!("https://static.{d}/img/scroll-{i}.jpg"), ResourceType::Image)
-                .when(Condition::RequiresInteraction),
+            Embed::always(
+                format!("https://static.{d}/img/scroll-{i}.jpg"),
+                ResourceType::Image,
+            )
+            .when(Condition::RequiresInteraction),
         );
     }
     // Scroll-depth tracking pixel: only fires after interaction and
@@ -439,13 +516,20 @@ fn site_app_script(
         )
         .when(Condition::PerVisit(0.06)),
     );
-    ok(Content::Script { actions, set_cookies: vec![format!("fp_js=1; Path=/; Domain={d}")] })
+    ok(Content::Script {
+        actions,
+        set_cookies: vec![format!("fp_js=1; Path=/; Domain={d}")],
+    })
 }
 
 fn site_api(seed: u64, site: &SiteSpec, url: &Url, ctx: &VisitCtx) -> ServerReply {
     let d = &site.domain;
     if url.path().starts_with("/api/recs") {
-        let h = SeedMixer::new(seed).with("api").with(d).with(url.path()).finish();
+        let h = SeedMixer::new(seed)
+            .with("api")
+            .with(d)
+            .with(url.path())
+            .finish();
         let mut follow_ups = Vec::new();
         let n = 2 + bounded(h, 3) as usize;
         for i in 0..n {
@@ -455,14 +539,26 @@ fn site_api(seed: u64, site: &SiteSpec, url: &Url, ctx: &VisitCtx) -> ServerRepl
             ));
         }
         // One rotating recommendation per visit.
-        let rot = bounded(stable_hash(ctx.visit_seed, format!("rec{d}").as_bytes()), 50);
-        follow_ups.push(
-            Embed::always(format!("https://static.{d}/img/rec-rot-{rot}.jpg"), ResourceType::Image)
-                .when(Condition::PerVisit(0.15)),
+        let rot = bounded(
+            stable_hash(ctx.visit_seed, format!("rec{d}").as_bytes()),
+            50,
         );
-        return ok(Content::Api { follow_ups, set_cookies: vec![] });
+        follow_ups.push(
+            Embed::always(
+                format!("https://static.{d}/img/rec-rot-{rot}.jpg"),
+                ResourceType::Image,
+            )
+            .when(Condition::PerVisit(0.15)),
+        );
+        return ok(Content::Api {
+            follow_ups,
+            set_cookies: vec![],
+        });
     }
-    ok(Content::Api { follow_ups: vec![], set_cookies: vec![] })
+    ok(Content::Api {
+        follow_ups: vec![],
+        set_cookies: vec![],
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -474,7 +570,10 @@ fn metricsphere(url: &Url, _ctx: &VisitCtx) -> ServerReply {
         "/tag.js" => ok(Content::Script {
             actions: vec![
                 Embed::always("https://metricsphere.com/config?k={sid}", ResourceType::Xhr),
-                Embed::always("https://metricsphere.com/collect/pv?sid={sid}", ResourceType::Beacon),
+                Embed::always(
+                    "https://metricsphere.com/collect/pv?sid={sid}",
+                    ResourceType::Beacon,
+                ),
                 Embed::always(
                     "https://metricsphere.com/collect/engage?sid={sid}",
                     ResourceType::Beacon,
@@ -492,13 +591,22 @@ fn metricsphere(url: &Url, _ctx: &VisitCtx) -> ServerReply {
                 .when(Condition::PerVisit(0.35)),
                 // Consent adapter (also loaded by CMPs): raced between
                 // loaders, so the node's parent differs across visits.
-                Embed::always("https://jslibs-cdn.net/npm/consent-adapter.js", ResourceType::Script)
-                    .when(Condition::PerVisit(0.55)),
-                Embed::always("https://jslibs-cdn.net/npm/analytics-shim.js", ResourceType::Script),
+                Embed::always(
+                    "https://jslibs-cdn.net/npm/consent-adapter.js",
+                    ResourceType::Script,
+                )
+                .when(Condition::PerVisit(0.55)),
+                Embed::always(
+                    "https://jslibs-cdn.net/npm/analytics-shim.js",
+                    ResourceType::Script,
+                ),
             ],
             set_cookies: vec![],
         }),
-        "/config" => ok(Content::Api { follow_ups: vec![], set_cookies: vec![] }),
+        "/config" => ok(Content::Api {
+            follow_ups: vec![],
+            set_cookies: vec![],
+        }),
         p if p.starts_with("/collect") => {
             let mut set_cookies =
                 vec!["_ms_uid={uid}; Path=/; Secure; SameSite=None; Max-Age=7776000".to_string()];
@@ -508,7 +616,10 @@ fn metricsphere(url: &Url, _ctx: &VisitCtx) -> ServerReply {
             if url.path().contains("/engage") {
                 set_cookies.push("_ms_engage={uid}; Path=/; Secure; SameSite=None".to_string());
             }
-            ok(Content::Leaf { body_len: 43, set_cookies })
+            ok(Content::Leaf {
+                body_len: 43,
+                set_cookies,
+            })
         }
         _ => not_found(),
     }
@@ -518,8 +629,14 @@ fn statcounter(url: &Url) -> ServerReply {
     match url.path() {
         "/counter.js" => ok(Content::Script {
             actions: vec![
-                Embed::always("https://statcounter-pro.net/px.gif?u={uid}", ResourceType::Image),
-                Embed::always("https://jslibs-cdn.net/npm/analytics-shim.js", ResourceType::Script),
+                Embed::always(
+                    "https://statcounter-pro.net/px.gif?u={uid}",
+                    ResourceType::Image,
+                ),
+                Embed::always(
+                    "https://jslibs-cdn.net/npm/analytics-shim.js",
+                    ResourceType::Script,
+                ),
             ],
             set_cookies: vec![],
         }),
@@ -535,15 +652,22 @@ fn analytics_relay(url: &Url, _ctx: &VisitCtx) -> ServerReply {
     match url.path() {
         "/relay.js" => ok(Content::Script {
             actions: vec![
-                Embed::always("https://analytics-relay.com/collect?e=pv&sid={sid}", ResourceType::Beacon),
-                Embed::always("https://analytics-relay.com/csp-report?cb={cb}", ResourceType::CspReport)
-                    .when(Condition::PerVisit(0.12)),
+                Embed::always(
+                    "https://analytics-relay.com/collect?e=pv&sid={sid}",
+                    ResourceType::Beacon,
+                ),
+                Embed::always(
+                    "https://analytics-relay.com/csp-report?cb={cb}",
+                    ResourceType::CspReport,
+                )
+                .when(Condition::PerVisit(0.12)),
             ],
             set_cookies: vec![],
         }),
-        p if p.starts_with("/collect") || p.starts_with("/csp-report") => {
-            ok(Content::Leaf { body_len: 2, set_cookies: vec![] })
-        }
+        p if p.starts_with("/collect") || p.starts_with("/csp-report") => ok(Content::Leaf {
+            body_len: 2,
+            set_cookies: vec![],
+        }),
         _ => not_found(),
     }
 }
@@ -552,17 +676,29 @@ fn tagrouter(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerReply {
     if let Some(site_js) = url.path().strip_prefix("/route/") {
         let site_domain = site_js.trim_end_matches(".js");
         let seed = universe.config().seed;
-        let h = |label: &str| SeedMixer::new(seed).with("tagrouter").with(site_domain).with(label).finish();
+        let h = |label: &str| {
+            SeedMixer::new(seed)
+                .with("tagrouter")
+                .with(site_domain)
+                .with(label)
+                .finish()
+        };
         let mut actions = Vec::new();
         // The tag manager may route the analytics tag even when the
         // page embeds it directly — the node's loader (and thus its
         // tree parent and depth) then races between the two, which is
         // the parent instability the paper measures for third parties.
         if chance(h("ms"), 0.5) {
-            actions.push(Embed::always("https://metricsphere.com/tag.js", ResourceType::Script));
+            actions.push(Embed::always(
+                "https://metricsphere.com/tag.js",
+                ResourceType::Script,
+            ));
         }
         if chance(h("relay"), 0.55) {
-            actions.push(Embed::always("https://analytics-relay.com/relay.js", ResourceType::Script));
+            actions.push(Embed::always(
+                "https://analytics-relay.com/relay.js",
+                ResourceType::Script,
+            ));
         }
         if chance(h("pop"), 0.35) {
             actions.push(Embed::always(
@@ -585,7 +721,10 @@ fn tagrouter(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerReply {
             )
             .when(Condition::PerVisit(0.3)),
         );
-        return ok(Content::Script { actions, set_cookies: vec![] });
+        return ok(Content::Script {
+            actions,
+            set_cookies: vec![],
+        });
     }
     not_found()
 }
@@ -654,28 +793,46 @@ fn syndicate_ads(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerRep
         let auction = bounded(stable_hash(ctx.visit_seed, b"auction"), 1_000_000);
         let s_param = ad_site(url);
         let mut actions = vec![
-            Embed::always(format!(
+            Embed::always(
+                format!(
                 "https://syndicate-ads.net/adserve/slot0?a={auction}&sid={{sid}}&d=1&s={s_param}"
-            ), ResourceType::SubFrame)
+            ),
+                ResourceType::SubFrame,
+            )
             .when(Condition::PerVisit(0.92)),
-            Embed::always(format!(
+            Embed::always(
+                format!(
                 "https://syndicate-ads.net/adserve/slot1?a={auction}&sid={{sid}}&d=1&s={s_param}"
-            ), ResourceType::SubFrame)
+            ),
+                ResourceType::SubFrame,
+            )
             .when(Condition::InteractionThenPerVisit(0.85)),
-            Embed::always(format!(
+            Embed::always(
+                format!(
                 "https://syndicate-ads.net/adserve/slot2?a={auction}&sid={{sid}}&d=1&s={s_param}"
-            ), ResourceType::SubFrame)
+            ),
+                ResourceType::SubFrame,
+            )
             .when(Condition::InteractionThenPerVisit(0.6)),
-            Embed::always("https://pixel-trail.com/track/pixel/common?cb={cb}", ResourceType::Image),
+            Embed::always(
+                "https://pixel-trail.com/track/pixel/common?cb={cb}",
+                ResourceType::Image,
+            ),
         ];
         // Rare: bot-detecting campaigns skip headless browsers.
         actions.push(
-            Embed::always(format!(
+            Embed::always(
+                format!(
                 "https://syndicate-ads.net/adserve/premium?a={auction}&sid={{sid}}&d=1&s={s_param}"
-            ), ResourceType::SubFrame)
+            ),
+                ResourceType::SubFrame,
+            )
             .when(Condition::NotHeadless),
         );
-        return ok(Content::Script { actions, set_cookies: vec![] });
+        return ok(Content::Script {
+            actions,
+            set_cookies: vec![],
+        });
     }
     if path.starts_with("/adserve/") {
         let depth = ad_depth(url);
@@ -691,15 +848,24 @@ fn syndicate_ads(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerRep
             // real ad images often do; the rotating id is a parameter,
             // so normalization collapses it into one stable node.
             Embed::always(
-                format!("https://staticfiles-cdn.com/creatives/{}.jpg?id={creative}", path.trim_start_matches("/adserve/")),
+                format!(
+                    "https://staticfiles-cdn.com/creatives/{}.jpg?id={creative}",
+                    path.trim_start_matches("/adserve/")
+                ),
                 ResourceType::Image,
             ),
-            Embed::always("https://pixel-trail.com/track/pixel/imp?cb={cb}", ResourceType::Image),
+            Embed::always(
+                "https://pixel-trail.com/track/pixel/imp?cb={cb}",
+                ResourceType::Image,
+            ),
             Embed::always(
                 "https://staticfiles-cdn.com/creatives/house.jpg?id={cb}",
                 ResourceType::Image,
             ),
-            Embed::always("https://staticfiles-cdn.com/badges/adchoices.png", ResourceType::Image),
+            Embed::always(
+                "https://staticfiles-cdn.com/badges/adchoices.png",
+                ResourceType::Image,
+            ),
         ];
         if chance(stable_hash(slot_h, b"ws"), 0.05) {
             embeds.push(Embed::always(
@@ -732,16 +898,26 @@ fn syndicate_ads(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerRep
         });
     }
     if path == "/rtb/log" || path == "/rtb/settle" {
-        return ok(Content::Leaf { body_len: 2, set_cookies: vec![] });
+        return ok(Content::Leaf {
+            body_len: 2,
+            set_cookies: vec![],
+        });
     }
     if path == "/rtb/bid" {
         let depth = ad_depth(url);
         let s_param = ad_site(url);
-        let h = stable_hash(ctx.visit_seed, format!("rtbwin{depth}{}", url.as_str()).as_bytes());
+        let h = stable_hash(
+            ctx.visit_seed,
+            format!("rtbwin{depth}{}", url.as_str()).as_bytes(),
+        );
         let nest = structural_nest(universe, &s_param, "syn", depth);
         // The auction winner rotates per visit, but whether the chain
         // can continue at all is the site's slot configuration.
-        let winner = if nest { 50 + bounded(h, 50) } else { bounded(h, 45) };
+        let winner = if nest {
+            50 + bounded(h, 50)
+        } else {
+            bounded(h, 45)
+        };
         let mut follow_ups = Vec::new();
         if winner < 25 {
             // Direct creative win via the house pool: rotates in the
@@ -762,7 +938,10 @@ fn syndicate_ads(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerRep
         } else if winner < 45 {
             // Occasionally the slot simply stays with the house pool.
             follow_ups.push(Embed::always(
-                format!("https://bannerfarm.biz/creative/view.jpg?c={}", bounded(h, 100_000)),
+                format!(
+                    "https://bannerfarm.biz/creative/view.jpg?c={}",
+                    bounded(h, 100_000)
+                ),
                 ResourceType::Image,
             ));
         } else if winner < 80 {
@@ -777,21 +956,29 @@ fn syndicate_ads(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerRep
                 )
             } else {
                 // Campaign-specific frame path (rotating, often unique).
-                format!("https://rtb-exchange.net/frame/c{f}?d={}&sid={{sid}}&s={s_param}", depth + 1)
+                format!(
+                    "https://rtb-exchange.net/frame/c{f}?d={}&sid={{sid}}&s={s_param}",
+                    depth + 1
+                )
             };
             follow_ups.push(
-                Embed::always(frame_url, ResourceType::SubFrame)
-                    .when(Condition::PerVisit(0.9)),
+                Embed::always(frame_url, ResourceType::SubFrame).when(Condition::PerVisit(0.9)),
             );
             follow_ups.push(Embed::always(
-                format!("https://staticfiles-cdn.com/creatives/fallback.jpg?id={}", bounded(h, 40)),
+                format!(
+                    "https://staticfiles-cdn.com/creatives/fallback.jpg?id={}",
+                    bounded(h, 40)
+                ),
                 ResourceType::Image,
             ));
         } else {
             // Second-tier network.
             follow_ups.push(
                 Embed::always(
-                    format!("https://popmedia-ads.com/ads/frame0?d={}&s={s_param}", depth + 1),
+                    format!(
+                        "https://popmedia-ads.com/ads/frame0?d={}&s={s_param}",
+                        depth + 1
+                    ),
                     ResourceType::SubFrame,
                 )
                 .when(Condition::PerVisit(0.9)),
@@ -834,13 +1021,25 @@ fn rtb_exchange(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerRepl
                 ResourceType::Script,
             ),
             Embed::always(
-                format!("https://staticfiles-cdn.com/creatives/x.jpg?id={}", bounded(h, 100_000)),
+                format!(
+                    "https://staticfiles-cdn.com/creatives/x.jpg?id={}",
+                    bounded(h, 100_000)
+                ),
                 ResourceType::Image,
             ),
-            Embed::always("https://pixel-trail.com/track/pixel/xchg?cb={cb}", ResourceType::Image),
-            Embed::always("https://staticfiles-cdn.com/badges/adchoices.png", ResourceType::Image),
-            Embed::always("https://pixel-trail.com/track/pixel/common?cb={cb}", ResourceType::Image)
-                .when(Condition::PerVisit(0.35)),
+            Embed::always(
+                "https://pixel-trail.com/track/pixel/xchg?cb={cb}",
+                ResourceType::Image,
+            ),
+            Embed::always(
+                "https://staticfiles-cdn.com/badges/adchoices.png",
+                ResourceType::Image,
+            ),
+            Embed::always(
+                "https://pixel-trail.com/track/pixel/common?cb={cb}",
+                ResourceType::Image,
+            )
+            .when(Condition::PerVisit(0.35)),
         ];
         // The chain continues when the slot's structural configuration
         // says so (stable across profiles), with mild per-visit noise.
@@ -852,7 +1051,10 @@ fn rtb_exchange(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerRepl
                     depth + 1
                 )
             } else {
-                format!("https://rtb-exchange.net/frame/c{f}?d={}&sid={{sid}}&s={s_param}", depth + 1)
+                format!(
+                    "https://rtb-exchange.net/frame/c{f}?d={}&sid={{sid}}&s={s_param}",
+                    depth + 1
+                )
             };
             embeds.push(
                 Embed::always(next_url, ResourceType::SubFrame).when(Condition::PerVisit(0.9)),
@@ -865,7 +1067,10 @@ fn rtb_exchange(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerRepl
         let frame_cookie = format!("xchg_f{pool}={{uid}}; Path=/; Secure; SameSite=None");
         return ok(Content::Document {
             embeds,
-            set_cookies: vec!["xchg_id={uid}; Path=/; Secure; SameSite=None".into(), frame_cookie],
+            set_cookies: vec![
+                "xchg_id={uid}; Path=/; Secure; SameSite=None".into(),
+                frame_cookie,
+            ],
         });
     }
     if path == "/xchg.js" {
@@ -885,7 +1090,10 @@ fn rtb_exchange(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerRepl
         });
     }
     if path.starts_with("/rtb/") {
-        return ok(Content::Leaf { body_len: 2, set_cookies: vec![] });
+        return ok(Content::Leaf {
+            body_len: 2,
+            set_cookies: vec![],
+        });
     }
     not_found()
 }
@@ -901,7 +1109,10 @@ fn bidstream(url: &Url) -> ServerReply {
         });
     }
     if url.path().starts_with("/events") {
-        return ok(Content::Leaf { body_len: 2, set_cookies: vec![] });
+        return ok(Content::Leaf {
+            body_len: 2,
+            set_cookies: vec![],
+        });
     }
     if url.path().starts_with("/rtb/bid") {
         return ok(Content::Api {
@@ -946,11 +1157,17 @@ fn popmedia(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerReply {
         return ok(Content::Script {
             actions: vec![
                 Embed::always(
-                    format!("https://popmedia-ads.com/ads/frame0?d={}&s={s_param}", depth + 1),
+                    format!(
+                        "https://popmedia-ads.com/ads/frame0?d={}&s={s_param}",
+                        depth + 1
+                    ),
                     ResourceType::SubFrame,
                 )
                 .when(Condition::PerVisit(0.8)),
-                Embed::always("https://popmedia-ads.com/ads/banner/init?cb={cb}", ResourceType::Beacon),
+                Embed::always(
+                    "https://popmedia-ads.com/ads/banner/init?cb={cb}",
+                    ResourceType::Beacon,
+                ),
             ],
             set_cookies: vec![],
         });
@@ -960,11 +1177,20 @@ fn popmedia(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerReply {
         let h = stable_hash(ctx.visit_seed, path.as_bytes());
         let mut embeds = vec![
             Embed::always(
-                format!("https://staticfiles-cdn.com/creatives/p.jpg?id={}", bounded(h, 100_000)),
+                format!(
+                    "https://staticfiles-cdn.com/creatives/p.jpg?id={}",
+                    bounded(h, 100_000)
+                ),
                 ResourceType::Image,
             ),
-            Embed::always("https://popmedia-ads.com/ads/banner/imp?cb={cb}", ResourceType::Image),
-            Embed::always("https://staticfiles-cdn.com/badges/adchoices.png", ResourceType::Image),
+            Embed::always(
+                "https://popmedia-ads.com/ads/banner/imp?cb={cb}",
+                ResourceType::Image,
+            ),
+            Embed::always(
+                "https://staticfiles-cdn.com/badges/adchoices.png",
+                ResourceType::Image,
+            ),
         ];
         // Cross-network hop back into the exchange (structural).
         if structural_nest(universe, &s_param, "pop", depth) {
@@ -980,10 +1206,16 @@ fn popmedia(universe: &WebUniverse, url: &Url, ctx: &VisitCtx) -> ServerReply {
                 .when(Condition::PerVisit(0.9)),
             );
         }
-        return ok(Content::Document { embeds, set_cookies: vec![] });
+        return ok(Content::Document {
+            embeds,
+            set_cookies: vec![],
+        });
     }
     if path.starts_with("/ads/banner/") {
-        return ok(Content::Leaf { body_len: 43, set_cookies: vec![] });
+        return ok(Content::Leaf {
+            body_len: 43,
+            set_cookies: vec![],
+        });
     }
     not_found()
 }
@@ -1007,7 +1239,10 @@ fn pixel_trail(url: &Url, ctx: &VisitCtx) -> ServerReply {
         if url.path().contains("/scroll") {
             set_cookies.push("_pt_scroll={uid}; Path=/; Secure; SameSite=None".to_string());
         }
-        return ok(Content::Leaf { body_len: 43, set_cookies });
+        return ok(Content::Leaf {
+            body_len: 43,
+            set_cookies,
+        });
     }
     not_found()
 }
@@ -1018,17 +1253,26 @@ fn beacon_hub(url: &Url, ctx: &VisitCtx) -> ServerReply {
         return ok(Content::WebSocket {
             pushes: vec![
                 Embed::always(
-                    format!("https://staticfiles-cdn.com/live/tile.jpg?id={}", bounded(h, 100_000)),
+                    format!(
+                        "https://staticfiles-cdn.com/live/tile.jpg?id={}",
+                        bounded(h, 100_000)
+                    ),
                     ResourceType::Image,
                 )
                 .when(Condition::PerVisit(0.75)),
-                Embed::always("https://beacon-hub.io/beacon?e=live&cb={cb}", ResourceType::Beacon)
-                    .when(Condition::PerVisit(0.2)),
+                Embed::always(
+                    "https://beacon-hub.io/beacon?e=live&cb={cb}",
+                    ResourceType::Beacon,
+                )
+                .when(Condition::PerVisit(0.2)),
             ],
         });
     }
     if url.path().starts_with("/beacon") {
-        return ok(Content::Leaf { body_len: 2, set_cookies: vec![] });
+        return ok(Content::Leaf {
+            body_len: 2,
+            set_cookies: vec![],
+        });
     }
     not_found()
 }
@@ -1043,7 +1287,10 @@ fn sync_partners(url: &Url, ctx: &VisitCtx) -> ServerReply {
         // Chain length 1–3, decided per visit.
         let max_steps = 1 + bounded(stable_hash(ctx.visit_seed, b"synclen"), 3) as u32;
         let to = if step + 1 < max_steps {
-            format!("https://sync-partners.net/cookie-sync?step={}&uid={{uid}}", step + 1)
+            format!(
+                "https://sync-partners.net/cookie-sync?step={}&uid={{uid}}",
+                step + 1
+            )
         } else {
             "https://usertrack-cdn.net/sync/receive?p=sp&uid={uid}".to_string()
         };
@@ -1082,16 +1329,23 @@ fn fingerprint_lab(url: &Url) -> ServerReply {
     match url.path() {
         "/fp.min.js" => ok(Content::Script {
             actions: vec![
-                Embed::always("https://fingerprint-lab.net/verify?sid={sid}", ResourceType::Xhr),
+                Embed::always(
+                    "https://fingerprint-lab.net/verify?sid={sid}",
+                    ResourceType::Xhr,
+                ),
                 // Reported only from real (non-headless) browsers.
-                Embed::always("https://fingerprint-lab.net/fp/report?cb={cb}", ResourceType::Beacon)
-                    .when(Condition::NotHeadless),
+                Embed::always(
+                    "https://fingerprint-lab.net/fp/report?cb={cb}",
+                    ResourceType::Beacon,
+                )
+                .when(Condition::NotHeadless),
             ],
             set_cookies: vec![],
         }),
-        p if p.starts_with("/verify") || p.starts_with("/fp/") => {
-            ok(Content::Leaf { body_len: 16, set_cookies: vec![] })
-        }
+        p if p.starts_with("/verify") || p.starts_with("/fp/") => ok(Content::Leaf {
+            body_len: 16,
+            set_cookies: vec![],
+        }),
         _ => not_found(),
     }
 }
@@ -1105,9 +1359,18 @@ fn socialverse(url: &Url) -> ServerReply {
     if path == "/plugins/like.html" {
         return ok(Content::Document {
             embeds: vec![
-                Embed::always("https://socialverse.com/plugins/sdk.js", ResourceType::Script),
-                Embed::always("https://socialverse.com/plugins/style.css", ResourceType::Stylesheet),
-                Embed::always("https://jslibs-cdn.net/npm/widgets-core.js", ResourceType::Script),
+                Embed::always(
+                    "https://socialverse.com/plugins/sdk.js",
+                    ResourceType::Script,
+                ),
+                Embed::always(
+                    "https://socialverse.com/plugins/style.css",
+                    ResourceType::Stylesheet,
+                ),
+                Embed::always(
+                    "https://jslibs-cdn.net/npm/widgets-core.js",
+                    ResourceType::Script,
+                ),
             ],
             set_cookies: vec!["sv_sess={sid}; Path=/; Secure; SameSite=None".into()],
         });
@@ -1115,9 +1378,15 @@ fn socialverse(url: &Url) -> ServerReply {
     if path == "/plugins/sdk.js" {
         return ok(Content::Script {
             actions: vec![
-                Embed::always("https://socialverse.com/plugins/count?u={sid}", ResourceType::Xhr),
-                Embed::always("https://socialverse.com/pixel?sid={sid}", ResourceType::Image)
-                    .when(Condition::PerVisit(0.9)),
+                Embed::always(
+                    "https://socialverse.com/plugins/count?u={sid}",
+                    ResourceType::Xhr,
+                ),
+                Embed::always(
+                    "https://socialverse.com/pixel?sid={sid}",
+                    ResourceType::Image,
+                )
+                .when(Condition::PerVisit(0.9)),
             ],
             set_cookies: vec![],
         });
@@ -1130,7 +1399,8 @@ fn socialverse(url: &Url) -> ServerReply {
             )],
         });
     }
-    if path.starts_with("/plugins/count") || path.starts_with("/pixel") || path.ends_with(".woff2") {
+    if path.starts_with("/plugins/count") || path.starts_with("/pixel") || path.ends_with(".woff2")
+    {
         return ok(Content::leaf(1_024));
     }
     not_found()
@@ -1143,11 +1413,17 @@ fn sharebar(url: &Url) -> ServerReply {
                 Embed::always("https://sharebar.net/count?u={sid}", ResourceType::Xhr),
                 // Widget runtime shared with other social embeds —
                 // whichever loader wins the race becomes the parent.
-                Embed::always("https://jslibs-cdn.net/npm/widgets-core.js", ResourceType::Script),
+                Embed::always(
+                    "https://jslibs-cdn.net/npm/widgets-core.js",
+                    ResourceType::Script,
+                ),
             ],
             set_cookies: vec![],
         }),
-        p if p.starts_with("/count") => ok(Content::Api { follow_ups: vec![], set_cookies: vec![] }),
+        p if p.starts_with("/count") => ok(Content::Api {
+            follow_ups: vec![],
+            set_cookies: vec![],
+        }),
         _ => not_found(),
     }
 }
@@ -1157,11 +1433,20 @@ fn consent_shield(url: &Url) -> ServerReply {
     if path == "/cmp.js" {
         return ok(Content::Script {
             actions: vec![
-                Embed::always("https://consent-shield.com/cmp-frame?sid={sid}", ResourceType::SubFrame),
-                Embed::always("https://consent-shield.com/consent-status?sid={sid}", ResourceType::Xhr),
+                Embed::always(
+                    "https://consent-shield.com/cmp-frame?sid={sid}",
+                    ResourceType::SubFrame,
+                ),
+                Embed::always(
+                    "https://consent-shield.com/consent-status?sid={sid}",
+                    ResourceType::Xhr,
+                ),
                 // Vendor-list adapter also pulled in by analytics tags —
                 // whichever script runs first loads it (multi-parent).
-                Embed::always("https://jslibs-cdn.net/npm/consent-adapter.js", ResourceType::Script),
+                Embed::always(
+                    "https://jslibs-cdn.net/npm/consent-adapter.js",
+                    ResourceType::Script,
+                ),
                 // Consent-state relay shared with the tag-manager
                 // ecosystem (raced at the same depth).
                 Embed::always("https://analytics-relay.com/relay.js", ResourceType::Script)
@@ -1173,8 +1458,14 @@ fn consent_shield(url: &Url) -> ServerReply {
     if path == "/cmp-frame" {
         return ok(Content::Document {
             embeds: vec![
-                Embed::always("https://consent-shield.com/cmp.css", ResourceType::Stylesheet),
-                Embed::always("https://consent-shield.com/img/shield.svg", ResourceType::Image),
+                Embed::always(
+                    "https://consent-shield.com/cmp.css",
+                    ResourceType::Stylesheet,
+                ),
+                Embed::always(
+                    "https://consent-shield.com/img/shield.svg",
+                    ResourceType::Image,
+                ),
             ],
             set_cookies: vec![],
         });
@@ -1212,12 +1503,18 @@ fn streamvid(url: &Url, ctx: &VisitCtx) -> ServerReply {
         return ok(Content::Script {
             actions: vec![
                 Embed::always(
-                    format!("https://streamvid-cdn.com/stream/s.mp4?v={}", bounded(h, 10_000)),
+                    format!(
+                        "https://streamvid-cdn.com/stream/s.mp4?v={}",
+                        bounded(h, 10_000)
+                    ),
                     ResourceType::Media,
                 )
                 .when(Condition::PerVisit(0.7)),
-                Embed::always("https://beacon-hub.io/beacon?e=play&cb={cb}", ResourceType::Beacon)
-                    .when(Condition::PerVisit(0.65)),
+                Embed::always(
+                    "https://beacon-hub.io/beacon?e=play&cb={cb}",
+                    ResourceType::Beacon,
+                )
+                .when(Condition::PerVisit(0.65)),
             ],
             set_cookies: vec![],
         });
@@ -1229,7 +1526,10 @@ fn cdn(url: &Url) -> ServerReply {
     let path = url.path();
     if path.ends_with(".js") {
         // Library scripts execute but load nothing further.
-        return ok(Content::Script { actions: vec![], set_cookies: vec![] });
+        return ok(Content::Script {
+            actions: vec![],
+            set_cookies: vec![],
+        });
     }
     if path.ends_with(".css") {
         return ok(Content::Stylesheet { loads: vec![] });
@@ -1288,8 +1588,15 @@ mod tests {
         let reply = uni.serve(&site.landing_url(), &VisitCtx::standard(1));
         assert!(reply.status.is_success());
         match reply.content {
-            Content::Document { ref embeds, ref set_cookies } => {
-                assert!(embeds.len() >= 10, "page should embed many elements, got {}", embeds.len());
+            Content::Document {
+                ref embeds,
+                ref set_cookies,
+            } => {
+                assert!(
+                    embeds.len() >= 10,
+                    "page should embed many elements, got {}",
+                    embeds.len()
+                );
                 assert!(!set_cookies.is_empty());
             }
             other => panic!("expected document, got {other:?}"),
@@ -1348,7 +1655,10 @@ mod tests {
     #[test]
     fn unknown_host_is_404() {
         let uni = uni();
-        let reply = uni.serve(&u("https://not-a-real-host.example/x"), &VisitCtx::standard(1));
+        let reply = uni.serve(
+            &u("https://not-a-real-host.example/x"),
+            &VisitCtx::standard(1),
+        );
         assert_eq!(reply.status, Status::NOT_FOUND);
     }
 
@@ -1367,7 +1677,10 @@ mod tests {
         // structural-nesting gate can key on the site.
         let uni = uni();
         let ctx = VisitCtx::standard(4);
-        let loader = uni.serve(&u("https://syndicate-ads.net/adloader.js?s=my-site.com"), &ctx);
+        let loader = uni.serve(
+            &u("https://syndicate-ads.net/adloader.js?s=my-site.com"),
+            &ctx,
+        );
         let slot_url = loader
             .content
             .embeds()
@@ -1411,7 +1724,10 @@ mod tests {
     fn ua_sniffed_cookie_attributes_differ_by_version() {
         let uni = uni();
         let px = u("https://pixel-trail.com/track/pixel/imp?cb=1");
-        let old = VisitCtx { browser_version: 86, ..VisitCtx::standard(1) };
+        let old = VisitCtx {
+            browser_version: 86,
+            ..VisitCtx::standard(1)
+        };
         let new = VisitCtx::standard(1);
         let c_old = uni.serve(&px, &old).content.set_cookies()[0].clone();
         let c_new = uni.serve(&px, &new).content.set_cookies()[0].clone();
@@ -1479,8 +1795,12 @@ mod tests {
         let site = &uni.sites()[0];
         let reply = uni.serve(&site.landing_url(), &VisitCtx::standard(1));
         let embeds = reply.content.embeds();
-        assert!(embeds.iter().any(|e| matches!(e.condition, Condition::MinVersion(_))));
-        assert!(embeds.iter().any(|e| matches!(e.condition, Condition::BelowVersion(_))));
+        assert!(embeds
+            .iter()
+            .any(|e| matches!(e.condition, Condition::MinVersion(_))));
+        assert!(embeds
+            .iter()
+            .any(|e| matches!(e.condition, Condition::BelowVersion(_))));
     }
 
     #[test]

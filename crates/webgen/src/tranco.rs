@@ -76,8 +76,8 @@ impl std::fmt::Display for RankBucket {
 }
 
 const PREFIXES: [&str; 20] = [
-    "news", "shop", "blog", "tech", "media", "portal", "game", "travel", "bank", "health",
-    "sport", "cloud", "music", "food", "auto", "learn", "wiki", "forum", "photo", "video",
+    "news", "shop", "blog", "tech", "media", "portal", "game", "travel", "bank", "health", "sport",
+    "cloud", "music", "food", "auto", "learn", "wiki", "forum", "photo", "video",
 ];
 
 const TLDS: [&str; 8] = ["com", "net", "org", "de", "co.uk", "io", "fr", "nl"];
@@ -85,7 +85,10 @@ const TLDS: [&str; 8] = ["com", "net", "org", "de", "co.uk", "io", "fr", "nl"];
 /// The registerable domain at a given rank of the synthetic list.
 /// Deterministic in `(seed, rank)`.
 pub fn domain_at_rank(seed: u64, rank: u32) -> String {
-    let h = SeedMixer::new(seed).with("tranco").with_u64(rank as u64).finish();
+    let h = SeedMixer::new(seed)
+        .with("tranco")
+        .with_u64(rank as u64)
+        .finish();
     let prefix = PREFIXES[bounded(h, PREFIXES.len() as u64) as usize];
     let tld = TLDS[bounded(stable_hash(h, b"tld"), TLDS.len() as u64) as usize];
     format!("{prefix}-{rank}.{tld}")
@@ -113,9 +116,13 @@ pub fn sample_ranks(seed: u64, per_bucket: &[usize; 5]) -> Vec<u32> {
             let stride = span / want;
             for k in 0..want {
                 let base = lo as usize + k * stride;
-                let jitter =
-                    bounded(SeedMixer::new(seed).with("rankjit").with_u64(base as u64).finish(), stride.max(1) as u64)
-                        as usize;
+                let jitter = bounded(
+                    SeedMixer::new(seed)
+                        .with("rankjit")
+                        .with_u64(base as u64)
+                        .finish(),
+                    stride.max(1) as u64,
+                ) as usize;
                 out.push((base + jitter).min(hi as usize) as u32);
             }
         }
@@ -174,7 +181,10 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic() {
-        assert_eq!(sample_ranks(7, &[10, 10, 10, 10, 10]), sample_ranks(7, &[10, 10, 10, 10, 10]));
+        assert_eq!(
+            sample_ranks(7, &[10, 10, 10, 10, 10]),
+            sample_ranks(7, &[10, 10, 10, 10, 10])
+        );
     }
 
     #[test]

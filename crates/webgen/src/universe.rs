@@ -1,9 +1,9 @@
 //! The web universe: configuration, site inventory, and visit context.
 
+use crate::content::Content;
 use crate::seed::SeedMixer;
 use crate::tranco;
 pub use crate::tranco::RankBucket;
-use crate::content::Content;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use wmtree_net::Status;
@@ -23,7 +23,11 @@ pub struct UniverseConfig {
 
 impl Default for UniverseConfig {
     fn default() -> Self {
-        UniverseConfig { seed: 0x5eed_cafe, sites_per_bucket: [100, 100, 100, 100, 100], max_subpages: 25 }
+        UniverseConfig {
+            seed: 0x5eed_cafe,
+            sites_per_bucket: [100, 100, 100, 100, 100],
+            max_subpages: 25,
+        }
     }
 }
 
@@ -116,7 +120,10 @@ impl WebUniverse {
         let mut by_domain = HashMap::with_capacity(ranks.len());
         for rank in ranks {
             let domain = tranco::domain_at_rank(config.seed, rank);
-            let h = SeedMixer::new(config.seed).with("site").with(&domain).finish();
+            let h = SeedMixer::new(config.seed)
+                .with("site")
+                .with(&domain)
+                .finish();
             // 5..=max_subpages, skewed up for popular sites (the paper
             // finds 14.6 pages/site on average; popular sites are larger).
             let max = config.max_subpages.max(5);
@@ -131,10 +138,19 @@ impl WebUniverse {
             };
             let n_subpages = (base + popularity_bonus).min(max);
             let idx = sites.len();
-            sites.push(SiteSpec { domain: domain.clone(), rank, bucket, n_subpages });
+            sites.push(SiteSpec {
+                domain: domain.clone(),
+                rank,
+                bucket,
+                n_subpages,
+            });
             by_domain.insert(domain, idx);
         }
-        WebUniverse { config, sites, by_domain }
+        WebUniverse {
+            config,
+            sites,
+            by_domain,
+        }
     }
 
     /// The configuration the universe was generated from.
@@ -183,7 +199,11 @@ mod tests {
     fn site_count_and_buckets() {
         let u = tiny();
         assert_eq!(u.sites().len(), 30);
-        let top: Vec<_> = u.sites().iter().filter(|s| s.bucket == RankBucket::Top5k).collect();
+        let top: Vec<_> = u
+            .sites()
+            .iter()
+            .filter(|s| s.bucket == RankBucket::Top5k)
+            .collect();
         assert_eq!(top.len(), 10);
     }
 
@@ -211,14 +231,25 @@ mod tests {
     fn subpage_counts_in_range() {
         let u = tiny();
         for s in u.sites() {
-            assert!((5..=10).contains(&s.n_subpages), "{}: {}", s.domain, s.n_subpages);
+            assert!(
+                (5..=10).contains(&s.n_subpages),
+                "{}: {}",
+                s.domain,
+                s.n_subpages
+            );
         }
     }
 
     #[test]
     fn different_seed_different_universe() {
-        let a = WebUniverse::generate(UniverseConfig { seed: 1, ..UniverseConfig::default() });
-        let b = WebUniverse::generate(UniverseConfig { seed: 2, ..UniverseConfig::default() });
+        let a = WebUniverse::generate(UniverseConfig {
+            seed: 1,
+            ..UniverseConfig::default()
+        });
+        let b = WebUniverse::generate(UniverseConfig {
+            seed: 2,
+            ..UniverseConfig::default()
+        });
         assert_ne!(a.sites()[0].domain, b.sites()[0].domain);
     }
 }

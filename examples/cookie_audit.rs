@@ -17,7 +17,10 @@ fn main() {
     let stats = cookie_stats(data, data.profile_index("NoAction"));
     println!("== Cookie audit over {} vetted pages ==", data.pages.len());
     println!("total observations: {}", stats.total_observations);
-    println!("distinct cookies (name, domain, path): {}", stats.distinct_cookies);
+    println!(
+        "distinct cookies (name, domain, path): {}",
+        stats.distinct_cookies
+    );
     for (name, count) in data.profile_names.iter().zip(&stats.per_profile) {
         println!("  {name:<9} observed {count} cookies");
     }
@@ -30,7 +33,10 @@ fn main() {
         "per-page cookie-set similarity: {:.2} (vs NoAction only: {:.2})",
         stats.per_page_similarity.mean, stats.interaction_vs_noaction.mean
     );
-    println!("cookies with conflicting security attributes: {}", stats.attribute_conflicts);
+    println!(
+        "cookies with conflicting security attributes: {}",
+        stats.attribute_conflicts
+    );
 
     // Show the top cookie-setting domains and how consistently they set.
     let mut per_domain: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
@@ -38,7 +44,10 @@ fn main() {
     for page in &data.pages {
         for (profile, observations) in page.cookies.iter().enumerate() {
             for obs in observations {
-                per_domain.entry(obs.id.domain.clone()).or_default().insert(profile);
+                per_domain
+                    .entry(obs.id.domain.clone())
+                    .or_default()
+                    .insert(profile);
                 *domain_count.entry(obs.id.domain.clone()).or_insert(0) += 1;
             }
         }
@@ -47,7 +56,12 @@ fn main() {
     rows.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
     println!("\n{:<28} {:>8} {:>10}", "cookie domain", "set", "profiles");
     for (domain, count) in rows.into_iter().take(12) {
-        println!("{:<28} {:>8} {:>9}/5", domain, count, per_domain[&domain].len());
+        println!(
+            "{:<28} {:>8} {:>9}/5",
+            domain,
+            count,
+            per_domain[&domain].len()
+        );
     }
 
     println!(

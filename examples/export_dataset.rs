@@ -18,7 +18,9 @@ use wmtree::{Report, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_dir = std::path::PathBuf::from(
-        std::env::args().nth(1).unwrap_or_else(|| "/tmp/wmtree-dataset".to_string()),
+        std::env::args()
+            .nth(1)
+            .unwrap_or_else(|| "/tmp/wmtree-dataset".to_string()),
     );
     std::fs::create_dir_all(&out_dir)?;
 
@@ -78,6 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vetted_sites: db.vetted_sites().len(),
         sims,
         data,
+        manifest: wmtree::telemetry::RunManifest::new(0x1317, "export_dataset"),
     };
     let report = Report::generate(&results);
     std::fs::write(out_dir.join("report.json"), report.to_json())?;
@@ -89,6 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let back = export::read_jsonl(std::io::BufReader::new(file), db.n_profiles())?;
     assert_eq!(back.page_count(), db.page_count());
     assert_eq!(back.total_successful_visits(), db.total_successful_visits());
-    println!("round-trip verified: {} pages, {} successful visits", back.page_count(), back.total_successful_visits());
+    println!(
+        "round-trip verified: {} pages, {} successful visits",
+        back.page_count(),
+        back.total_successful_visits()
+    );
     Ok(())
 }

@@ -43,21 +43,35 @@ fn main() {
         pages += 1.0;
     }
     for (gate, sum) in &shares {
-        println!("  {gate:<12} {:.0}% of reachable content", 100.0 * sum / pages);
+        println!(
+            "  {gate:<12} {:.0}% of reachable content",
+            100.0 * sum / pages
+        );
     }
 
     // --- Measured: what does a crawl actually capture? ----------------
     let results = experiment.run();
     let report = stability::experiment_stability(&results.data, &results.sims);
 
-    println!("\n== Measured stability ({} vetted pages) ==", results.data.pages.len());
+    println!(
+        "\n== Measured stability ({} vetted pages) ==",
+        results.data.pages.len()
+    );
     println!(
         "page stability index: {:.2} (SD {:.2})",
         report.page_index.mean, report.page_index.sd
     );
     println!("single-profile recall per profile:");
-    for (name, recall) in results.data.profile_names.iter().zip(&report.recall.per_profile) {
-        println!("  {name:<9} captures {:.0}% of the observable nodes", recall * 100.0);
+    for (name, recall) in results
+        .data
+        .profile_names
+        .iter()
+        .zip(&report.recall.per_profile)
+    {
+        println!(
+            "  {name:<9} captures {:.0}% of the observable nodes",
+            recall * 100.0
+        );
     }
 
     println!("\nprofile accumulation curve (coverage of the 5-profile union):");

@@ -15,13 +15,25 @@ use wmtree::{Experiment, ExperimentConfig, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let left_name = args.first().map(String::as_str).unwrap_or("Sim1").to_string();
-    let right_name = args.get(1).map(String::as_str).unwrap_or("NoAction").to_string();
+    let left_name = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("Sim1")
+        .to_string();
+    let right_name = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("NoAction")
+        .to_string();
 
     let results = Experiment::new(ExperimentConfig::at_scale(Scale::Tiny)).run();
     let data = &results.data;
-    let left = data.profile_index(&left_name).expect("unknown left profile");
-    let right = data.profile_index(&right_name).expect("unknown right profile");
+    let left = data
+        .profile_index(&left_name)
+        .expect("unknown left profile");
+    let right = data
+        .profile_index(&right_name)
+        .expect("unknown right profile");
 
     println!("== {left_name} vs {right_name}: per-page tree diffs ==\n");
     println!(
@@ -44,7 +56,11 @@ fn main() {
             "{short:<44} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9.2}",
             d.stable, d.reparented, d.moved, d.only_left, d.only_right, j
         );
-        if most_divergent.as_ref().map(|(bj, _)| j < *bj).unwrap_or(true) {
+        if most_divergent
+            .as_ref()
+            .map(|(bj, _)| j < *bj)
+            .unwrap_or(true)
+        {
             most_divergent = Some((j, page.url.clone()));
         }
     }
@@ -65,7 +81,12 @@ fn main() {
         let page = data.pages.iter().find(|p| p.url == url).unwrap();
         let d = diff_trees(&page.trees[left], &page.trees[right]);
         println!("\n== Most divergent page (Jaccard {j:.2}): {url} ==");
-        for entry in d.entries.iter().filter(|e| e.disposition != NodeDisposition::Stable).take(15) {
+        for entry in d
+            .entries
+            .iter()
+            .filter(|e| e.disposition != NodeDisposition::Stable)
+            .take(15)
+        {
             let key: String = entry.key.chars().take(68).collect();
             match entry.disposition {
                 NodeDisposition::OnlyLeft => println!("  [-] only {left_name}: {key}"),

@@ -23,8 +23,18 @@ fn main() {
     println!(
         "universe: {} sites (ranks {}..{})",
         experiment.universe().sites().len(),
-        experiment.universe().sites().first().map(|s| s.rank).unwrap_or(0),
-        experiment.universe().sites().last().map(|s| s.rank).unwrap_or(0),
+        experiment
+            .universe()
+            .sites()
+            .first()
+            .map(|s| s.rank)
+            .unwrap_or(0),
+        experiment
+            .universe()
+            .sites()
+            .last()
+            .map(|s| s.rank)
+            .unwrap_or(0),
     );
 
     let results = experiment.run();

@@ -33,7 +33,9 @@ fn main() {
             if !node.tracking {
                 continue;
             }
-            let Ok(url) = Url::parse(&node.key) else { continue };
+            let Ok(url) = Url::parse(&node.key) else {
+                continue;
+            };
             let entry = census.entry(url.site()).or_default();
             entry.nodes += 1;
             entry.sites.insert(page.site.clone());
@@ -66,7 +68,11 @@ fn main() {
 
     // The headline §5.3 message: would a single-profile study have seen
     // the same trackers?
-    let all_tracking: Vec<_> = sims.iter().flat_map(|p| &p.nodes).filter(|n| n.tracking).collect();
+    let all_tracking: Vec<_> = sims
+        .iter()
+        .flat_map(|p| &p.nodes)
+        .filter(|n| n.tracking)
+        .collect();
     let stable = all_tracking.iter().filter(|n| n.present_in == 5).count();
     println!(
         "\n{} tracking nodes total; {:.0}% visible to every profile — a single-profile crawl \

@@ -22,7 +22,11 @@ fn report() -> &'static Report {
 fn crawl_succeeds_and_vets() {
     let r = results();
     assert_eq!(r.data.n_profiles(), 5);
-    assert!(r.data.pages.len() >= 10, "vetted pages: {}", r.data.pages.len());
+    assert!(
+        r.data.pages.len() >= 10,
+        "vetted pages: {}",
+        r.data.pages.len()
+    );
     // Every profile individually succeeds like the paper's (<12% failure).
     for stats in &r.profile_stats {
         assert!(stats.success_rate() > 0.8, "{:?}", stats);
@@ -43,8 +47,14 @@ fn headline_claim_first_party_more_stable() {
         p.tp_child_similarity
     );
     let rows = &report().table3;
-    let fp = rows.iter().find(|r| format!("{:?}", r.filter).contains("First")).unwrap();
-    let tp = rows.iter().find(|r| format!("{:?}", r.filter).contains("Third")).unwrap();
+    let fp = rows
+        .iter()
+        .find(|r| format!("{:?}", r.filter).contains("First"))
+        .unwrap();
+    let tp = rows
+        .iter()
+        .find(|r| format!("{:?}", r.filter).contains("Third"))
+        .unwrap();
     assert!(fp.sim.mean > tp.sim.mean);
 }
 
@@ -111,7 +121,11 @@ fn headline_claim_depth_decay() {
 #[test]
 fn report_renders_completely() {
     let text = report().render();
-    assert!(text.len() > 4_000, "report should be substantial: {} bytes", text.len());
+    assert!(
+        text.len() > 4_000,
+        "report should be substantial: {} bytes",
+        text.len()
+    );
     for section in ["Table 2", "Table 7", "Fig. 8", "§5.3"] {
         assert!(text.contains(section));
     }

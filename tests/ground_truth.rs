@@ -12,7 +12,11 @@ use wmtree::{Experiment, ExperimentConfig, ExperimentResults, Scale};
 fn experiment() -> &'static (Experiment, ExperimentResults) {
     static E: OnceLock<(Experiment, ExperimentResults)> = OnceLock::new();
     E.get_or_init(|| {
-        let e = Experiment::new(ExperimentConfig::at_scale(Scale::Tiny).with_seed(0x6f).reliable());
+        let e = Experiment::new(
+            ExperimentConfig::at_scale(Scale::Tiny)
+                .with_seed(0x6f)
+                .reliable(),
+        );
         let r = e.run();
         (e, r)
     })
@@ -26,7 +30,12 @@ fn inventories() -> Vec<PageInventory> {
         .filter(|p| p.url.ends_with('/')) // landing pages
         .filter_map(|p| {
             let url = wmtree::url::Url::parse(&p.url).ok()?;
-            Some(page_inventory(e.universe(), &url, &VisitCtx::standard(1), 4000))
+            Some(page_inventory(
+                e.universe(),
+                &url,
+                &VisitCtx::standard(1),
+                4000,
+            ))
         })
         .collect()
 }
@@ -49,8 +58,11 @@ fn noaction_deficit_matches_interaction_ground_truth() {
     // Ground truth: the interaction-gated share of the inventory.
     let invs = inventories();
     assert!(!invs.is_empty());
-    let truth: f64 =
-        invs.iter().map(|i| i.share(GateClass::Interaction)).sum::<f64>() / invs.len() as f64;
+    let truth: f64 = invs
+        .iter()
+        .map(|i| i.share(GateClass::Interaction))
+        .sum::<f64>()
+        / invs.len() as f64;
 
     // The measured deficit must be in the ground truth's neighbourhood:
     // gated content also fails per-visit rolls, so measured ≤ truth is
@@ -69,8 +81,11 @@ fn single_profile_recall_bounded_by_pervisit_share() {
     // A single profile can never capture per-visit content it did not
     // roll — recall must be < 1 whenever per-visit content exists.
     let invs = inventories();
-    let pervisit: f64 =
-        invs.iter().map(|i| i.share(GateClass::PerVisit)).sum::<f64>() / invs.len() as f64;
+    let pervisit: f64 = invs
+        .iter()
+        .map(|i| i.share(GateClass::PerVisit))
+        .sum::<f64>()
+        / invs.len() as f64;
     assert!(pervisit > 0.0);
     assert!(report.recall.overall.mean < 1.0);
     // And the loss is of the same order as the rotating share.
@@ -94,13 +109,20 @@ fn headless_gated_content_truly_absent_for_headless_profile() {
                 .iter()
                 .any(|n| n.key.contains("premium") || n.key.contains("/fp/report"));
             if p == 4 {
-                assert!(!premium, "headless profile fetched gated content on {}", page.url);
+                assert!(
+                    !premium,
+                    "headless profile fetched gated content on {}",
+                    page.url
+                );
             } else if premium {
                 gui_premium += 1;
             }
         }
     }
-    assert!(gui_premium > 0, "GUI profiles should see gated content somewhere");
+    assert!(
+        gui_premium > 0,
+        "GUI profiles should see gated content somewhere"
+    );
 }
 
 #[test]

@@ -19,7 +19,10 @@ fn same_config_same_everything() {
         assert_eq!(pa.cookies, pb.cookies);
     }
     // Reports are identical through JSON (f64-stable).
-    assert_eq!(Report::generate(&a).to_json(), Report::generate(&b).to_json());
+    assert_eq!(
+        Report::generate(&a).to_json(),
+        Report::generate(&b).to_json()
+    );
 }
 
 #[test]
@@ -40,8 +43,10 @@ fn different_experiment_seed_same_web_different_visits() {
     let a = Experiment::new(cfg_a).run();
     let b = Experiment::new(cfg_b).run();
     // Same universe: same site population.
-    let sa: std::collections::BTreeSet<&str> = a.data.pages.iter().map(|p| p.site.as_str()).collect();
-    let sb: std::collections::BTreeSet<&str> = b.data.pages.iter().map(|p| p.site.as_str()).collect();
+    let sa: std::collections::BTreeSet<&str> =
+        a.data.pages.iter().map(|p| p.site.as_str()).collect();
+    let sb: std::collections::BTreeSet<&str> =
+        b.data.pages.iter().map(|p| p.site.as_str()).collect();
     assert!(!sa.is_disjoint(&sb));
     // Different visit randomness: trees differ for shared pages.
     let mut any_diff = false;
@@ -53,7 +58,10 @@ fn different_experiment_seed_same_web_different_visits() {
             }
         }
     }
-    assert!(any_diff, "different experiment seeds must change visit outcomes");
+    assert!(
+        any_diff,
+        "different experiment seeds must change visit outcomes"
+    );
 }
 
 #[test]
@@ -77,6 +85,10 @@ fn workers_do_not_change_results() {
     let b = Experiment::new(cfg8).run();
     assert_eq!(a.data.pages.len(), b.data.pages.len());
     for (pa, pb) in a.data.pages.iter().zip(&b.data.pages) {
-        assert_eq!(pa.trees, pb.trees, "parallelism must not affect results ({})", pa.url);
+        assert_eq!(
+            pa.trees, pb.trees,
+            "parallelism must not affect results ({})",
+            pa.url
+        );
     }
 }

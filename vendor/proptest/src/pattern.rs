@@ -1,0 +1,287 @@
+//! Generator for the regex subset used as string strategies.
+//!
+//! Supported syntax: literal characters, `\`-escapes (`\n`, `\t`,
+//! `\r`, `\\`, and escaped metacharacters), character classes
+//! (`[a-z0-9_.-]`, ranges and literals, `-` literal when first/last),
+//! and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded
+//! ones cap at 8 repetitions). No alternation, grouping, or negated
+//! classes — the workspace's strategies don't use them.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    atoms: Vec<(Atom, Repeat)>,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges (single chars are degenerate ranges).
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Repeat {
+    min: u32,
+    max: u32, // inclusive
+}
+
+const UNBOUNDED_CAP: u32 = 8;
+
+impl Pattern {
+    /// Compile a pattern, rejecting syntax outside the subset.
+    pub fn compile(pattern: &str) -> Result<Pattern, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let (class, next) = parse_class(&chars, i + 1)?;
+                    i = next;
+                    class
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars.get(i).ok_or("dangling escape")?;
+                    i += 1;
+                    Atom::Literal(unescape(c))
+                }
+                '(' | ')' | '|' | '^' | '$' => {
+                    return Err(format!("unsupported metacharacter `{}`", chars[i]));
+                }
+                '.' => {
+                    i += 1;
+                    // `.` — any printable ASCII.
+                    Atom::Class(vec![(' ', '~')])
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let repeat = match chars.get(i) {
+                Some('{') => {
+                    let (rep, next) = parse_braces(&chars, i + 1)?;
+                    i = next;
+                    rep
+                }
+                Some('?') => {
+                    i += 1;
+                    Repeat { min: 0, max: 1 }
+                }
+                Some('*') => {
+                    i += 1;
+                    Repeat {
+                        min: 0,
+                        max: UNBOUNDED_CAP,
+                    }
+                }
+                Some('+') => {
+                    i += 1;
+                    Repeat {
+                        min: 1,
+                        max: UNBOUNDED_CAP,
+                    }
+                }
+                _ => Repeat { min: 1, max: 1 },
+            };
+            atoms.push((atom, repeat));
+        }
+        Ok(Pattern { atoms })
+    }
+
+    /// Generate one string matching the pattern.
+    pub fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for (atom, repeat) in &self.atoms {
+            let n = if repeat.max > repeat.min {
+                rng.random_range(repeat.min..repeat.max + 1)
+            } else {
+                repeat.min
+            };
+            for _ in 0..n {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => out.push(sample_class(rng, ranges)),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// Parse a character class body starting after `[`; returns the atom
+/// and the index just past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize) -> Result<(Atom, usize), String> {
+    let mut ranges = Vec::new();
+    if chars.get(i) == Some(&'^') {
+        return Err("negated classes are not supported".into());
+    }
+    while let Some(&c) = chars.get(i) {
+        if c == ']' {
+            if ranges.is_empty() {
+                return Err("empty character class".into());
+            }
+            return Ok((Atom::Class(ranges), i + 1));
+        }
+        let lo = if c == '\\' {
+            i += 1;
+            unescape(*chars.get(i).ok_or("dangling escape in class")?)
+        } else {
+            c
+        };
+        i += 1;
+        // A `-` forms a range unless it is the last char before `]`.
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+            i += 1;
+            let hc = chars[i];
+            let hi = if hc == '\\' {
+                i += 1;
+                unescape(*chars.get(i).ok_or("dangling escape in class")?)
+            } else {
+                hc
+            };
+            i += 1;
+            if hi < lo {
+                return Err(format!("inverted range `{lo}-{hi}`"));
+            }
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    Err("unterminated character class".into())
+}
+
+/// Parse `{n}` / `{m,n}` starting after `{`; returns the repeat and the
+/// index just past the closing `}`.
+fn parse_braces(chars: &[char], mut i: usize) -> Result<(Repeat, usize), String> {
+    let mut first = String::new();
+    while chars.get(i).is_some_and(|c| c.is_ascii_digit()) {
+        first.push(chars[i]);
+        i += 1;
+    }
+    let min: u32 = first.parse().map_err(|_| "bad repeat count")?;
+    match chars.get(i) {
+        Some('}') => Ok((Repeat { min, max: min }, i + 1)),
+        Some(',') => {
+            i += 1;
+            let mut second = String::new();
+            while chars.get(i).is_some_and(|c| c.is_ascii_digit()) {
+                second.push(chars[i]);
+                i += 1;
+            }
+            if chars.get(i) != Some(&'}') {
+                return Err("unterminated repeat".into());
+            }
+            let max: u32 = if second.is_empty() {
+                min.max(UNBOUNDED_CAP)
+            } else {
+                second.parse().map_err(|_| "bad repeat count")?
+            };
+            if max < min {
+                return Err("inverted repeat range".into());
+            }
+            Ok((Repeat { min, max }, i + 1))
+        }
+        _ => Err("unterminated repeat".into()),
+    }
+}
+
+fn sample_class(rng: &mut StdRng, ranges: &[(char, char)]) -> char {
+    // Weight ranges by their width so the class is uniform.
+    let total: u32 = ranges
+        .iter()
+        .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+        .sum();
+    let mut pick = rng.random_range(0u32..total);
+    for (lo, hi) in ranges {
+        let width = *hi as u32 - *lo as u32 + 1;
+        if pick < width {
+            return char::from_u32(*lo as u32 + pick).expect("class ranges are valid chars");
+        }
+        pick -= width;
+    }
+    unreachable!("pick is bounded by the total width")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        Pattern::compile(pattern)
+            .unwrap()
+            .generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn literals_and_classes() {
+        assert_eq!(gen("abc", 1), "abc");
+        for seed in 0..50 {
+            let s = gen("[a-z][a-z0-9-]{0,8}", seed);
+            assert!((1..=9).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_space_class() {
+        for seed in 0..20 {
+            let s = gen("[ -~\n]{0,300}", seed);
+            assert!(s.len() <= 300);
+            assert!(
+                s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert_eq!(gen("a{3}", 9), "aaa");
+        for seed in 0..20 {
+            let s = gen("a?b+", seed);
+            assert!(s.trim_start_matches('a').chars().all(|c| c == 'b'));
+            assert!(s.contains('b'));
+        }
+    }
+
+    #[test]
+    fn class_with_dot_and_underscore() {
+        for seed in 0..20 {
+            let s = gen("[a-zA-Z0-9_.-]{1,10}", seed);
+            assert!(!s.is_empty() && s.len() <= 10);
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(Pattern::compile("(a|b)").is_err());
+        assert!(Pattern::compile("[^a]").is_err());
+        assert!(Pattern::compile("[a").is_err());
+    }
+}

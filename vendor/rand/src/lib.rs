@@ -1,0 +1,206 @@
+//! Offline stand-in for [`rand`](https://crates.io/crates/rand).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API surface it actually uses: a seedable `StdRng`
+//! (`rngs::StdRng` + `SeedableRng::seed_from_u64`) and the `RngExt`
+//! extension trait with `random::<T>()` and `random_range(..)`.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — fully
+//! deterministic for a given seed, which is what the workspace relies
+//! on (every stochastic choice in the simulation is keyed by an
+//! explicit seed). The streams differ from crates.io `rand`'s StdRng
+//! (ChaCha12); nothing in the workspace depends on the exact stream,
+//! only on determinism and reasonable statistical quality.
+
+/// Construction of seedable generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Advance the state and return 64 fresh bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, the reference seeding for xoshiro.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from the full value domain.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn draw(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integers that `random_range` can sample uniformly from a `Range`.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Sample uniformly from `[lo, hi)`; `hi > lo` must hold.
+    fn sample_range(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                debug_assert!(hi > lo, "random_range requires a non-empty range");
+                let span = (hi - lo) as u64;
+                // Debiased multiply-shift (Lemire): uniform in [0, span).
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (span as u128);
+                let mut l = m as u64;
+                if l < span {
+                    let t = span.wrapping_neg() % span;
+                    while l < t {
+                        x = rng.next_u64();
+                        m = (x as u128) * (span as u128);
+                        l = m as u64;
+                    }
+                }
+                lo + ((m >> 64) as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u64, usize, u32, u16, u8);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                debug_assert!(hi > lo, "random_range requires a non-empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                let off = <u64 as UniformInt>::sample_range(rng, 0, span);
+                ((lo as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_signed!(i64 => u64, i32 => u32, i16 => u16, i8 => u8, isize => usize);
+
+/// Extension methods on random generators (mirrors `rand::Rng`).
+pub trait RngExt {
+    /// Draw a value of type `T` from its standard distribution.
+    fn random<T: Standard>(&mut self) -> T;
+    /// Draw uniformly from a half-open integer range.
+    fn random_range<T: UniformInt>(&mut self, range: std::ops::Range<T>) -> T;
+    /// Bernoulli draw with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl RngExt for rngs::StdRng {
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn random_range<T: UniformInt>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let u = rng.random_range(10u64..20);
+            assert!((10..20).contains(&u));
+            let i = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.random::<f64>() < 0.25).count();
+        assert!((2200..2800).contains(&hits), "got {hits}");
+    }
+}

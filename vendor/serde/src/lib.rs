@@ -1,0 +1,107 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the serde surface it actually uses: `Serialize` and
+//! `Deserialize` traits, `#[derive(Serialize, Deserialize)]` (via the
+//! sibling `serde_derive` shim), and the `#[serde(rename = "...")]`
+//! field attribute. Instead of serde's visitor architecture, both
+//! traits go through an owned [`Value`] tree; `serde_json` (also
+//! vendored) prints and parses that tree.
+//!
+//! Data-model conventions match serde's JSON behaviour where the
+//! workspace can observe them:
+//! - structs are maps in field-declaration order;
+//! - newtype structs are transparent;
+//! - enums are externally tagged (`"Variant"` /
+//!   `{"Variant": payload}`);
+//! - missing `Option` fields deserialize to `None`;
+//! - map keys that serialize to strings/integers become JSON object
+//!   keys; maps with structured keys serialize as arrays of
+//!   `[key, value]` pairs (plain serde_json rejects those outright —
+//!   accepting them is a strict superset this workspace relies on for
+//!   crawl-database exports).
+
+mod error;
+mod impls;
+mod value;
+
+pub use error::Error;
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can be turned into a [`Value`] tree.
+pub trait Serialize {
+    /// Serialize `self` into an owned value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize from a value tree.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a struct field is absent from the map
+    /// (`Option` fields default to `None`, everything else errors).
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+/// Support functions for `serde_derive`-generated code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Look up a struct field by (possibly renamed) key.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        match v {
+            Value::Map(entries) => match entries.iter().find(|(k, _)| k == name) {
+                Some((_, fv)) => T::deserialize_value(fv),
+                None => T::absent().ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            },
+            other => Err(Error::new(format!(
+                "expected map for struct field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Look up a positional element of a tuple struct/variant.
+    pub fn elem<T: Deserialize>(seq: &[Value], idx: usize) -> Result<T, Error> {
+        match seq.get(idx) {
+            Some(v) => T::deserialize_value(v),
+            None => Err(Error::new(format!("missing tuple element {idx}"))),
+        }
+    }
+
+    /// Interpret a value as a sequence of exactly `n` elements.
+    pub fn tuple_payload(v: &Value, n: usize) -> Result<&[Value], Error> {
+        match v {
+            Value::Seq(items) if items.len() == n => Ok(items),
+            Value::Seq(items) => Err(Error::new(format!(
+                "expected {n}-element tuple, got {} elements",
+                items.len()
+            ))),
+            other => Err(Error::new(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Decompose an externally tagged enum value into `(tag, payload)`.
+    /// Unit variants arrive as a bare string and yield a `Null` payload.
+    pub fn enum_parts(v: &Value) -> Result<(&str, &Value), Error> {
+        static NULL: Value = Value::Null;
+        match v {
+            Value::Str(s) => Ok((s.as_str(), &NULL)),
+            Value::Map(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
+            other => Err(Error::new(format!(
+                "expected externally tagged enum, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}

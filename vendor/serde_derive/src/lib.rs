@@ -1,0 +1,237 @@
+//! Offline stand-in for [`serde_derive`](https://crates.io/crates/serde_derive).
+//!
+//! Implements `#[derive(Serialize, Deserialize)]` against the vendored
+//! `serde` shim's value-tree traits. The item is parsed directly from
+//! the `proc_macro` token stream (the build environment has neither
+//! `syn` nor `quote`), which restricts the supported shapes to what the
+//! workspace uses:
+//!
+//! - non-generic structs: named fields, tuple/newtype, unit;
+//! - non-generic enums: unit, newtype, tuple, and struct variants
+//!   (externally tagged, like serde's default);
+//! - the `#[serde(rename = "...")]` field attribute.
+//!
+//! Anything else (generics, other `#[serde]` attributes) fails with a
+//! dedicated compile error rather than silently misbehaving.
+
+use proc_macro::TokenStream;
+
+mod parse;
+
+use parse::{Fields, Item, ItemKind};
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let item = match parse::parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    gen(&item)
+        .parse()
+        .unwrap_or_else(|e| compile_error(&format!("serde_derive generated invalid code: {e}")))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ------------------------------------------------------------- Serialize
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => ser_fields_body(fields, "self"),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{tag} => ::serde::Value::Str(::std::string::String::from(\"{tag}\")),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{tag}(__f0) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{tag}\"), \
+                         ::serde::Serialize::serialize_value(__f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{tag}({}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{tag}\"), \
+                             ::serde::Value::Seq(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", "),
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{}\"), \
+                                     ::serde::Serialize::serialize_value({}))",
+                                    f.key(),
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{tag} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{tag}\"), \
+                             ::serde::Value::Map(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            entries.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Serialize a `Fields` payload; `recv` is the expression holding it
+/// (`self` for structs).
+fn ser_fields_body(fields: &Fields, recv: &str) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => {
+            format!("::serde::Serialize::serialize_value(&{recv}.0)")
+        }
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&{recv}.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Fields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{}\"), \
+                         ::serde::Serialize::serialize_value(&{recv}.{}))",
+                        f.key(),
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+// ----------------------------------------------------------- Deserialize
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => format!(
+            "match __v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::Error::new(\
+                     ::std::format!(\"expected null for unit struct {name}, got {{}}\", other.kind()))),\n\
+             }}"
+        ),
+        ItemKind::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::elem(__items, {i})?"))
+                .collect();
+            format!(
+                "{{ let __items = ::serde::__private::tuple_payload(__v, {n})?;\n\
+                 ::std::result::Result::Ok({name}({})) }}",
+                elems.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: ::serde::__private::field(__v, \"{}\")?", f.name, f.key()))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = &v.name;
+                let build = match &v.fields {
+                    Fields::Unit => format!("::std::result::Result::Ok({name}::{tag})"),
+                    Fields::Tuple(1) => format!(
+                        "::std::result::Result::Ok({name}::{tag}(\
+                         ::serde::Deserialize::deserialize_value(__payload)?))"
+                    ),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::__private::elem(__items, {i})?"))
+                            .collect();
+                        format!(
+                            "{{ let __items = ::serde::__private::tuple_payload(__payload, {n})?;\n\
+                             ::std::result::Result::Ok({name}::{tag}({})) }}",
+                            elems.join(", ")
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{}: ::serde::__private::field(__payload, \"{}\")?",
+                                    f.name,
+                                    f.key()
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "::std::result::Result::Ok({name}::{tag} {{ {} }})",
+                            inits.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&format!("\"{tag}\" => {build},\n"));
+            }
+            format!(
+                "{{ let (__tag, __payload) = ::serde::__private::enum_parts(__v)?;\n\
+                 match __tag {{\n{arms}\
+                 other => ::std::result::Result::Err(::serde::Error::new(\
+                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }} }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,284 @@
+//! Hand-rolled parser: derive-input token stream → item description.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A named struct field with its (possibly renamed) serialization key.
+pub struct Field {
+    pub name: String,
+    pub rename: Option<String>,
+}
+
+impl Field {
+    /// The key this field serializes under.
+    pub fn key(&self) -> &str {
+        self.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// The field shape of a struct or enum variant.
+pub enum Fields {
+    Named(Vec<Field>),
+    /// Tuple fields; the payload is the field count.
+    Tuple(usize),
+    Unit,
+}
+
+/// An enum variant.
+pub struct Variant {
+    pub name: String,
+    pub fields: Fields,
+}
+
+pub enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+pub struct Item {
+    pub name: String,
+    pub kind: ItemKind,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    /// Skip `#[...]` attributes, returning a rename captured from any
+    /// `#[serde(rename = "...")]` among them. Unsupported `#[serde]`
+    /// attribute contents are an error.
+    fn skip_attrs(&mut self) -> Result<Option<String>, String> {
+        let mut rename = None;
+        while self.at_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                _ => return Err("malformed attribute".into()),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+                match inner.get(1) {
+                    Some(TokenTree::Group(args)) => {
+                        rename = Some(parse_serde_rename(args.stream())?);
+                    }
+                    _ => return Err("malformed #[serde] attribute".into()),
+                }
+            }
+        }
+        Ok(rename)
+    }
+
+    /// Skip `pub` / `pub(...)`.
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skip tokens until a top-level `,` (angle-bracket aware), leaving
+    /// the cursor after the comma. Returns false if the end was reached.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_serde_rename(args: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = args.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+            if key.to_string() == "rename" && eq.as_char() == '=' =>
+        {
+            let raw = lit.to_string();
+            raw.strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .map(str::to_owned)
+                .ok_or_else(|| "rename value must be a string literal".into())
+        }
+        _ => Err(
+            "vendored serde_derive supports only #[serde(rename = \"...\")]; \
+             extend vendor/serde_derive for anything else"
+                .into(),
+        ),
+    }
+}
+
+/// Parse the derive input item.
+pub fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor {
+        tokens: input.into_iter().collect(),
+        pos: 0,
+    };
+    cur.skip_attrs()?;
+    cur.skip_vis();
+
+    let keyword = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    if cur.at_punct('<') {
+        return Err(format!(
+            "vendored serde_derive does not support generics (on `{name}`)"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())?
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream())?)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                _ => return Err(format!("unsupported struct body for `{name}`")),
+            };
+            Ok(Item {
+                name,
+                kind: ItemKind::Struct(fields),
+            })
+        }
+        "enum" => {
+            let body = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return Err(format!("expected enum body for `{name}`")),
+            };
+            Ok(Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(body)?),
+            })
+        }
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Fields, String> {
+    let mut cur = Cursor {
+        tokens: body.into_iter().collect(),
+        pos: 0,
+    };
+    let mut fields = Vec::new();
+    loop {
+        let rename = cur.skip_attrs()?;
+        cur.skip_vis();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            _ => return Err("expected field name".into()),
+        };
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        fields.push(Field { name, rename });
+        if !cur.skip_until_comma() {
+            break;
+        }
+    }
+    Ok(Fields::Named(fields))
+}
+
+/// Count the fields of a tuple struct/variant payload.
+fn count_tuple_fields(body: TokenStream) -> Result<usize, String> {
+    let mut cur = Cursor {
+        tokens: body.into_iter().collect(),
+        pos: 0,
+    };
+    let mut count = 0;
+    loop {
+        if cur.skip_attrs()?.is_some() {
+            return Err("#[serde(rename)] is not supported on tuple fields".into());
+        }
+        cur.skip_vis();
+        if cur.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if !cur.skip_until_comma() {
+            break;
+        }
+        // Trailing comma: nothing after it.
+        if cur.peek().is_none() {
+            break;
+        }
+    }
+    Ok(count)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor {
+        tokens: body.into_iter().collect(),
+        pos: 0,
+    };
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attrs()?;
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            _ => return Err("expected variant name".into()),
+        };
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                cur.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream())?);
+                cur.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(&fields, Fields::Tuple(0)) {
+            return Err(format!("empty tuple variant `{name}` is not supported"));
+        }
+        variants.push(Variant { name, fields });
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        if !cur.skip_until_comma() {
+            break;
+        }
+    }
+    Ok(variants)
+}

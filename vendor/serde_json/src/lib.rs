@@ -1,0 +1,134 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json).
+//!
+//! Prints and parses JSON over the vendored `serde` shim's [`Value`]
+//! tree. Covers the API surface the workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`to_writer`], [`from_str`], and [`Error`].
+//!
+//! Output conventions follow serde_json: float values always carry a
+//! decimal point or exponent (`1.0`, not `1`) so they round-trip as
+//! floats; non-finite floats serialize as `null`; object keys are
+//! emitted in the value tree's order (struct declaration order —
+//! deterministic by construction).
+
+mod de;
+mod ser;
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::Write;
+
+/// JSON serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(ser::print(&value.serialize_value(), None))
+}
+
+/// Serialize to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(ser::print(&value.serialize_value(), Some(0)))
+}
+
+/// Serialize compact JSON into a writer.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::new(format!("write error: {e}")))
+}
+
+/// Parse a JSON string into a deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = de::parse(s)?;
+    Ok(T::deserialize_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&3u64).unwrap(), "3");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+        assert_eq!(from_str::<u64>("3").unwrap(), 3);
+        assert_eq!(from_str::<f64>("2.0").unwrap(), 2.0);
+        assert_eq!(from_str::<String>("\"a\\\"b\\n\"").unwrap(), "a\"b\n");
+    }
+
+    #[test]
+    fn roundtrip_collections() {
+        let v = vec![1u32, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&s).unwrap(), v);
+
+        let m: std::collections::BTreeMap<String, Vec<bool>> =
+            [("a".to_string(), vec![true]), ("b".to_string(), vec![])].into();
+        let s = to_string(&m).unwrap();
+        assert_eq!(s, "{\"a\":[true],\"b\":[]}");
+        assert_eq!(
+            from_str::<std::collections::BTreeMap<String, Vec<bool>>>(&s).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let m: std::collections::BTreeMap<String, u32> = [("k".to_string(), 1)].into();
+        assert_eq!(to_string_pretty(&m).unwrap(), "{\n  \"k\": 1\n}");
+    }
+
+    #[test]
+    fn parses_whitespace_and_nesting() {
+        let v: Vec<Option<Vec<u8>>> = from_str(" [ null , [1, 2] , [] ] ").unwrap();
+        assert_eq!(v, vec![None, Some(vec![1, 2]), Some(vec![])]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u32>("{").is_err());
+        assert!(from_str::<u32>("1 2").is_err());
+        assert!(from_str::<u32>("nul").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(from_str::<String>("\"\\u0041\\u00e9\"").unwrap(), "Aé");
+        // Surrogate pair (😀 U+1F600).
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+        assert_eq!(to_string(&"\u{1}".to_string()).unwrap(), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,121 @@
+//! JSON printer for the value tree.
+
+use serde::Value;
+use std::fmt::Write;
+
+/// Print a value; `indent = None` is compact, `Some(level)` is pretty
+/// with 2-space indentation.
+pub fn print(value: &Value, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, indent);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::F64(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_seq(out, items, indent),
+        Value::Map(entries) => write_map(out, entries, indent),
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        // serde_json's Value model maps non-finite floats to null.
+        out.push_str("null");
+        return;
+    }
+    if f == f.trunc() && f.abs() < 1e15 {
+        // Keep the decimal point so the value re-parses as a float.
+        let _ = write!(out, "{f:.1}");
+    } else {
+        let _ = write!(out, "{f}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(out: &mut String, items: &[Value], indent: Option<usize>) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(level) = indent {
+            newline_indent(out, level + 1);
+            write_value(out, item, Some(level + 1));
+        } else {
+            write_value(out, item, None);
+        }
+    }
+    if let Some(level) = indent {
+        newline_indent(out, level);
+    }
+    out.push(']');
+}
+
+fn write_map(out: &mut String, entries: &[(String, Value)], indent: Option<usize>) {
+    if entries.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (key, value)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(level) = indent {
+            newline_indent(out, level + 1);
+            write_string(out, key);
+            out.push_str(": ");
+            write_value(out, value, Some(level + 1));
+        } else {
+            write_string(out, key);
+            out.push(':');
+            write_value(out, value, None);
+        }
+    }
+    if let Some(level) = indent {
+        newline_indent(out, level);
+    }
+    out.push('}');
+}
+
+fn newline_indent(out: &mut String, level: usize) {
+    out.push('\n');
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
