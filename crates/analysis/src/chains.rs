@@ -183,7 +183,7 @@ pub fn type_chain_rows(sims: &[PageNodeSimilarities]) -> Vec<TypeChainRow> {
 pub fn table4a(sims: &[PageNodeSimilarities], top: usize) -> Vec<TypeChainRow> {
     let mut rows = type_chain_rows(sims);
     rows.retain(|r| r.n >= 5);
-    rows.sort_by(|a, b| b.same_chain_share.partial_cmp(&a.same_chain_share).unwrap());
+    rows.sort_by(|a, b| b.same_chain_share.total_cmp(&a.same_chain_share));
     rows.truncate(top);
     rows
 }
@@ -194,8 +194,7 @@ pub fn table4b(sims: &[PageNodeSimilarities], top: usize) -> Vec<TypeChainRow> {
     rows.retain(|r| r.n >= 5);
     rows.sort_by(|a, b| {
         a.mean_parent_similarity
-            .partial_cmp(&b.mean_parent_similarity)
-            .unwrap()
+            .total_cmp(&b.mean_parent_similarity)
     });
     rows.truncate(top);
     rows

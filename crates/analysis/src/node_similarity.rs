@@ -123,7 +123,11 @@ pub fn analyze_page(page: &PageAnalysis) -> PageNodeSimilarities {
         }
 
         let present_in = depths.len();
-        let (resource_type, party, tracking) = meta.expect("key came from some tree");
+        // `keys` is the union over all trees, so some tree holds the
+        // node; a `None` here would mean the index maps are stale.
+        let Some((resource_type, party, tracking)) = meta else {
+            continue;
+        };
 
         // Child similarity: over the trees where present, when the node
         // has a child anywhere.

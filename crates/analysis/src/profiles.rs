@@ -112,11 +112,10 @@ pub fn compare_pair(data: &ExperimentData, a: usize, b: usize) -> ProfileCompari
         let ta = &page.trees[a];
         let tb = &page.trees[b];
         // Nodes present in both trees.
-        for node in ta.nodes().iter().skip(1) {
+        for (ida, node) in ta.nodes().iter().enumerate().skip(1) {
             let Some(idb) = tb.find(&node.key) else {
                 continue;
             };
-            let ida = ta.find(&node.key).expect("node from tree a");
             let party_idx = match node.party {
                 Party::First => 0,
                 Party::Third => 1,

@@ -94,7 +94,7 @@ pub fn unique_node_stats(data: &ExperimentData, top_hosts: usize) -> UniqueNodeS
         .into_iter()
         .map(|(h, c)| (h.to_string(), share(c, n_unique)))
         .collect();
-    hosts.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    hosts.sort_by(|a, b| b.1.total_cmp(&a.1));
     hosts.truncate(top_hosts);
 
     // Per-tree unique share: unique nodes in a tree / its node count.

@@ -2,6 +2,9 @@
 //! scale, built lazily and reused by every bench and by the `repro`
 //! binary.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::sync::OnceLock;
 use wmtree::{Experiment, ExperimentConfig, ExperimentResults, Scale};
 

@@ -16,6 +16,9 @@
 //! summary on stderr, and `--telemetry DIR` (or `--csv DIR`) writes the
 //! machine-readable manifest next to the exported tables.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use wmtree::{Experiment, ExperimentConfig, Report, Scale};
 
 fn main() {

@@ -172,7 +172,8 @@ pub fn to_har(visit: &VisitResult) -> Har {
 
 /// Serialize a visit directly to HAR JSON.
 pub fn to_har_json(visit: &VisitResult) -> String {
-    serde_json::to_string_pretty(&to_har(visit)).expect("HAR serializes")
+    // In-memory serialization of derive(Serialize) data is infallible.
+    serde_json::to_string_pretty(&to_har(visit)).expect("HAR serializes") // wmtree-lint: allow(WM0105)
 }
 
 #[cfg(test)]

@@ -296,12 +296,7 @@ pub fn tree_metric(config: &ExperimentConfig) -> AblationOutcome {
             t.nodes()
                 .iter()
                 .skip(1)
-                .map(|n| {
-                    (
-                        t.node(n.parent.expect("non-root")).key.clone(),
-                        n.key.clone(),
-                    )
-                })
+                .filter_map(|n| Some((t.node(n.parent?).key.clone(), n.key.clone())))
                 .collect()
         };
         edge_set.push(jaccard(&edges(ta), &edges(tb)));

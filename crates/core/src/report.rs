@@ -195,7 +195,8 @@ impl Report {
 
     /// Serialize the full report to pretty JSON (the raw-data release).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        // In-memory serialization of derive(Serialize) data is infallible.
+        serde_json::to_string_pretty(self).expect("report serializes") // wmtree-lint: allow(WM0105)
     }
 
     /// Render the full paper-style text report.

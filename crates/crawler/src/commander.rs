@@ -115,7 +115,9 @@ impl<'a> Commander<'a> {
                 handles.push(handle);
             }
             for h in handles {
-                shards.push(h.join().expect("crawl worker panicked"));
+                // Propagate a worker panic instead of silently dropping
+                // that worker's shard of the crawl.
+                shards.push(h.join().expect("crawl worker panicked")); // wmtree-lint: allow(WM0105)
             }
         });
 

@@ -167,6 +167,13 @@ impl CrawlDb {
         self.visits.len()
     }
 
+    /// Number of per-profile visit slots recorded for a page — always
+    /// `n_profiles` for a well-formed database. Exposed for the layer-2
+    /// artifact checks in `wmtree-lint`.
+    pub fn profile_slot_count(&self, page: &PageKey) -> Option<usize> {
+        self.visits.get(page).map(|slots| slots.len())
+    }
+
     /// The visit of a page by a profile, if recorded and successful.
     pub fn visit(&self, page: &PageKey, profile: ProfileId) -> Option<&VisitResult> {
         self.visits
@@ -381,6 +388,26 @@ mod tests {
         assert!(a.try_merge(b).is_ok());
         assert!(a.visit(&page(1), 0).is_some());
         assert!(a.visit(&page(1), 1).is_some());
+    }
+
+    #[test]
+    fn merge_error_display_names_the_offenders() {
+        // The rendered errors must identify the offending identifiers —
+        // a sharded crawl merges many databases, and "visit conflict"
+        // without the page is undebuggable.
+        let conflict = MergeError::VisitConflict {
+            page: page(7),
+            profile: 3,
+        };
+        let text = conflict.to_string();
+        assert!(text.contains("a.com"), "{text}");
+        assert!(text.contains("https://www.a.com/page/7"), "{text}");
+        assert!(text.contains("profile 3"), "{text}");
+
+        let mismatch = MergeError::ProfileCountMismatch { ours: 5, theirs: 2 };
+        let text = mismatch.to_string();
+        assert!(text.contains("2-profile"), "{text}");
+        assert!(text.contains("5-profile"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! Layer 2 — artifact checks (`WM02xx`).
+//!
+//! The same diagnostics core as the source lints, applied to *built*
+//! artifacts: dependency trees, crawl databases, and experiment
+//! configurations. The source lints forbid the code shapes that break
+//! determinism; these checks prove the data shapes the pipeline emits
+//! actually hold the invariants the analysis assumes.
+
+use crate::diag::{Code, Diagnostic, Severity};
+use wmtree::ExperimentConfig;
+use wmtree_browser::BrowserConfig;
+use wmtree_crawler::CrawlDb;
+use wmtree_tree::DepTree;
+use wmtree_webgen::UniverseConfig;
+
+/// The paper's profile count (Table 1) and subpage cap (§3.1).
+const PAPER_PROFILES: usize = 5;
+const PAPER_SUBPAGE_CAP: usize = 25;
+
+/// Catalog entry for an artifact check (drives `wmtree-lint rules` and
+/// the DESIGN.md table).
+pub const ARTIFACT_CHECKS: &[(&str, &str, &str)] = &[
+    (
+        "WM0201",
+        "deptree-root",
+        "a DepTree has exactly one root: node 0, no parent, depth 0",
+    ),
+    (
+        "WM0202",
+        "deptree-structure",
+        "parents precede children (acyclic), depth(child)=depth(parent)+1, parent lists child",
+    ),
+    (
+        "WM0203",
+        "deptree-keys",
+        "node keys are unique normalized URLs and the key index is consistent",
+    ),
+    (
+        "WM0211",
+        "crawldb-slots",
+        "every page row has exactly n_profiles visit slots",
+    ),
+    (
+        "WM0212",
+        "crawldb-paper-profiles",
+        "the database was built for the paper's five profiles (warning)",
+    ),
+    (
+        "WM0213",
+        "crawldb-referential",
+        "site -> page -> visit integrity: page URL parses, belongs to its site, visits point back",
+    ),
+    (
+        "WM0221",
+        "config-probabilities",
+        "every configured probability lies in [0, 1]",
+    ),
+    (
+        "WM0222",
+        "config-subpage-cap",
+        "subpage caps do not exceed the paper's 25 pages per site",
+    ),
+];
+
+/// Check a [`DepTree`]. `origin` names the artifact in diagnostics
+/// (e.g. a file path or `"deptree"`).
+pub fn check_dep_tree(tree: &DepTree, origin: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let nodes = tree.nodes();
+    if nodes.is_empty() {
+        out.push(Diagnostic::artifact(
+            Code("WM0201"),
+            Severity::Error,
+            format!("{origin}:node[0]"),
+            "tree has no nodes; even a failed visit has its page root",
+        ));
+        return out;
+    }
+    for (id, node) in nodes.iter().enumerate() {
+        let at = format!("{origin}:node[{id}]");
+        match node.parent {
+            None => {
+                if id != 0 {
+                    out.push(Diagnostic::artifact(
+                        Code("WM0201"),
+                        Severity::Error,
+                        at.clone(),
+                        format!(
+                            "node {id} (`{}`) has no parent but is not the root",
+                            node.key
+                        ),
+                    ));
+                }
+                if node.depth != 0 {
+                    out.push(Diagnostic::artifact(
+                        Code("WM0202"),
+                        Severity::Error,
+                        at.clone(),
+                        format!("root depth must be 0, found {}", node.depth),
+                    ));
+                }
+            }
+            Some(p) => {
+                if p >= id {
+                    // Arena order is the acyclicity proof: a parent
+                    // introduced after its child could close a cycle.
+                    out.push(Diagnostic::artifact(
+                        Code("WM0202"),
+                        Severity::Error,
+                        at.clone(),
+                        format!("parent {p} does not precede node {id} in the arena"),
+                    ));
+                    continue;
+                }
+                let parent = &nodes[p];
+                if parent.depth + 1 != node.depth {
+                    out.push(
+                        Diagnostic::artifact(
+                            Code("WM0202"),
+                            Severity::Error,
+                            at.clone(),
+                            format!(
+                                "depth({}) = {} but depth(parent {}) = {}",
+                                id, node.depth, p, parent.depth
+                            ),
+                        )
+                        .with_note("every edge must deepen by exactly one level"),
+                    );
+                }
+                if !parent.children.contains(&id) {
+                    out.push(Diagnostic::artifact(
+                        Code("WM0202"),
+                        Severity::Error,
+                        at.clone(),
+                        format!("parent {p} does not list {id} among its children"),
+                    ));
+                }
+            }
+        }
+        // Key-index consistency doubles as uniqueness: duplicate keys
+        // cannot both map back to their own id.
+        if tree.find(&node.key) != Some(id) {
+            out.push(
+                Diagnostic::artifact(
+                    Code("WM0203"),
+                    Severity::Error,
+                    at,
+                    format!("key `{}` does not resolve back to node {id}", node.key),
+                )
+                .with_note("node keys must be unique normalized URLs (§3.2)"),
+            );
+        }
+    }
+    out
+}
+
+/// Check a [`CrawlDb`].
+pub fn check_crawl_db(db: &CrawlDb, origin: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if db.n_profiles() != PAPER_PROFILES {
+        out.push(
+            Diagnostic::artifact(
+                Code("WM0212"),
+                Severity::Warning,
+                format!("{origin}:n_profiles"),
+                format!(
+                    "database built for {} profiles; the paper's setup (Table 1) uses {}",
+                    db.n_profiles(),
+                    PAPER_PROFILES
+                ),
+            )
+            .with_note("fine for ablations; the headline reproduction needs all five"),
+        );
+    }
+    for page in db.pages() {
+        let at = format!("{origin}:{}/{}", page.site, page.url);
+        match db.profile_slot_count(page) {
+            Some(n) if n == db.n_profiles() => {}
+            Some(n) => out.push(Diagnostic::artifact(
+                Code("WM0211"),
+                Severity::Error,
+                at.clone(),
+                format!("page has {n} visit slots, expected {}", db.n_profiles()),
+            )),
+            None => unreachable!("pages() yields only recorded pages"),
+        }
+        // Referential integrity: the page URL must parse, belong to its
+        // site, and every recorded visit must point back at the page.
+        match wmtree_url::Url::parse(&page.url) {
+            Err(e) => out.push(Diagnostic::artifact(
+                Code("WM0213"),
+                Severity::Error,
+                at.clone(),
+                format!("page URL does not parse: {e:?}"),
+            )),
+            Ok(url) => {
+                if url.site() != page.site {
+                    out.push(
+                        Diagnostic::artifact(
+                            Code("WM0213"),
+                            Severity::Error,
+                            at.clone(),
+                            format!(
+                                "page URL belongs to site `{}`, recorded under `{}`",
+                                url.site(),
+                                page.site
+                            ),
+                        )
+                        .with_note("the site key must be the page URL's registrable domain"),
+                    );
+                }
+                for profile in 0..db.n_profiles() {
+                    if let Some(v) = db.visit_any(page, profile) {
+                        if v.page_url.normalize_for_comparison() != url.normalize_for_comparison() {
+                            out.push(Diagnostic::artifact(
+                                Code("WM0213"),
+                                Severity::Error,
+                                format!("{at}:profile[{profile}]"),
+                                format!(
+                                    "visit records page URL `{}`, row is keyed `{}`",
+                                    v.page_url.as_str(),
+                                    page.url
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Check one probability field.
+fn check_prob(out: &mut Vec<Diagnostic>, origin: &str, name: &str, value: f64) {
+    if !(0.0..=1.0).contains(&value) || value.is_nan() {
+        out.push(Diagnostic::artifact(
+            Code("WM0221"),
+            Severity::Error,
+            format!("{origin}:{name}"),
+            format!("probability `{name}` = {value} is outside [0, 1]"),
+        ));
+    }
+}
+
+/// Check a [`BrowserConfig`].
+pub fn check_browser_config(cfg: &BrowserConfig, origin: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_prob(
+        &mut out,
+        origin,
+        "visit_failure_rate",
+        cfg.visit_failure_rate,
+    );
+    check_prob(
+        &mut out,
+        origin,
+        "network.failure_rate",
+        cfg.network.failure_rate,
+    );
+    check_prob(
+        &mut out,
+        origin,
+        "network.stall_rate",
+        cfg.network.stall_rate,
+    );
+    out
+}
+
+/// Check a [`UniverseConfig`].
+pub fn check_universe_config(cfg: &UniverseConfig, origin: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if cfg.max_subpages > PAPER_SUBPAGE_CAP {
+        out.push(
+            Diagnostic::artifact(
+                Code("WM0222"),
+                Severity::Error,
+                format!("{origin}:max_subpages"),
+                format!(
+                    "max_subpages = {} exceeds the paper's cap of {PAPER_SUBPAGE_CAP} (§3.1)",
+                    cfg.max_subpages
+                ),
+            )
+            .with_note("the paper crawls at most 25 pages per site"),
+        );
+    }
+    if cfg.sites_per_bucket.iter().all(|&n| n == 0) {
+        out.push(Diagnostic::artifact(
+            Code("WM0222"),
+            Severity::Error,
+            format!("{origin}:sites_per_bucket"),
+            "universe has zero sites in every rank bucket",
+        ));
+    }
+    out
+}
+
+/// Check a full [`ExperimentConfig`] (universe, profiles, caps).
+pub fn check_experiment_config(cfg: &ExperimentConfig, origin: &str) -> Vec<Diagnostic> {
+    let mut out = check_universe_config(&cfg.universe, origin);
+    if cfg.max_pages_per_site == 0 || cfg.max_pages_per_site > PAPER_SUBPAGE_CAP {
+        out.push(Diagnostic::artifact(
+            Code("WM0222"),
+            Severity::Error,
+            format!("{origin}:max_pages_per_site"),
+            format!(
+                "max_pages_per_site = {} must be in 1..={PAPER_SUBPAGE_CAP}",
+                cfg.max_pages_per_site
+            ),
+        ));
+    }
+    if cfg.profiles.len() != PAPER_PROFILES {
+        out.push(Diagnostic::artifact(
+            Code("WM0212"),
+            Severity::Warning,
+            format!("{origin}:profiles"),
+            format!(
+                "{} profiles configured; the paper's setup (Table 1) uses {PAPER_PROFILES}",
+                cfg.profiles.len()
+            ),
+        ));
+    }
+    for (i, profile) in cfg.profiles.iter().enumerate() {
+        let browser = if cfg.reliable {
+            profile.reliable_browser_config()
+        } else {
+            profile.browser_config()
+        };
+        out.extend(check_browser_config(
+            &browser,
+            &format!("{origin}:profiles[{i}]({})", profile.name),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmtree::Scale;
+    use wmtree_net::ResourceType;
+    use wmtree_url::Party;
+
+    fn good_tree() -> DepTree {
+        let mut t = DepTree::new_rooted("https://www.a.com/".into());
+        let s = t.attach(
+            0,
+            "https://cdn.a.com/app.js".into(),
+            ResourceType::Script,
+            Party::First,
+            false,
+        );
+        t.attach(
+            s,
+            "https://ads.b.net/px.gif".into(),
+            ResourceType::Image,
+            Party::Third,
+            true,
+        );
+        t
+    }
+
+    #[test]
+    fn valid_tree_is_clean() {
+        assert!(check_dep_tree(&good_tree(), "t").is_empty());
+    }
+
+    #[test]
+    fn valid_db_is_clean() {
+        let mut db = CrawlDb::new(5);
+        let page = wmtree_crawler::PageKey {
+            site: "a.com".into(),
+            url: "https://www.a.com/page/1".into(),
+        };
+        let mut v = wmtree_browser::VisitResult::failed(
+            wmtree_url::Url::parse("https://www.a.com/page/1").expect("test url"),
+        );
+        v.success = true;
+        db.insert(page, 0, v);
+        assert!(check_crawl_db(&db, "db").is_empty());
+    }
+
+    #[test]
+    fn referential_violations_found() {
+        let mut db = CrawlDb::new(2);
+        // Page keyed under the wrong site.
+        let page = wmtree_crawler::PageKey {
+            site: "other.org".into(),
+            url: "https://www.a.com/page/1".into(),
+        };
+        // ...and its visit points at a different page.
+        let v = wmtree_browser::VisitResult::failed(
+            wmtree_url::Url::parse("https://www.a.com/page/2").expect("test url"),
+        );
+        db.insert(page, 0, v);
+        let diags = check_crawl_db(&db, "db");
+        let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+        assert!(codes.contains(&"WM0212"), "2-profile db warns: {codes:?}");
+        assert!(codes.contains(&"WM0213"), "site mismatch: {codes:?}");
+        assert_eq!(
+            codes.iter().filter(|c| **c == "WM0213").count(),
+            2,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn default_experiment_config_is_clean() {
+        let cfg = ExperimentConfig::at_scale(Scale::Tiny);
+        assert!(check_experiment_config(&cfg, "cfg").is_empty());
+    }
+
+    #[test]
+    fn config_violations_found() {
+        let mut cfg = ExperimentConfig::at_scale(Scale::Tiny);
+        cfg.max_pages_per_site = 40;
+        cfg.universe.max_subpages = 99;
+        cfg.profiles.pop();
+        let diags = check_experiment_config(&cfg, "cfg");
+        let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+        assert!(codes.contains(&"WM0222"));
+        assert!(codes.contains(&"WM0212"));
+        assert_eq!(codes.iter().filter(|c| **c == "WM0222").count(), 2);
+    }
+
+    #[test]
+    fn bad_probability_found() {
+        let b = BrowserConfig {
+            visit_failure_rate: 1.5,
+            ..BrowserConfig::default()
+        };
+        let diags = check_browser_config(&b, "b");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code.as_str(), "WM0221");
+        assert!(diags[0].message.contains("visit_failure_rate"));
+    }
+
+    #[test]
+    fn artifact_catalog_codes_unique() {
+        let mut codes: Vec<&str> = ARTIFACT_CHECKS.iter().map(|(c, _, _)| *c).collect();
+        let n = codes.len();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), n);
+    }
+}

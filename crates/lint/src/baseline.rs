@@ -1,0 +1,157 @@
+//! The checked-in baseline: findings that are deliberately grandfathered.
+//!
+//! Format (one entry per line, `#` comments allowed):
+//!
+//! ```text
+//! WM0105 crates/foo/src/bar.rs :: let x = m.get(k).unwrap();
+//! ```
+//!
+//! An entry matches a finding by `(code, file, trimmed offending line)`
+//! — *not* by line number, so baselined findings survive unrelated
+//! edits above them. The repository keeps this file empty; the
+//! mechanism exists so a future justified exception is an explicit,
+//! reviewed diff rather than a weakened rule.
+
+use crate::diag::{Diagnostic, Location};
+
+/// A parsed baseline file.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    entries: Vec<Entry>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    code: String,
+    file: String,
+    text: String,
+}
+
+impl Baseline {
+    /// An empty baseline.
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Parse baseline file content. Unparseable lines are ignored — a
+    /// malformed baseline can only *fail* the build, never mask a
+    /// finding.
+    pub fn parse(content: &str) -> Baseline {
+        let mut entries = Vec::new();
+        for line in content.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((head, text)) = line.split_once(" :: ") else {
+                continue;
+            };
+            let mut parts = head.split_whitespace();
+            let (Some(code), Some(file)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            entries.push(Entry {
+                code: code.to_string(),
+                file: file.to_string(),
+                text: text.trim().to_string(),
+            });
+        }
+        Baseline { entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the baseline empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Does an entry cover this finding?
+    pub fn covers(&self, d: &Diagnostic) -> bool {
+        let Location::Source(span) = &d.location else {
+            return false; // artifact findings are never baselined
+        };
+        let text = span.text.trim();
+        self.entries
+            .iter()
+            .any(|e| e.code == d.code.as_str() && e.file == span.file && e.text == text)
+    }
+
+    /// Render a finding as a baseline line (for `--write-baseline`).
+    pub fn format_entry(d: &Diagnostic) -> Option<String> {
+        match &d.location {
+            Location::Source(s) => Some(format!(
+                "{} {} :: {}",
+                d.code.as_str(),
+                s.file,
+                s.text.trim()
+            )),
+            Location::Artifact(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Code, Severity, Span};
+
+    fn finding(code: &'static str, file: &str, text: &str) -> Diagnostic {
+        Diagnostic::source(
+            Code(code),
+            Severity::Error,
+            Span {
+                file: file.into(),
+                line: 42,
+                col: 1,
+                text: text.into(),
+                len: 1,
+            },
+            "m",
+        )
+    }
+
+    #[test]
+    fn roundtrip_covers() {
+        let d = finding(
+            "WM0105",
+            "crates/a/src/x.rs",
+            "  let v = m.get(k).unwrap();  ",
+        );
+        let line = Baseline::format_entry(&d).unwrap();
+        let b = Baseline::parse(&format!("# header\n\n{line}\n"));
+        assert_eq!(b.len(), 1);
+        assert!(b.covers(&d));
+        // Line number is irrelevant to matching.
+        let mut moved = d.clone();
+        if let Location::Source(s) = &mut moved.location {
+            s.line = 7;
+        }
+        assert!(b.covers(&moved));
+    }
+
+    #[test]
+    fn mismatches_do_not_cover() {
+        let b = Baseline::parse("WM0105 crates/a/src/x.rs :: let v = m.get(k).unwrap();");
+        assert!(!b.covers(&finding(
+            "WM0101",
+            "crates/a/src/x.rs",
+            "let v = m.get(k).unwrap();"
+        )));
+        assert!(!b.covers(&finding(
+            "WM0105",
+            "crates/b/src/x.rs",
+            "let v = m.get(k).unwrap();"
+        )));
+        assert!(!b.covers(&finding("WM0105", "crates/a/src/x.rs", "let w = other();")));
+    }
+
+    #[test]
+    fn malformed_lines_ignored() {
+        let b = Baseline::parse("garbage\nWM0105-missing-separator crates/x.rs\n");
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! The diagnostics core shared by both lint layers.
+//!
+//! A [`Diagnostic`] is one finding: a stable [`Code`], a [`Severity`], a
+//! location (a source [`Span`] or an artifact path), a primary message,
+//! and optional notes. Renderers ([`crate::render`]) turn a sorted batch
+//! of diagnostics into rustc-style text or stable JSON; the ordering
+//! defined here ([`Diagnostic::sort_key`]) is what makes repeated runs
+//! byte-identical.
+
+/// A stable diagnostic code, e.g. `WM0101`.
+///
+/// `WM01xx` codes are source lints (layer 1), `WM02xx` codes are
+/// artifact checks (layer 2). Codes never change meaning once assigned;
+/// retired codes are not reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Code(pub &'static str);
+
+impl Code {
+    /// The code as text (`"WM0101"`).
+    pub fn as_str(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style or paper-setup deviation; never fails the build.
+    Warning,
+    /// Determinism or invariant violation; fails `--deny-warnings` runs
+    /// and the tier-1 workspace test.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used by both renderers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Where a source finding points: `file:line:col` plus the offending
+/// line's text (for the rustc-style snippet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Workspace-relative path, `/`-separated on every platform.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column of the first offending character.
+    pub col: usize,
+    /// The full source line, for snippet rendering.
+    pub text: String,
+    /// Length of the underlined region (in characters, ≥ 1).
+    pub len: usize,
+}
+
+/// The location of a finding: a source span or an artifact path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// A position in a source file (layer 1).
+    Source(Span),
+    /// A logical path into an artifact (layer 2), e.g.
+    /// `deptree:node[17]` or `crawldb:a.com/https://www.a.com/page/3`.
+    Artifact(String),
+}
+
+impl Location {
+    /// Human-readable `file:line:col` / artifact-path form.
+    pub fn display(&self) -> String {
+        match self {
+            Location::Source(s) => format!("{}:{}:{}", s.file, s.line, s.col),
+            Location::Artifact(p) => p.clone(),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule code.
+    pub code: Code,
+    /// Severity.
+    pub severity: Severity,
+    /// Where.
+    pub location: Location,
+    /// Primary message ("what is wrong").
+    pub message: String,
+    /// Notes ("why it matters" / "what to do"), rendered as `note:`
+    /// lines under the snippet.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A source-lint finding.
+    pub fn source(code: Code, severity: Severity, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            location: Location::Source(span),
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// An artifact-check finding.
+    pub fn artifact(
+        code: Code,
+        severity: Severity,
+        path: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            location: Location::Artifact(path.into()),
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach a note (builder style).
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Deterministic ordering: by file/path, then line, column, code.
+    /// Sorting every batch by this key before rendering is what makes
+    /// `--format json` byte-identical across runs.
+    pub fn sort_key(&self) -> (String, usize, usize, &'static str) {
+        match &self.location {
+            Location::Source(s) => (s.file.clone(), s.line, s.col, self.code.as_str()),
+            Location::Artifact(p) => (p.clone(), 0, 0, self.code.as_str()),
+        }
+    }
+}
+
+/// Sort a batch of diagnostics into the canonical (deterministic) order.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(file: &str, line: usize, col: usize) -> Span {
+        Span {
+            file: file.into(),
+            line,
+            col,
+            text: "let x = 1;".into(),
+            len: 3,
+        }
+    }
+
+    #[test]
+    fn sort_is_by_file_line_col_code() {
+        let mut batch = vec![
+            Diagnostic::source(Code("WM0105"), Severity::Error, span("b.rs", 1, 1), "m"),
+            Diagnostic::source(Code("WM0101"), Severity::Error, span("a.rs", 9, 2), "m"),
+            Diagnostic::source(Code("WM0101"), Severity::Error, span("a.rs", 2, 5), "m"),
+            Diagnostic::source(Code("WM0102"), Severity::Error, span("a.rs", 2, 5), "m"),
+        ];
+        sort_diagnostics(&mut batch);
+        let order: Vec<_> = batch
+            .iter()
+            .map(|d| (d.location.display(), d.code.as_str()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs:2:5".to_string(), "WM0101"),
+                ("a.rs:2:5".to_string(), "WM0102"),
+                ("a.rs:9:2".to_string(), "WM0101"),
+                ("b.rs:1:1".to_string(), "WM0105"),
+            ]
+        );
+    }
+
+    #[test]
+    fn severity_ordering_and_labels() {
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.label(), "error");
+        assert_eq!(Severity::Warning.label(), "warning");
+    }
+
+    #[test]
+    fn artifact_location_display() {
+        let d = Diagnostic::artifact(Code("WM0201"), Severity::Error, "deptree:node[3]", "bad");
+        assert_eq!(d.location.display(), "deptree:node[3]");
+    }
+}

@@ -1,0 +1,207 @@
+//! The source-lint engine: file discovery, rule dispatch, suppression
+//! and baseline filtering.
+
+use crate::baseline::Baseline;
+use crate::diag::{sort_diagnostics, Diagnostic, Location};
+use crate::lexer::SourceFile;
+use crate::rules::{all_rules, Rule};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One file scheduled for linting.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LintTarget {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Workspace-relative path (`/`-separated; what diagnostics show).
+    pub rel: String,
+    /// Owning crate (`"tree"`, ..., `"suite"` for the umbrella crate).
+    pub crate_name: String,
+    /// Whole file is test/bench/example context.
+    pub is_test_file: bool,
+}
+
+/// The result of a workspace lint run.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Findings that survived suppressions and the baseline, in
+    /// canonical (deterministic) order.
+    pub findings: Vec<Diagnostic>,
+    /// Raw hits silenced by inline `wmtree-lint: allow(..)` comments.
+    pub suppressed: usize,
+    /// Raw hits absorbed by the baseline file.
+    pub baselined: usize,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+/// Discover every lintable file under a workspace root, sorted so runs
+/// are deterministic.
+///
+/// Scanned: `crates/*/src/**` (production), `crates/*/tests|benches/**`
+/// (test context), the umbrella `src/**` (production), `tests/**` and
+/// `examples/**` (test context). `vendor/` and `target/` are never
+/// scanned — the shims are API stand-ins, not pipeline code.
+pub fn discover_targets(root: &Path) -> io::Result<Vec<LintTarget>> {
+    let mut targets = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let crate_name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            collect_rs(root, &dir.join("src"), &crate_name, false, &mut targets)?;
+            collect_rs(root, &dir.join("tests"), &crate_name, true, &mut targets)?;
+            collect_rs(root, &dir.join("benches"), &crate_name, true, &mut targets)?;
+        }
+    }
+    collect_rs(root, &root.join("src"), "suite", false, &mut targets)?;
+    collect_rs(root, &root.join("tests"), "suite", true, &mut targets)?;
+    collect_rs(root, &root.join("examples"), "suite", true, &mut targets)?;
+    targets.sort();
+    Ok(targets)
+}
+
+/// Recursively collect `.rs` files under `dir` (silently absent dirs ok).
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    is_test: bool,
+    out: &mut Vec<LintTarget>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(root, &path, crate_name, is_test, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(LintTarget {
+                abs: path,
+                rel,
+                crate_name: crate_name.to_string(),
+                is_test_file: is_test,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Lint one lexed file with a rule set. Returns `(kept, suppressed)`.
+pub fn lint_file(file: &SourceFile, rules: &[Box<dyn Rule>]) -> (Vec<Diagnostic>, usize) {
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for rule in rules {
+        let meta = rule.meta();
+        if !meta.applies_to(&file.crate_name) {
+            continue;
+        }
+        for d in rule.check(file) {
+            let line = match &d.location {
+                Location::Source(s) => s.line,
+                Location::Artifact(_) => 0,
+            };
+            if meta.test_exempt && file.is_test(line) {
+                continue;
+            }
+            if file.is_suppressed(meta.code.as_str(), line) {
+                suppressed += 1;
+                continue;
+            }
+            kept.push(d);
+        }
+    }
+    (kept, suppressed)
+}
+
+/// Lint the whole workspace under `root` against a baseline.
+pub fn lint_workspace(root: &Path, baseline: &Baseline) -> io::Result<LintOutcome> {
+    let rules = all_rules();
+    let mut outcome = LintOutcome::default();
+    for target in discover_targets(root)? {
+        let content = std::fs::read_to_string(&target.abs)?;
+        let file = SourceFile::parse(
+            target.rel.clone(),
+            target.crate_name.clone(),
+            &content,
+            target.is_test_file,
+        );
+        let (found, suppressed) = lint_file(&file, &rules);
+        outcome.suppressed += suppressed;
+        for d in found {
+            if baseline.covers(&d) {
+                outcome.baselined += 1;
+            } else {
+                outcome.findings.push(d);
+            }
+        }
+        outcome.files_scanned += 1;
+    }
+    sort_diagnostics(&mut outcome.findings);
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_and_test_exemption() {
+        let src = "\
+fn prod() {
+    let a = x.unwrap(); // wmtree-lint: allow(WM0105)
+    let b = y.unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let c = z.unwrap();
+    }
+}";
+        let file = SourceFile::parse("crates/analysis/src/x.rs", "analysis", src, false);
+        let (kept, suppressed) = lint_file(&file, &all_rules());
+        assert_eq!(suppressed, 1, "inline allow silences line 2");
+        assert_eq!(kept.len(), 1, "only the bare unwrap on line 3 remains");
+        assert_eq!(kept[0].location.display(), "crates/analysis/src/x.rs:3:15");
+    }
+
+    #[test]
+    fn rule_crate_scoping() {
+        // Telemetry may read the clock; tree may not.
+        let src = "fn f() { let t = Instant::now(); }";
+        let telem = SourceFile::parse("t.rs", "telemetry", src, false);
+        let tree = SourceFile::parse("t.rs", "tree", src, false);
+        assert!(lint_file(&telem, &all_rules()).0.is_empty());
+        assert_eq!(lint_file(&tree, &all_rules()).0.len(), 1);
+    }
+
+    #[test]
+    fn whole_test_file_exempt_from_unwrap_but_not_clock() {
+        let src = "fn helper() { let a = x.unwrap(); let t = Instant::now(); }";
+        let f = SourceFile::parse("crates/tree/tests/p.rs", "tree", src, true);
+        let (kept, _) = lint_file(&f, &all_rules());
+        assert_eq!(kept.len(), 1, "{kept:?}");
+        assert_eq!(kept[0].code.as_str(), "WM0101");
+    }
+}

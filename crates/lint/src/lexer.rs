@@ -1,0 +1,622 @@
+//! A small, dependency-free Rust lexer for the source lints.
+//!
+//! This is deliberately not a parser: the rules in [`crate::rules`]
+//! match token *sequences* (`SystemTime` `::` `now`), so all the lexer
+//! must get right is what is and is not a token — comments, string
+//! literals (including raw strings), and char-vs-lifetime ambiguity.
+//! It also extracts the two pieces of file-level structure the engine
+//! needs: which lines are test code (`#[cfg(test)]` / `#[test]` items)
+//! and where `// wmtree-lint: allow(...)` suppressions sit.
+
+/// What kind of token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident,
+    /// Punctuation. `::` is one token; everything else is one character.
+    Punct,
+    /// A string/char/numeric literal (contents not preserved verbatim
+    /// for strings — rules must never match inside literals).
+    Literal,
+    /// A lifetime (`'a`).
+    Lifetime,
+}
+
+/// One token with its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind.
+    pub kind: TokenKind,
+    /// Token text (for [`TokenKind::Literal`] a placeholder `"<lit>"`).
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in characters).
+    pub col: usize,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: impl Into<String>, line: usize, col: usize) -> Token {
+        Token {
+            kind,
+            text: text.into(),
+            line,
+            col,
+        }
+    }
+
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this text?
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// An inline suppression comment: `// wmtree-lint: allow(WM0101, ...)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Line the comment sits on. The suppression covers this line and,
+    /// so that it can precede the offending statement, the next one.
+    pub line: usize,
+    /// The codes it allows.
+    pub codes: Vec<String>,
+}
+
+/// A lexed source file plus the file-level structure rules need.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (`/`-separated).
+    pub path: String,
+    /// Name of the crate the file belongs to (`"tree"`, `"analysis"`,
+    /// `"suite"` for the umbrella `src/`).
+    pub crate_name: String,
+    /// Raw lines, for snippet rendering.
+    pub lines: Vec<String>,
+    /// The token stream (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// `is_test_line[line-1]` — inside a `#[cfg(test)]` or `#[test]`
+    /// item, or in a file under `tests/`.
+    pub is_test_line: Vec<bool>,
+    /// Inline `wmtree-lint: allow(...)` suppressions.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Lex `content`. `whole_file_is_test` marks every line as test
+    /// context (integration-test and bench files).
+    pub fn parse(
+        path: impl Into<String>,
+        crate_name: impl Into<String>,
+        content: &str,
+        whole_file_is_test: bool,
+    ) -> SourceFile {
+        let lines: Vec<String> = content.lines().map(|l| l.to_string()).collect();
+        let (tokens, suppressions) = lex(content);
+        let mut is_test_line = vec![whole_file_is_test; lines.len()];
+        if !whole_file_is_test {
+            mark_test_regions(&tokens, &mut is_test_line);
+        }
+        SourceFile {
+            path: path.into(),
+            crate_name: crate_name.into(),
+            lines,
+            tokens,
+            is_test_line,
+            suppressions,
+        }
+    }
+
+    /// Is the 1-based line test code?
+    pub fn is_test(&self, line: usize) -> bool {
+        self.is_test_line
+            .get(line.wrapping_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Is `code` suppressed at the 1-based line? A trailing suppression
+    /// comment covers its own line; a comment alone on its line covers
+    /// the next line instead.
+    pub fn is_suppressed(&self, code: &str, line: usize) -> bool {
+        self.suppressions.iter().any(|s| {
+            let covers = if self.line_has_code(s.line) {
+                s.line == line
+            } else {
+                s.line == line || s.line + 1 == line
+            };
+            covers && s.codes.iter().any(|c| c == code)
+        })
+    }
+
+    /// Does any token sit on the 1-based line (comments don't count)?
+    pub fn line_has_code(&self, line: usize) -> bool {
+        self.tokens.iter().any(|t| t.line == line)
+    }
+
+    /// The raw text of a 1-based line (empty if out of range).
+    pub fn line_text(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+}
+
+/// Tokenize, collecting suppression comments on the way.
+fn lex(content: &str) -> (Vec<Token>, Vec<Suppression>) {
+    let chars: Vec<char> = content.chars().collect();
+    let mut tokens = Vec::new();
+    let mut suppressions = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    // Advance over `n` chars, tracking line/col.
+    macro_rules! bump {
+        ($n:expr) => {
+            for _ in 0..$n {
+                if i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Line comment (plain or doc): skip to end of line, but mine it
+        // for a suppression directive first.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let comment: String = chars[start..i].iter().collect();
+            if let Some(codes) = parse_suppression(&comment) {
+                suppressions.push(Suppression { line, codes });
+            }
+            col += i - start;
+            continue;
+        }
+        // Block comment, nesting allowed.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!(2);
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!(2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!(1);
+                }
+            }
+            continue;
+        }
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+        // Raw string r"..." / r#"..."# (and br variants).
+        if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+            let (tok_line, tok_col) = (line, col);
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            // Opening quote at j; scan for `"` followed by `hashes` #s.
+            j += 1;
+            loop {
+                match chars.get(j) {
+                    None => break,
+                    Some('"') => {
+                        let mut k = j + 1;
+                        let mut seen = 0usize;
+                        while seen < hashes && chars.get(k) == Some(&'#') {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            j = k;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    Some(_) => j += 1,
+                }
+            }
+            bump!(j - i);
+            tokens.push(Token::new(TokenKind::Literal, "<lit>", tok_line, tok_col));
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let (tok_line, tok_col) = (line, col);
+            let start = i;
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            // A plain string with a `b`/`r` prefix was handled above, so
+            // a quote directly after the ident is a prefixed plain
+            // string like b"x": treat `b` as consumed by the literal.
+            let text: String = chars[start..j].iter().collect();
+            if (text == "b") && chars.get(j) == Some(&'"') {
+                // byte string literal
+                bump!(j - i);
+                let consumed = skip_plain_string(&chars, i);
+                bump!(consumed);
+                tokens.push(Token::new(TokenKind::Literal, "<lit>", tok_line, tok_col));
+                continue;
+            }
+            bump!(j - i);
+            tokens.push(Token::new(TokenKind::Ident, text, tok_line, tok_col));
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let (tok_line, tok_col) = (line, col);
+            let mut j = i;
+            while j < chars.len()
+                && (chars[j].is_alphanumeric() || chars[j] == '_' || chars[j] == '.')
+            {
+                // Don't swallow `..` range or a method call on a number.
+                if chars[j] == '.'
+                    && (chars.get(j + 1) == Some(&'.')
+                        || chars.get(j + 1).is_some_and(|n| n.is_alphabetic()))
+                {
+                    break;
+                }
+                j += 1;
+            }
+            bump!(j - i);
+            tokens.push(Token::new(TokenKind::Literal, "<lit>", tok_line, tok_col));
+            continue;
+        }
+        // Plain string.
+        if c == '"' {
+            let (tok_line, tok_col) = (line, col);
+            let consumed = skip_plain_string(&chars, i);
+            bump!(consumed);
+            tokens.push(Token::new(TokenKind::Literal, "<lit>", tok_line, tok_col));
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let (tok_line, tok_col) = (line, col);
+            let next = chars.get(i + 1);
+            let after = chars.get(i + 2);
+            let is_lifetime =
+                next.is_some_and(|n| n.is_alphabetic() || *n == '_') && after != Some(&'\'');
+            if is_lifetime {
+                let start = i;
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                bump!(j - i);
+                tokens.push(Token::new(TokenKind::Lifetime, text, tok_line, tok_col));
+            } else {
+                // char literal: 'x', '\n', '\'', '\u{...}'
+                let mut j = i + 1;
+                if chars.get(j) == Some(&'\\') {
+                    j += 2;
+                    // \u{..}
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                } else {
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'\'') {
+                    j += 1;
+                }
+                bump!(j - i);
+                tokens.push(Token::new(TokenKind::Literal, "<lit>", tok_line, tok_col));
+            }
+            continue;
+        }
+        // `::` as one token; all other punctuation single-char.
+        if c == ':' && chars.get(i + 1) == Some(&':') {
+            tokens.push(Token::new(TokenKind::Punct, "::", line, col));
+            bump!(2);
+            continue;
+        }
+        tokens.push(Token::new(TokenKind::Punct, c.to_string(), line, col));
+        bump!(1);
+    }
+    (tokens, suppressions)
+}
+
+/// Chars consumed by a plain `"..."` string starting at `i` (at the
+/// opening quote).
+fn skip_plain_string(chars: &[char], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    j - i
+}
+
+/// Does a raw-string literal (`r"`, `r#"`, `br"`, ...) start at `i`?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Parse `// wmtree-lint: allow(WM0101, WM0105)` → the codes.
+fn parse_suppression(comment: &str) -> Option<Vec<String>> {
+    let idx = comment.find("wmtree-lint:")?;
+    let rest = comment[idx + "wmtree-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let end = rest.find(')')?;
+    let codes: Vec<String> = rest[..end]
+        .split(',')
+        .map(|c| c.trim().to_string())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if codes.is_empty() {
+        None
+    } else {
+        Some(codes)
+    }
+}
+
+/// Mark lines covered by `#[cfg(test)]` / `#[test]` items as test code.
+///
+/// After such an attribute, any further attributes are skipped, then
+/// the item's braced block (from its first `{` to the matching `}`) is
+/// marked. This catches `mod tests { ... }` and `#[test] fn` items —
+/// the only shapes the workspace uses.
+fn mark_test_regions(tokens: &[Token], is_test_line: &mut [bool]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            // Scan the attribute body for the ident `test`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut mentions_test = false;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct("[") {
+                    depth += 1;
+                } else if tokens[j].is_punct("]") {
+                    depth -= 1;
+                } else if tokens[j].is_ident("test") {
+                    mentions_test = true;
+                }
+                j += 1;
+            }
+            if mentions_test {
+                let attr_line = tokens[i].line;
+                // Skip over any further attributes.
+                let mut k = j;
+                while k < tokens.len()
+                    && tokens[k].is_punct("#")
+                    && tokens.get(k + 1).is_some_and(|t| t.is_punct("["))
+                {
+                    let mut d = 1usize;
+                    k += 2;
+                    while k < tokens.len() && d > 0 {
+                        if tokens[k].is_punct("[") {
+                            d += 1;
+                        } else if tokens[k].is_punct("]") {
+                            d -= 1;
+                        }
+                        k += 1;
+                    }
+                }
+                // Find the item's opening brace, then its match.
+                while k < tokens.len() && !tokens[k].is_punct("{") {
+                    // A `;` first means a braceless item (e.g. `mod m;`).
+                    if tokens[k].is_punct(";") {
+                        break;
+                    }
+                    k += 1;
+                }
+                if k < tokens.len() && tokens[k].is_punct("{") {
+                    let mut d = 0usize;
+                    let mut m = k;
+                    while m < tokens.len() {
+                        if tokens[m].is_punct("{") {
+                            d += 1;
+                        } else if tokens[m].is_punct("}") {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        m += 1;
+                    }
+                    let end_line = tokens.get(m).map(|t| t.line).unwrap_or(usize::MAX);
+                    for l in attr_line..=end_line.min(is_test_line.len()) {
+                        if l >= 1 {
+                            is_test_line[l - 1] = true;
+                        }
+                    }
+                    i = m + 1;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        SourceFile::parse("t.rs", "t", src, false)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_tokens() {
+        let src = r##"
+            // SystemTime::now in a comment
+            /* Instant::now in a block /* nested */ comment */
+            let s = "SystemTime::now in a string";
+            let r = r#"Instant::now in a raw string"#;
+            let c = 'x';
+            fn real() {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        let f = SourceFile::parse("t.rs", "t", src, false);
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let f = SourceFile::parse("t.rs", "t", "a::b", false);
+        assert_eq!(f.tokens.len(), 3);
+        assert!(f.tokens[1].is_punct("::"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let f = SourceFile::parse("t.rs", "t", "let x = 1;\nlet y = 2;", false);
+        let y = f.tokens.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!((y.line, y.col), (2, 5));
+    }
+
+    #[test]
+    fn cfg_test_region_marked() {
+        let src = "\
+fn prod() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        prod();
+    }
+}";
+        let f = SourceFile::parse("t.rs", "t", src, false);
+        assert!(!f.is_test(1));
+        assert!(f.is_test(3), "attribute line is test");
+        assert!(f.is_test(7), "body is test");
+        assert!(f.is_test(9), "closing brace is test");
+    }
+
+    #[test]
+    fn test_attr_fn_marked() {
+        let src = "#[test]\nfn check() { work(); }\nfn prod() {}";
+        let f = SourceFile::parse("t.rs", "t", src, false);
+        assert!(f.is_test(2));
+        assert!(!f.is_test(3));
+    }
+
+    #[test]
+    fn whole_file_test_flag() {
+        let f = SourceFile::parse("tests/x.rs", "t", "fn a() {}", true);
+        assert!(f.is_test(1));
+    }
+
+    #[test]
+    fn suppression_parsing() {
+        let src = "let a = 1; // wmtree-lint: allow(WM0105)\nlet b = 2;\nlet c = 3;";
+        let f = SourceFile::parse("t.rs", "t", src, false);
+        assert!(f.is_suppressed("WM0105", 1));
+        assert!(
+            !f.is_suppressed("WM0105", 2),
+            "a trailing comment covers only its own line"
+        );
+        assert!(!f.is_suppressed("WM0101", 1));
+        // A comment alone on its line covers the next line instead.
+        let own = "// wmtree-lint: allow(WM0105)\nlet b = y.unwrap();";
+        let f2 = SourceFile::parse("t.rs", "t", own, false);
+        assert!(f2.is_suppressed("WM0105", 2));
+    }
+
+    #[test]
+    fn suppression_multiple_codes() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "t",
+            "// wmtree-lint: allow(WM0101, WM0102)\nx();",
+            false,
+        );
+        assert!(f.is_suppressed("WM0101", 2));
+        assert!(f.is_suppressed("WM0102", 2));
+    }
+
+    #[test]
+    fn numeric_literals_with_method_calls() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "t",
+            "let x = 1.max(2); let y = 1..3; let z = 1.5;",
+            false,
+        );
+        assert!(f.tokens.iter().any(|t| t.is_ident("max")));
+        // 1.5 stays a single literal.
+        let lits = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lits, 5); // 1, 2, 1, 3, 1.5
+    }
+}

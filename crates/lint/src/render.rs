@@ -1,0 +1,217 @@
+//! Diagnostic renderers: rustc-style pretty text and stable JSON.
+//!
+//! Both renderers expect their input already in canonical order (the
+//! engine sorts with [`crate::diag::sort_diagnostics`]); given the same
+//! findings they produce byte-identical output on every run — the JSON
+//! form is built by hand rather than through a serializer precisely so
+//! nothing about field order or float formatting can drift.
+
+use crate::diag::{Diagnostic, Location, Severity};
+
+/// Render a batch in rustc style:
+///
+/// ```text
+/// error[WM0101]: wall-clock read `Instant::now` in deterministic code
+///   --> crates/foo/src/bar.rs:12:13
+///    |
+/// 12 |     let t = Instant::now();
+///    |             ^^^^^^^^^^^^
+///    = note: results must depend only on the experiment seed...
+/// ```
+pub fn render_pretty(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{}[{}]: {}\n",
+            d.severity.label(),
+            d.code.as_str(),
+            d.message
+        ));
+        match &d.location {
+            Location::Source(s) => {
+                let line_no = s.line.to_string();
+                let gutter = " ".repeat(line_no.len());
+                out.push_str(&format!("  --> {}:{}:{}\n", s.file, s.line, s.col));
+                out.push_str(&format!("{gutter}  |\n"));
+                out.push_str(&format!("{line_no} | {}\n", s.text));
+                let pad = " ".repeat(s.col.saturating_sub(1));
+                let carets = "^".repeat(s.len.max(1));
+                out.push_str(&format!("{gutter} | {pad}{carets}\n"));
+                for note in &d.notes {
+                    out.push_str(&format!("{gutter} = note: {note}\n"));
+                }
+            }
+            Location::Artifact(p) => {
+                out.push_str(&format!("  --> {p}\n"));
+                for note in &d.notes {
+                    out.push_str(&format!("   = note: {note}\n"));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a one-line summary (`error: 2 errors, 1 warning emitted`).
+pub fn render_summary(diags: &[Diagnostic]) -> String {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    match (errors, warnings) {
+        (0, 0) => "clean: no findings".to_string(),
+        (e, 0) => format!("error: {e} finding(s) emitted"),
+        (0, w) => format!("warning: {w} finding(s) emitted"),
+        (e, w) => format!("error: {e} error(s), {w} warning(s) emitted"),
+    }
+}
+
+/// Render a batch as stable JSON. Schema:
+///
+/// ```json
+/// {"version":1,
+///  "findings":[{"code":"WM0101","severity":"error",
+///               "location":"crates/x.rs:1:2","file":"crates/x.rs",
+///               "line":1,"col":2,"message":"...","notes":["..."]}],
+///  "summary":{"errors":1,"warnings":0}}
+/// ```
+///
+/// Artifact findings have `"file":null,"line":0,"col":0` and carry the
+/// artifact path in `"location"`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"version\":1,\"findings\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"code\":");
+        json_str(&mut out, d.code.as_str());
+        out.push_str(",\"severity\":");
+        json_str(&mut out, d.severity.label());
+        out.push_str(",\"location\":");
+        json_str(&mut out, &d.location.display());
+        match &d.location {
+            Location::Source(s) => {
+                out.push_str(",\"file\":");
+                json_str(&mut out, &s.file);
+                out.push_str(&format!(",\"line\":{},\"col\":{}", s.line, s.col));
+            }
+            Location::Artifact(_) => {
+                out.push_str(",\"file\":null,\"line\":0,\"col\":0");
+            }
+        }
+        out.push_str(",\"message\":");
+        json_str(&mut out, &d.message);
+        out.push_str(",\"notes\":[");
+        for (j, n) in d.notes.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json_str(&mut out, n);
+        }
+        out.push_str("]}");
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    out.push_str(&format!(
+        "],\"summary\":{{\"errors\":{},\"warnings\":{}}}}}",
+        errors,
+        diags.len() - errors
+    ));
+    out.push('\n');
+    out
+}
+
+/// Append a JSON string literal (with escaping) to `out`.
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Code, Span};
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::source(
+                Code("WM0101"),
+                Severity::Error,
+                Span {
+                    file: "crates/tree/src/x.rs".into(),
+                    line: 12,
+                    col: 13,
+                    text: "    let t = Instant::now();".into(),
+                    len: 12,
+                },
+                "wall-clock read `Instant::now` in deterministic code",
+            )
+            .with_note("use virtual time"),
+            Diagnostic::artifact(
+                Code("WM0201"),
+                Severity::Warning,
+                "deptree:node[3]",
+                "bad root",
+            ),
+        ]
+    }
+
+    #[test]
+    fn pretty_has_rustc_shape() {
+        let text = render_pretty(&sample());
+        assert!(text.contains("error[WM0101]: wall-clock read"));
+        assert!(text.contains("  --> crates/tree/src/x.rs:12:13"));
+        assert!(text.contains("12 |     let t = Instant::now();"));
+        assert!(text.contains("^^^^^^^^^^^^"));
+        assert!(text.contains("= note: use virtual time"));
+        assert!(text.contains("warning[WM0201]: bad root"));
+    }
+
+    #[test]
+    fn caret_alignment() {
+        let text = render_pretty(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        let src_line = lines.iter().position(|l| l.starts_with("12 | ")).unwrap();
+        let caret_line = lines[src_line + 1];
+        // Caret column: "12 | " prefix is "   | " on the caret line,
+        // then col-1 spaces. "Instant" starts at char 13 of the source.
+        let caret_start = caret_line.find('^').unwrap();
+        let prefix_len = "   | ".len();
+        assert_eq!(caret_start - prefix_len, 12); // col 13 → 12 chars in
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut diags = sample();
+        diags[0].message = "has \"quotes\" and\nnewline".into();
+        let a = render_json(&diags);
+        let b = render_json(&diags);
+        assert_eq!(a, b);
+        assert!(a.contains("\\\"quotes\\\""));
+        assert!(a.contains("\\n"));
+        assert!(a.contains("\"summary\":{\"errors\":1,\"warnings\":1}"));
+        assert!(a.ends_with('\n'));
+    }
+
+    #[test]
+    fn summary_wording() {
+        assert_eq!(render_summary(&[]), "clean: no findings");
+        assert!(render_summary(&sample()).contains("1 error(s), 1 warning(s)"));
+    }
+}

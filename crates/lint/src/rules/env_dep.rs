@@ -1,0 +1,109 @@
+//! WM0104 — process-environment dependence in deterministic crates.
+
+use super::{span_at, Rule, RuleMeta, PIPELINE_CRATES};
+use crate::diag::{Code, Diagnostic, Severity};
+use crate::lexer::SourceFile;
+
+/// Flags `env::var`/`env::var_os` and `thread::current().id()` in the
+/// deterministic pipeline crates. Environment variables and thread
+/// identity are exactly the kind of setup-dependent input the paper
+/// warns about (chromiumoxide-style crawlers routinely leak both into
+/// fetch behaviour).
+pub struct EnvDep;
+
+const META: RuleMeta = RuleMeta {
+    code: Code("WM0104"),
+    name: "env-dependence",
+    summary: "`std::env::var` / `thread::current().id()` in pipeline crates",
+    rationale: "pipeline behaviour must not depend on the host environment \
+                or worker identity, or two setups measure different things",
+    only: Some(PIPELINE_CRATES),
+    exempt: &[],
+    test_exempt: true,
+    severity: Severity::Error,
+};
+
+impl Rule for EnvDep {
+    fn meta(&self) -> &RuleMeta {
+        &META
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let toks = &file.tokens;
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            // env :: var / env :: var_os / env :: vars
+            if toks[i].is_ident("env")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|t| {
+                    t.is_ident("var") || t.is_ident("var_os") || t.is_ident("vars")
+                })
+            {
+                out.push(
+                    Diagnostic::source(
+                        META.code,
+                        META.severity,
+                        span_at(file, toks, i, i + 2),
+                        format!(
+                            "environment read `env::{}` in a deterministic crate",
+                            toks[i + 2].text
+                        ),
+                    )
+                    .with_note(
+                        "thread all configuration through `ExperimentConfig` so the run \
+                         is fully described by its manifest",
+                    ),
+                );
+            }
+            // thread :: current ( ) . id (
+            if toks[i].is_ident("current")
+                && i >= 2
+                && toks[i - 1].is_punct("::")
+                && toks[i - 2].is_ident("thread")
+                && toks.get(i + 3).is_some_and(|t| t.is_punct("."))
+                && toks.get(i + 4).is_some_and(|t| t.is_ident("id"))
+            {
+                out.push(
+                    Diagnostic::source(
+                        META.code,
+                        META.severity,
+                        span_at(file, toks, i - 2, i + 4),
+                        "thread-identity read `thread::current().id()` in a deterministic crate",
+                    )
+                    .with_note(
+                        "shard results must merge identically regardless of which worker \
+                         produced them; pass an explicit shard index instead",
+                    ),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        EnvDep.check(&SourceFile::parse("x.rs", "crawler", src, false))
+    }
+
+    #[test]
+    fn positive_env_var_and_thread_id() {
+        let src =
+            "fn f() { let p = std::env::var(\"PROXY\"); let t = std::thread::current().id(); }";
+        let hits = lint(src);
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].message.contains("env::var"));
+        assert!(hits[1].message.contains("thread::current"));
+    }
+
+    #[test]
+    fn negative_args_and_other_idents() {
+        // env::args (CLI parsing) and unrelated `current` calls pass.
+        let src =
+            "fn f() { let a: Vec<_> = std::env::args().collect(); let c = cursor.current(); }";
+        assert!(lint(src).is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! The source-lint rules (layer 1, `WM01xx`).
+//!
+//! Each rule is a [`Rule`] implementation over a lexed [`SourceFile`].
+//! Crate applicability is part of the rule's metadata: a rule either
+//! applies everywhere except an exempt list (`only: None`) or only to a
+//! named set of crates (`only: Some(..)`). Rules marked `test_exempt`
+//! skip `#[cfg(test)]` regions, `tests/`, `benches/`, and `examples/`.
+
+mod env_dep;
+mod hash_iter;
+mod rng;
+mod unwrap;
+mod wall_clock;
+
+use crate::diag::{Code, Diagnostic, Severity, Span};
+use crate::lexer::{SourceFile, Token};
+
+pub use env_dep::EnvDep;
+pub use hash_iter::HashIter;
+pub use rng::UnseededRng;
+pub use unwrap::UnwrapInPipeline;
+pub use wall_clock::WallClock;
+
+/// The crates whose outputs are serialized into results (CSV, JSON,
+/// reports) and must therefore iterate in a stable order.
+pub const RESULT_CRATES: &[&str] = &["analysis", "tree", "core", "crawler"];
+
+/// The crates forming the deterministic pipeline: everything that runs
+/// between seed and report. `telemetry` and `bench` are measurement
+/// harness code and deliberately excluded.
+pub const PIPELINE_CRATES: &[&str] = &[
+    "analysis",
+    "tree",
+    "core",
+    "crawler",
+    "browser",
+    "net",
+    "url",
+    "webgen",
+    "filterlist",
+    "stats",
+    "lint",
+];
+
+/// Static description of a rule (also drives the `rules` subcommand and
+/// the DESIGN.md catalog).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    /// Stable code (`WM0101`...).
+    pub code: Code,
+    /// Kebab-case rule name.
+    pub name: &'static str,
+    /// One-line summary of what is flagged.
+    pub summary: &'static str,
+    /// Why the rule exists (ties back to the paper's determinism needs).
+    pub rationale: &'static str,
+    /// `None` → applies to every crate not in `exempt`;
+    /// `Some(list)` → applies only to the listed crates.
+    pub only: Option<&'static [&'static str]>,
+    /// Crates the rule never applies to.
+    pub exempt: &'static [&'static str],
+    /// Skip test code.
+    pub test_exempt: bool,
+    /// Severity of findings.
+    pub severity: Severity,
+}
+
+impl RuleMeta {
+    /// Does the rule apply to a crate?
+    pub fn applies_to(&self, crate_name: &str) -> bool {
+        if self.exempt.contains(&crate_name) {
+            return false;
+        }
+        match self.only {
+            Some(list) => list.contains(&crate_name),
+            None => true,
+        }
+    }
+}
+
+/// One source lint.
+pub trait Rule {
+    /// The rule's metadata.
+    fn meta(&self) -> &RuleMeta;
+    /// Scan one file. Crate applicability, test exemption, and
+    /// suppressions are handled by the engine; `check` reports every
+    /// raw hit.
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic>;
+}
+
+/// All rules, in code order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(WallClock),
+        Box::new(HashIter),
+        Box::new(UnseededRng),
+        Box::new(EnvDep),
+        Box::new(UnwrapInPipeline),
+    ]
+}
+
+/// Metadata of every rule, in code order (for `wmtree-lint rules`).
+pub fn catalog() -> Vec<RuleMeta> {
+    all_rules().iter().map(|r| *r.meta()).collect()
+}
+
+/// Build a [`Span`] for the token at `idx`, underlining through the
+/// token at `end_idx` when they share a line.
+pub(crate) fn span_at(file: &SourceFile, tokens: &[Token], idx: usize, end_idx: usize) -> Span {
+    let t = &tokens[idx];
+    let len = if end_idx > idx && tokens[end_idx].line == t.line {
+        let end = &tokens[end_idx];
+        (end.col + end.text.chars().count()).saturating_sub(t.col)
+    } else {
+        t.text.chars().count()
+    }
+    .max(1);
+    Span {
+        file: file.path.clone(),
+        line: t.line,
+        col: t.col,
+        text: file.line_text(t.line).to_string(),
+        len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applicability() {
+        let only = RuleMeta {
+            code: Code("WM9999"),
+            name: "t",
+            summary: "",
+            rationale: "",
+            only: Some(&["tree", "core"]),
+            exempt: &[],
+            test_exempt: true,
+            severity: Severity::Error,
+        };
+        assert!(only.applies_to("tree"));
+        assert!(!only.applies_to("telemetry"));
+
+        let exempting = RuleMeta {
+            only: None,
+            exempt: &["telemetry", "bench"],
+            ..only
+        };
+        assert!(exempting.applies_to("tree"));
+        assert!(exempting.applies_to("suite"));
+        assert!(!exempting.applies_to("bench"));
+    }
+
+    #[test]
+    fn catalog_is_code_sorted_and_unique() {
+        let cat = catalog();
+        let codes: Vec<&str> = cat.iter().map(|m| m.code.as_str()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "rule codes must be unique and ordered");
+        assert_eq!(cat.len(), 5);
+    }
+}

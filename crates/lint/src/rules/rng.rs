@@ -1,0 +1,82 @@
+//! WM0103 — unseeded randomness.
+
+use super::{span_at, Rule, RuleMeta};
+use crate::diag::{Code, Diagnostic, Severity};
+use crate::lexer::SourceFile;
+
+/// Flags entropy-seeded RNG construction (`thread_rng`, `from_entropy`,
+/// `OsRng`, ...) outside test code. Every RNG in the pipeline must
+/// derive from the experiment seed so a run is replayable.
+pub struct UnseededRng;
+
+/// Constructors that pull entropy from the OS instead of the seed.
+const ENTROPY_SOURCES: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "getrandom",
+];
+
+const META: RuleMeta = RuleMeta {
+    code: Code("WM0103"),
+    name: "unseeded-rng",
+    summary: "entropy-seeded RNG construction outside tests",
+    rationale: "the paper separates setup effects from web non-determinism; \
+                an OS-entropy RNG makes the 'web' different on every run",
+    only: None,
+    exempt: &[],
+    test_exempt: true,
+    severity: Severity::Error,
+};
+
+impl Rule for UnseededRng {
+    fn meta(&self) -> &RuleMeta {
+        &META
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let toks = &file.tokens;
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            if ENTROPY_SOURCES.iter().any(|s| toks[i].is_ident(s)) {
+                out.push(
+                    Diagnostic::source(
+                        META.code,
+                        META.severity,
+                        span_at(file, toks, i, i),
+                        format!("entropy-seeded RNG `{}` in pipeline code", toks[i].text),
+                    )
+                    .with_note(
+                        "derive every RNG from the experiment seed \
+                         (`StdRng::from_seed` / the crate's `SeedMixer`) so runs replay",
+                    ),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        UnseededRng.check(&SourceFile::parse("x.rs", "webgen", src, false))
+    }
+
+    #[test]
+    fn positive_thread_rng_and_from_entropy() {
+        let src = "fn f() { let mut r = rand::thread_rng(); let s = StdRng::from_entropy(); }";
+        let hits = lint(src);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn negative_seeded_construction() {
+        let src =
+            "fn f(seed: u64) { let r = StdRng::from_seed(seed); let m = SeedMixer::new(seed); }";
+        assert!(lint(src).is_empty());
+    }
+}

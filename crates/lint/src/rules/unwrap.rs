@@ -1,0 +1,97 @@
+//! WM0105 — `unwrap()`/`expect()` in non-test pipeline code.
+
+use super::{span_at, Rule, RuleMeta, PIPELINE_CRATES};
+use crate::diag::{Code, Diagnostic, Severity};
+use crate::lexer::SourceFile;
+
+/// Flags `.unwrap()` and `.expect(..)` outside test code in the
+/// pipeline crates. A panic mid-crawl silently drops a shard's worth of
+/// visits; fallible paths must surface typed errors instead.
+///
+/// `unwrap_or`, `unwrap_or_else`, `unwrap_or_default` are fine — they
+/// are total. A genuinely infallible case (e.g. joining a worker
+/// thread whose panic should propagate) can carry an inline
+/// `// wmtree-lint: allow(WM0105)` with its justification.
+pub struct UnwrapInPipeline;
+
+const META: RuleMeta = RuleMeta {
+    code: Code("WM0105"),
+    name: "unwrap-in-pipeline",
+    summary: "`.unwrap()` / `.expect(..)` in non-test pipeline code",
+    rationale: "a panic mid-crawl aborts the whole shard; fallible pipeline \
+                paths must return typed errors the commander can account for",
+    only: Some(PIPELINE_CRATES),
+    exempt: &[],
+    test_exempt: true,
+    severity: Severity::Error,
+};
+
+impl Rule for UnwrapInPipeline {
+    fn meta(&self) -> &RuleMeta {
+        &META
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let toks = &file.tokens;
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            let is_call = i >= 1
+                && toks[i - 1].is_punct(".")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("("));
+            if !is_call {
+                continue;
+            }
+            if toks[i].is_ident("unwrap") || toks[i].is_ident("expect") {
+                out.push(
+                    Diagnostic::source(
+                        META.code,
+                        META.severity,
+                        span_at(file, toks, i, i),
+                        format!("`.{}()` in non-test pipeline code", toks[i].text),
+                    )
+                    .with_note(
+                        "return a typed error (or use `unwrap_or`/`total_cmp`/a match); \
+                         if the call is provably infallible, justify it with \
+                         `// wmtree-lint: allow(WM0105)`",
+                    ),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        UnwrapInPipeline.check(&SourceFile::parse("x.rs", "analysis", src, false))
+    }
+
+    #[test]
+    fn positive_unwrap_and_expect() {
+        let src = "fn f() { let a = x.unwrap(); let b = y.expect(\"msg\"); }";
+        assert_eq!(lint(src).len(), 2);
+    }
+
+    #[test]
+    fn negative_total_variants_and_doc_comments() {
+        let src = r#"
+            /// Example: `v.unwrap()` in a doc comment is fine.
+            fn f() {
+                let a = x.unwrap_or(0);
+                let b = y.unwrap_or_else(|| 1);
+                let c = z.unwrap_or_default();
+            }
+        "#;
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn negative_inside_cfg_test_is_raw_hit_but_engine_filters() {
+        // The rule itself reports raw hits; test-exemption is the
+        // engine's job — verified here via the meta flag.
+        assert!(UnwrapInPipeline.meta().test_exempt);
+    }
+}

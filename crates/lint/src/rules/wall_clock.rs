@@ -1,0 +1,103 @@
+//! WM0101 — wall-clock reads in deterministic code.
+
+use super::{span_at, Rule, RuleMeta};
+use crate::diag::{Code, Diagnostic, Severity};
+use crate::lexer::SourceFile;
+
+/// Flags `SystemTime::now()` / `Instant::now()` outside the telemetry
+/// and bench crates. PR 1's byte-identity tests caught wall-clock time
+/// leaking into results once; this forbids the whole class statically.
+pub struct WallClock;
+
+const META: RuleMeta = RuleMeta {
+    code: Code("WM0101"),
+    name: "wall-clock",
+    summary: "`SystemTime::now`/`Instant::now` outside telemetry/bench",
+    rationale: "results must be a pure function of the seed; clock reads \
+                make reruns diverge byte-for-byte",
+    only: None,
+    exempt: &["telemetry", "bench"],
+    // Strict: even test code in pipeline crates must not read the clock
+    // (a time-dependent assertion is a flaky assertion).
+    test_exempt: false,
+    severity: Severity::Error,
+};
+
+impl Rule for WallClock {
+    fn meta(&self) -> &RuleMeta {
+        &META
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let toks = &file.tokens;
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            let is_clock_type = toks[i].is_ident("SystemTime") || toks[i].is_ident("Instant");
+            if is_clock_type
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|t| t.is_ident("now"))
+            {
+                let d = Diagnostic::source(
+                    META.code,
+                    META.severity,
+                    span_at(file, toks, i, i + 2),
+                    format!(
+                        "wall-clock read `{}::now` in deterministic code",
+                        toks[i].text
+                    ),
+                )
+                .with_note(
+                    "results must depend only on the experiment seed; use virtual \
+                     time from the visit simulation, or move timing into \
+                     `wmtree-telemetry`",
+                );
+                out.push(d);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        WallClock.check(&SourceFile::parse("x.rs", "tree", src, false))
+    }
+
+    #[test]
+    fn positive_instant_and_systemtime() {
+        let src = "fn f() { let a = Instant::now(); let b = std::time::SystemTime::now(); }";
+        let hits = lint(src);
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].message.contains("Instant::now"));
+        assert!(hits[1].message.contains("SystemTime::now"));
+    }
+
+    #[test]
+    fn negative_other_now_and_comments() {
+        // `now` on other receivers, comments, and strings are all fine.
+        let src = r#"
+            // Instant::now() in a comment
+            fn f(clock: &VirtualClock) -> u64 {
+                let s = "SystemTime::now";
+                clock.now()
+            }
+        "#;
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn span_underlines_whole_path() {
+        let hits = lint("let t = Instant::now();");
+        assert_eq!(hits.len(), 1);
+        match &hits[0].location {
+            crate::diag::Location::Source(s) => {
+                assert_eq!(s.col, 9);
+                assert_eq!(s.len, "Instant::now".len());
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end runs of the `wmtree-lint` binary.
+//!
+//! The satellite requirement behind these tests: `wmtree-lint --format
+//! json` must be byte-identical across runs, so dashboards and CI can
+//! diff its output without normalization.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wmtree-lint"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn wmtree-lint")
+}
+
+#[test]
+fn lint_json_is_byte_identical_across_runs() {
+    let a = run(&["lint", "--format", "json"]);
+    let b = run(&["lint", "--format", "json"]);
+    assert!(
+        a.status.success(),
+        "lint failed:\n{}{}",
+        String::from_utf8_lossy(&a.stdout),
+        String::from_utf8_lossy(&a.stderr)
+    );
+    assert_eq!(a.stdout, b.stdout, "JSON output must be byte-identical");
+
+    let text = String::from_utf8(a.stdout).expect("utf8 output");
+    assert!(text.starts_with("{\"version\":1,\"findings\":["), "{text}");
+    assert!(text.ends_with('\n'));
+    // The hand-built output must still be valid JSON.
+    let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    assert!(v.get("summary").is_some(), "{text}");
+}
+
+#[test]
+fn lint_pretty_reports_clean_workspace() {
+    let out = run(&["lint"]);
+    assert!(out.status.success());
+    // Pretty mode prints findings to stdout and the summary to stderr.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("clean: no findings"), "{err}");
+    assert!(err.contains("scanned"), "{err}");
+}
+
+#[test]
+fn rules_subcommand_lists_both_layers() {
+    let out = run(&["rules"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for code in ["WM0101", "WM0102", "WM0103", "WM0104", "WM0105"] {
+        assert!(text.contains(code), "missing source lint {code}:\n{text}");
+    }
+    for code in ["WM0201", "WM0211", "WM0221"] {
+        assert!(
+            text.contains(code),
+            "missing artifact check {code}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn check_artifacts_accepts_known_good_tree() {
+    use wmtree_net::ResourceType;
+    use wmtree_url::Party;
+
+    let mut t = wmtree_tree::DepTree::new_rooted("https://www.a.com/".into());
+    let s = t.attach(
+        0,
+        "https://cdn.a.com/app.js".into(),
+        ResourceType::Script,
+        Party::First,
+        false,
+    );
+    t.attach(
+        s,
+        "https://ads.b.net/px.gif".into(),
+        ResourceType::Image,
+        Party::Third,
+        true,
+    );
+    let dir = std::env::temp_dir().join("wmtree-lint-artifact-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tree.json");
+    std::fs::write(&path, serde_json::to_string(&t).expect("serialize")).expect("write fixture");
+
+    let out = run(&["check-artifacts", path.to_str().expect("utf8 path")]);
+    assert!(
+        out.status.success(),
+        "stdout: {} stderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

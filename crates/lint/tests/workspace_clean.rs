@@ -1,0 +1,56 @@
+//! Tier-1 gate: the wmtree workspace passes its own determinism lints.
+//!
+//! This is the test that makes the lint rules *binding*: a new
+//! `Instant::now()` or hash-order iteration anywhere in the pipeline
+//! fails the suite, not just the (optional) CI lint job.
+
+use std::path::{Path, PathBuf};
+use wmtree_lint::render::render_pretty;
+use wmtree_lint::{lint_workspace, Baseline};
+
+/// The workspace root, two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+/// Load the checked-in baseline (an absent file means an empty one, the
+/// same rule the binary applies).
+fn load_baseline(root: &Path) -> Baseline {
+    match std::fs::read_to_string(root.join("lint-baseline.txt")) {
+        Ok(s) => Baseline::parse(&s),
+        Err(_) => Baseline::empty(),
+    }
+}
+
+#[test]
+fn workspace_has_no_new_findings() {
+    let root = repo_root();
+    let baseline = load_baseline(&root);
+    let outcome = lint_workspace(&root, &baseline).expect("scan workspace");
+    assert!(
+        outcome.files_scanned > 80,
+        "scanned only {} files — target discovery is broken",
+        outcome.files_scanned
+    );
+    assert!(
+        outcome.findings.is_empty(),
+        "wmtree-lint found {} non-baselined violation(s):\n{}",
+        outcome.findings.len(),
+        render_pretty(&outcome.findings)
+    );
+}
+
+#[test]
+fn scan_is_deterministic() {
+    let root = repo_root();
+    let baseline = load_baseline(&root);
+    let a = lint_workspace(&root, &baseline).expect("first scan");
+    let b = lint_workspace(&root, &baseline).expect("second scan");
+    assert_eq!(a.files_scanned, b.files_scanned);
+    assert_eq!(a.suppressed, b.suppressed);
+    assert_eq!(a.baselined, b.baselined);
+    assert_eq!(a.findings, b.findings);
+}

@@ -67,7 +67,7 @@ where
         }
         stats.push(statistic(&buf));
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN statistic"));
+    stats.sort_by(|a, b| a.total_cmp(b));
     let alpha = (1.0 - level) / 2.0;
     let idx = |q: f64| -> usize { (((resamples as f64) * q).floor() as usize).min(resamples - 1) };
     Some(ConfidenceInterval {

@@ -42,7 +42,7 @@ impl Summary {
             0.0
         };
         let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let median = if n % 2 == 1 {
             sorted[n / 2]
         } else {

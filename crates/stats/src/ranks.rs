@@ -12,7 +12,7 @@
 pub fn midranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN in ranks"));
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -34,7 +34,7 @@ pub fn midranks(values: &[f64]) -> Vec<f64> {
 /// terms `Σ (t³ − t)`.
 pub fn tie_groups(values: &[f64]) -> Vec<usize> {
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ties"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let mut groups = Vec::new();
     let mut i = 0;
     while i < sorted.len() {

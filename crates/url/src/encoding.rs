@@ -49,17 +49,10 @@ pub fn normalize_percent_encoding(s: &str) -> String {
                 if is_unreserved(decoded) {
                     out.push(decoded as char);
                 } else {
+                    const HEX: &[u8; 16] = b"0123456789ABCDEF";
                     out.push('%');
-                    out.push(
-                        char::from_digit(hi as u32, 16)
-                            .unwrap()
-                            .to_ascii_uppercase(),
-                    );
-                    out.push(
-                        char::from_digit(lo as u32, 16)
-                            .unwrap()
-                            .to_ascii_uppercase(),
-                    );
+                    out.push(HEX[hi as usize] as char);
+                    out.push(HEX[lo as usize] as char);
                 }
                 i += 3;
                 continue;

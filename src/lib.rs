@@ -9,5 +9,6 @@
 //! and figure.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use wmtree::*;
