@@ -56,7 +56,7 @@ impl NodeSimilarity {
 }
 
 /// All node similarities of one page.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PageNodeSimilarities {
     /// Page URL.
     pub url: String,

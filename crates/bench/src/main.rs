@@ -10,6 +10,10 @@
 //! repro --json report.json   # export the raw report
 //! repro --telemetry DIR      # write telemetry.json (run manifest) into DIR
 //! repro --no-telemetry       # disable all metric/span recording
+//! repro --bundle DIR         # crawl into a checkpointed bundle archive
+//! repro --bundle DIR --resume        # continue an interrupted bundle crawl
+//! repro --bundle DIR --max-sites 10  # stop (resumably) after 10 sites
+//! repro --from-bundle DIR    # skip crawling; analyze a recorded bundle
 //! ```
 //!
 //! Unless `--no-telemetry` is given, every run ends with a telemetry
@@ -35,7 +39,8 @@ fn main() {
             "repro — regenerate the IMC'23 tables and figures\n\n\
              USAGE: repro [--scale tiny|small|medium|large] \
              [--table 1..7] [--fig 1..8] [--case unique-nodes|cookies|tracking] \
-             [--json FILE] [--csv DIR] [--telemetry DIR] [--no-telemetry] [--ablations]"
+             [--json FILE] [--csv DIR] [--telemetry DIR] [--no-telemetry] [--ablations] \
+             [--bundle DIR [--resume] [--max-sites N]] [--from-bundle DIR]"
         );
         return;
     }
@@ -57,8 +62,58 @@ fn main() {
         _ => Scale::Small,
     };
 
-    eprintln!("[repro] running the five-profile experiment at {scale:?} scale...");
-    let mut results = Experiment::new(ExperimentConfig::at_scale(scale)).run();
+    let mut results = if let Some(dir) = get("--from-bundle") {
+        eprintln!("[repro] replaying analyses from bundle {dir} (no crawl)...");
+        let exp = Experiment::new(ExperimentConfig::at_scale(scale));
+        match exp.replay_from_bundle(std::path::Path::new(&dir)) {
+            Ok(results) => results,
+            Err(e) => {
+                eprintln!("[repro] bundle replay failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else if let Some(dir) = get("--bundle") {
+        let path = std::path::Path::new(&dir);
+        let resume = args.iter().any(|a| a == "--resume");
+        if wmtree::bundle::Manifest::exists(path) && !resume {
+            eprintln!("[repro] {dir} already holds a bundle; pass --resume to continue it");
+            std::process::exit(2);
+        }
+        let max_sites = get("--max-sites").and_then(|s| s.parse::<usize>().ok());
+        eprintln!(
+            "[repro] running the five-profile experiment at {scale:?} scale into bundle {dir}..."
+        );
+        let exp = Experiment::new(ExperimentConfig::at_scale(scale));
+        match exp.run_to_bundle(path, max_sites) {
+            Ok(wmtree::BundleRun::Complete { results, bundle }) => {
+                eprintln!(
+                    "[repro] bundle complete: {} visit records, {} unique objects, dedup ratio {:.2}",
+                    bundle.visit_records,
+                    bundle.objects,
+                    bundle.dedup_ratio()
+                );
+                *results
+            }
+            Ok(wmtree::BundleRun::Partial {
+                sites_done,
+                sites_total,
+                ..
+            }) => {
+                eprintln!(
+                    "[repro] bundle checkpointed at {sites_done}/{sites_total} sites; \
+                     rerun with `--bundle {dir} --resume` to continue"
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("[repro] bundle crawl failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        eprintln!("[repro] running the five-profile experiment at {scale:?} scale...");
+        Experiment::new(ExperimentConfig::at_scale(scale)).run()
+    };
     eprintln!(
         "[repro] {} vetted pages ({} trees); generating report...",
         results.data.pages.len(),

@@ -1,0 +1,86 @@
+//! Content and record hashing.
+//!
+//! All bundle checksums are the workspace's stable FNV-1a/splitmix
+//! hash ([`wmtree_webgen::stable_hash`]) under domain-separating seeds,
+//! rendered as fixed-width lowercase hex so the archives are plain
+//! text, byte-stable, and diffable.
+
+use wmtree_webgen::stable_hash;
+
+/// Domain seed for content addresses of stored objects.
+const OBJECT_SEED: u64 = 0x776d_6275_6f62_6a31; // "wmbuobj1"
+/// Domain seed for per-record line checksums.
+const LINE_SEED: u64 = 0x776d_6275_6c6e_3131; // "wmbuln11"
+/// Domain seed (initial value) for the per-segment rolling chain.
+const CHAIN_SEED: u64 = 0x776d_6275_6368_6e31; // "wmbuchn1"
+
+/// Content address of a serialized object payload.
+pub fn object_hash(payload: &[u8]) -> u64 {
+    stable_hash(OBJECT_SEED, payload)
+}
+
+/// Checksum of one record line's payload (the JSON after the checksum
+/// column).
+pub fn line_checksum(payload: &[u8]) -> u64 {
+    stable_hash(LINE_SEED, payload)
+}
+
+/// The initial value of a segment's rolling chain checksum.
+pub fn chain_start() -> u64 {
+    CHAIN_SEED
+}
+
+/// Fold one full record line (checksum column + payload, no trailing
+/// newline) into a segment's rolling chain.
+pub fn chain_fold(chain: u64, line: &[u8]) -> u64 {
+    stable_hash(chain, line)
+}
+
+/// Render a hash as the fixed-width lowercase hex the archive stores.
+pub fn to_hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// Parse a fixed-width hex hash back. `None` for malformed input.
+pub fn from_hex(s: &str) -> Option<u64> {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        for h in [0, 1, u64::MAX, 0xdead_beef_0123_4567] {
+            assert_eq!(from_hex(&to_hex(h)), Some(h));
+        }
+    }
+
+    #[test]
+    fn hex_rejects_malformed() {
+        assert_eq!(from_hex(""), None);
+        assert_eq!(from_hex("123"), None);
+        assert_eq!(from_hex("zzzzzzzzzzzzzzzz"), None);
+        assert_eq!(from_hex("00000000000000000"), None);
+    }
+
+    #[test]
+    fn domains_are_separated() {
+        // The same payload must hash differently per domain, or a
+        // record forged from an object (or vice versa) would verify.
+        let p = b"payload";
+        assert_ne!(object_hash(p), line_checksum(p));
+        assert_ne!(object_hash(p), chain_fold(chain_start(), p));
+    }
+
+    #[test]
+    fn chain_is_order_sensitive() {
+        let a = chain_fold(chain_fold(chain_start(), b"one"), b"two");
+        let b = chain_fold(chain_fold(chain_start(), b"two"), b"one");
+        assert_ne!(a, b);
+    }
+}

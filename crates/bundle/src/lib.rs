@@ -1,0 +1,45 @@
+//! `wmtree-bundle` — content-addressed record/replay crawl archives.
+//!
+//! A *bundle* is an on-disk archive of one crawl run:
+//!
+//! - **Object store** — every [`wmtree_browser::VisitResult`] payload is
+//!   serialized canonically, content-addressed with a stable 64-bit
+//!   hash, and stored exactly once. Identical visit outcomes (common
+//!   for failure records and idle profiles) are deduplicated.
+//! - **Visit log** — an append-only sequence of small reference records
+//!   `(site, url, profile, object-hash)` plus per-site *checkpoint*
+//!   records, framed one per line with a checksum header.
+//! - **Manifest** — `MANIFEST.json`, rewritten atomically after every
+//!   checkpoint, pins the record count and rolling chain checksum of
+//!   every segment. The manifest is the commit point: bytes beyond the
+//!   manifest-covered prefix are uncommitted crash leftovers.
+//!
+//! [`BundleWriter`] checkpoints after every completed site, so a crawl
+//! killed mid-run leaves a consistent partial bundle. Resuming truncates
+//! uncommitted bytes and continues appending — the resumed bundle is
+//! byte-identical to one written by an uninterrupted run.
+//!
+//! [`BundleReader`] streams records lazily (no full-database
+//! materialization) and verifies checksums as it goes; the first
+//! corruption surfaces as an error naming the segment, line, and byte
+//! offset. [`verify_bundle`] is the lenient whole-archive scan used by
+//! `wmtree-lint check-artifacts`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod hash;
+pub mod manifest;
+pub mod reader;
+pub mod record;
+pub mod segment;
+pub mod verify;
+pub mod writer;
+
+pub use error::BundleError;
+pub use manifest::{BundleMeta, Manifest, SegmentMeta, DEFAULT_SEGMENT_CAPACITY};
+pub use reader::{BundleReader, VisitIter};
+pub use record::{BundleVisit, Checkpoint, ObjectEntry, Record, VisitRef};
+pub use verify::{verify_bundle, VerifyIssue, VerifyReport};
+pub use writer::{BundleWriter, ResumeState};

@@ -1,0 +1,102 @@
+//! The record types the segment logs store.
+
+use serde::{Deserialize, Serialize};
+use wmtree_browser::VisitResult;
+
+/// One record of the visit log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Record {
+    /// One profile's visit of one page, referencing its payload in the
+    /// object store by content hash.
+    Visit(VisitRef),
+    /// A completed site: everything before this record is durable. The
+    /// writer rewrites the manifest right after appending one, making
+    /// the checkpoint the unit of crash recovery.
+    Checkpoint(Checkpoint),
+}
+
+/// A visit record: the `(site, page, profile)` coordinates plus the
+/// content address of the stored [`VisitResult`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VisitRef {
+    /// Registerable domain of the site.
+    pub site: String,
+    /// Full page URL.
+    pub url: String,
+    /// Profile index (Table 1 order).
+    pub profile: usize,
+    /// Content hash (hex) of the visit payload in the object store.
+    pub object: String,
+}
+
+/// A site-completion checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The completed site (registerable domain).
+    pub site: String,
+    /// Number of visit records the site contributed.
+    pub visits: usize,
+}
+
+/// One entry of the object store: a content hash and the payload it
+/// addresses. The hash is stored redundantly so a reader can verify the
+/// content address without re-deriving which record referenced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectEntry {
+    /// Content hash (hex) of the canonical serialization of `visit`.
+    pub hash: String,
+    /// The deduplicated payload.
+    pub visit: VisitResult,
+}
+
+/// A fully resolved visit streamed out of a bundle: the coordinates of
+/// a [`VisitRef`] joined with its payload from the object store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BundleVisit {
+    /// Registerable domain of the site.
+    pub site: String,
+    /// Full page URL.
+    pub url: String,
+    /// Profile index.
+    pub profile: usize,
+    /// The visit payload.
+    pub visit: VisitResult,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmtree_url::Url;
+
+    #[test]
+    fn record_json_roundtrip() {
+        let rec = Record::Visit(VisitRef {
+            site: "a.com".into(),
+            url: "https://www.a.com/p".into(),
+            profile: 3,
+            object: "00ff00ff00ff00ff".into(),
+        });
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: Record = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+
+        let cp = Record::Checkpoint(Checkpoint {
+            site: "a.com".into(),
+            visits: 20,
+        });
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: Record = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn object_entry_roundtrip() {
+        let entry = ObjectEntry {
+            hash: "0123456789abcdef".into(),
+            visit: VisitResult::failed(Url::parse("https://www.a.com/").unwrap()),
+        };
+        let json = serde_json::to_string(&entry).unwrap();
+        let back: ObjectEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entry);
+    }
+}

@@ -3,12 +3,16 @@
 
 use crate::config::ExperimentConfig;
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::time::Duration;
 use wmtree_analysis::node_similarity::{analyze_all, PageNodeSimilarities};
 use wmtree_analysis::ExperimentData;
-use wmtree_crawler::{Commander, CrawlOptions, ProfileStats};
+use wmtree_bundle::{BundleError, Manifest};
+use wmtree_crawler::{Commander, CrawlDb, CrawlOptions, ProfileStats, ResumableOutcome};
 use wmtree_filterlist::embedded::tracking_list;
-use wmtree_telemetry::{ManifestProfile, MetricValue, ProgressTracker, RunManifest, Stopwatch};
+use wmtree_telemetry::{
+    ManifestProfile, MetricValue, ProgressTracker, RunManifest, Snapshot, Stopwatch,
+};
 use wmtree_webgen::WebUniverse;
 
 /// Everything a run produces, ready for [`crate::Report::generate`].
@@ -73,6 +77,96 @@ impl Experiment {
         let _run_span = wmtree_telemetry::span("experiment.run");
         let metrics_before = wmtree_telemetry::global().snapshot();
         let mut sw = Stopwatch::start();
+        let mut manifest = self.base_manifest();
+
+        let progress =
+            ProgressTracker::new(self.universe.sites().len(), self.config.workers.max(1));
+        let db = self.commander().run_with_progress(&progress);
+        manifest.push_stage("crawl", sw.lap("crawl"));
+
+        self.finish(db, manifest, sw, Some(&progress), &metrics_before)
+    }
+
+    /// [`run`](Experiment::run), but crawling *resumably* into the
+    /// bundle at `dir` — created if absent, resumed (skipping
+    /// checkpointed sites) if present. `max_sites` caps how many sites
+    /// this invocation crawls; when the cap stops the crawl early the
+    /// analyses are skipped and [`BundleRun::Partial`] reports how far
+    /// the archive got. A crawl interrupted this way and resumed leaves
+    /// a bundle byte-identical to an uninterrupted run.
+    pub fn run_to_bundle(
+        &self,
+        dir: &Path,
+        max_sites: Option<usize>,
+    ) -> Result<BundleRun, BundleError> {
+        let _run_span = wmtree_telemetry::span("experiment.run_to_bundle");
+        let metrics_before = wmtree_telemetry::global().snapshot();
+        let mut sw = Stopwatch::start();
+        let mut manifest = self.base_manifest();
+
+        let progress =
+            ProgressTracker::new(self.universe.sites().len(), self.config.workers.max(1));
+        let outcome = self
+            .commander()
+            .run_resumable_with_progress(dir, max_sites, &progress)?;
+        manifest.push_stage("crawl", sw.lap("crawl"));
+
+        match outcome {
+            ResumableOutcome::Complete {
+                db,
+                manifest: bundle,
+            } => Ok(BundleRun::Complete {
+                results: Box::new(self.finish(db, manifest, sw, Some(&progress), &metrics_before)),
+                bundle,
+            }),
+            ResumableOutcome::Partial {
+                sites_done,
+                sites_total,
+                manifest: bundle,
+            } => Ok(BundleRun::Partial {
+                sites_done,
+                sites_total,
+                bundle,
+            }),
+        }
+    }
+
+    /// Skip crawling entirely: rebuild the database from a (complete)
+    /// bundle recorded under the *same* configuration and run the
+    /// analyses on it. The results — and any report/CSV rendered from
+    /// them — are identical to a crawl-then-analyze run.
+    pub fn replay_from_bundle(&self, dir: &Path) -> Result<ExperimentResults, BundleError> {
+        let _run_span = wmtree_telemetry::span("experiment.replay");
+        let metrics_before = wmtree_telemetry::global().snapshot();
+        let mut sw = Stopwatch::start();
+        let mut manifest = self.base_manifest();
+
+        let bundle = Manifest::load(dir)?;
+        bundle.check_meta(&self.commander().bundle_meta())?;
+        let db = wmtree_crawler::read_bundle(dir)?;
+        manifest.push_stage("read_bundle", sw.lap("read_bundle"));
+
+        Ok(self.finish(db, manifest, sw, None, &metrics_before))
+    }
+
+    /// The commander this configuration describes.
+    fn commander(&self) -> Commander<'_> {
+        Commander::new(
+            &self.universe,
+            self.config.profiles.clone(),
+            CrawlOptions {
+                max_pages_per_site: self.config.max_pages_per_site,
+                workers: self.config.workers,
+                experiment_seed: self.config.experiment_seed,
+                reliable: self.config.reliable,
+                stateful: false,
+            },
+        )
+    }
+
+    /// A run manifest primed with the experiment identity, profile
+    /// roster, and the `generate` stage.
+    fn base_manifest(&self) -> RunManifest {
         let mut manifest = RunManifest::new(
             self.config.experiment_seed,
             format!(
@@ -95,24 +189,20 @@ impl Experiment {
             })
             .collect();
         manifest.push_stage("generate", self.gen_wall);
+        manifest
+    }
 
-        let progress =
-            ProgressTracker::new(self.universe.sites().len(), self.config.workers.max(1));
-        let commander = Commander::new(
-            &self.universe,
-            self.config.profiles.clone(),
-            CrawlOptions {
-                max_pages_per_site: self.config.max_pages_per_site,
-                workers: self.config.workers,
-                experiment_seed: self.config.experiment_seed,
-                reliable: self.config.reliable,
-                stateful: false,
-            },
-        );
-        let db = commander.run_with_progress(&progress);
-        let crawl_wall = sw.lap("crawl");
-        manifest.push_stage("crawl", crawl_wall);
-
+    /// The post-crawl pipeline shared by every mode: vetting + tree
+    /// building, per-node analyses, and manifest assembly. `progress`
+    /// is absent when no crawl happened (bundle replay).
+    fn finish(
+        &self,
+        db: CrawlDb,
+        mut manifest: RunManifest,
+        mut sw: Stopwatch,
+        progress: Option<&ProgressTracker>,
+        metrics_before: &Snapshot,
+    ) -> ExperimentResults {
         let site_meta: BTreeMap<String, (u32, String)> = self
             .universe
             .sites()
@@ -138,15 +228,18 @@ impl Experiment {
         let sims = analyze_all(&data);
         manifest.push_stage("analyze", sw.lap("analyze"));
 
-        manifest.metrics = wmtree_telemetry::global().snapshot().since(&metrics_before);
-        let mut progress_snap = progress.snapshot();
-        // Stalls are sampled deep inside the network model where the
-        // tracker is out of reach; recover the count from the metric
-        // diff so the progress record is complete.
-        if let Some(MetricValue::Counter(n)) = manifest.metrics.metrics.get("net.fetch.stalled") {
-            progress_snap.stalls = *n;
+        manifest.metrics = wmtree_telemetry::global().snapshot().since(metrics_before);
+        if let Some(progress) = progress {
+            let mut progress_snap = progress.snapshot();
+            // Stalls are sampled deep inside the network model where the
+            // tracker is out of reach; recover the count from the metric
+            // diff so the progress record is complete.
+            if let Some(MetricValue::Counter(n)) = manifest.metrics.metrics.get("net.fetch.stalled")
+            {
+                progress_snap.stalls = *n;
+            }
+            manifest.progress = Some(progress_snap);
         }
-        manifest.progress = Some(progress_snap);
         manifest.timings = wmtree_telemetry::global().timings().snapshot();
 
         ExperimentResults {
@@ -159,6 +252,28 @@ impl Experiment {
             manifest,
         }
     }
+}
+
+/// Outcome of [`Experiment::run_to_bundle`].
+#[derive(Debug)]
+pub enum BundleRun {
+    /// The crawl covered every site: full results plus the completed
+    /// bundle's manifest (for dedup/size accounting).
+    Complete {
+        /// The analysis results, as from [`Experiment::run`].
+        results: Box<ExperimentResults>,
+        /// The bundle's final manifest.
+        bundle: Manifest,
+    },
+    /// The site cap stopped the crawl early; analyses were skipped.
+    Partial {
+        /// Sites checkpointed so far (including previously recovered).
+        sites_done: usize,
+        /// Sites in the universe.
+        sites_total: usize,
+        /// The bundle's manifest as of the last checkpoint.
+        bundle: Manifest,
+    },
 }
 
 #[cfg(test)]
@@ -179,6 +294,52 @@ mod tests {
             assert!(stats.success_rate() > 0.75, "{}", stats.success_rate());
         }
         assert!(results.vetted_sites > 0);
+    }
+
+    #[test]
+    fn replay_from_bundle_matches_crawl_then_analyze() {
+        let dir = std::env::temp_dir().join("wmtree-core-replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        let exp = Experiment::new(crate::ExperimentConfig::at_scale(Scale::Tiny));
+        let crawled = match exp.run_to_bundle(&dir, None).unwrap() {
+            super::BundleRun::Complete { results, bundle } => {
+                assert!(bundle.complete);
+                *results
+            }
+            super::BundleRun::Partial { .. } => panic!("uncapped run must complete"),
+        };
+        let replayed = exp.replay_from_bundle(&dir).unwrap();
+        assert_eq!(crawled.data.pages.len(), replayed.data.pages.len());
+        assert_eq!(crawled.sims, replayed.sims);
+        // Rendered reports (and their CSVs) must match byte for byte.
+        let a = crate::Report::generate(&crawled);
+        let b = crate::Report::generate(&replayed);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn capped_bundle_run_reports_partial_then_resumes() {
+        let dir = std::env::temp_dir().join("wmtree-core-partial");
+        let _ = std::fs::remove_dir_all(&dir);
+        let exp = Experiment::new(crate::ExperimentConfig::at_scale(Scale::Tiny));
+        let first = exp.run_to_bundle(&dir, Some(2)).unwrap();
+        let (done, total) = match first {
+            super::BundleRun::Partial {
+                sites_done,
+                sites_total,
+                ref bundle,
+            } => {
+                assert!(!bundle.complete);
+                (sites_done, sites_total)
+            }
+            super::BundleRun::Complete { .. } => panic!("cap of 2 must interrupt"),
+        };
+        assert!(done < total);
+        // Resume without a cap: now it completes.
+        match exp.run_to_bundle(&dir, None).unwrap() {
+            super::BundleRun::Complete { bundle, .. } => assert!(bundle.complete),
+            super::BundleRun::Partial { .. } => panic!("uncapped resume must complete"),
+        }
     }
 
     #[test]

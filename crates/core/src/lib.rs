@@ -46,12 +46,13 @@ mod experiment;
 pub mod report;
 
 pub use config::{ExperimentConfig, Scale};
-pub use experiment::{Experiment, ExperimentResults};
+pub use experiment::{BundleRun, Experiment, ExperimentResults};
 pub use report::Report;
 
 // Re-export the component crates for one-stop access.
 pub use wmtree_analysis as analysis;
 pub use wmtree_browser as browser;
+pub use wmtree_bundle as bundle;
 pub use wmtree_crawler as crawler;
 pub use wmtree_filterlist as filterlist;
 pub use wmtree_net as net;

@@ -1,0 +1,152 @@
+//! [`CrawlDb`] ⇄ bundle conversions.
+//!
+//! A finished database can be archived as a complete bundle
+//! ([`write_bundle`]) and a bundle — complete or partial — can be
+//! rebuilt into a database ([`read_bundle`]). Both directions preserve
+//! every `(page, profile)` visit exactly: the round-trip is the
+//! identity (proven by property tests in `tests/`).
+
+use crate::db::{CrawlDb, PageKey};
+use std::path::Path;
+use wmtree_browser::VisitResult;
+use wmtree_bundle::{BundleError, BundleMeta, BundleReader, BundleWriter, Manifest};
+
+/// The canonical append order of a database's visits: pages in
+/// `(site, url)` order, profiles in index order — the same order
+/// [`crate::export::write_jsonl`] uses, so archives are deterministic.
+pub(crate) fn ordered_visits(db: &CrawlDb) -> Vec<(String, usize, &VisitResult)> {
+    let mut out = Vec::new();
+    for page in db.pages() {
+        for profile in 0..db.n_profiles() {
+            if let Some(visit) = db.visit_any(page, profile) {
+                out.push((page.url.clone(), profile, visit));
+            }
+        }
+    }
+    out
+}
+
+/// Archive a database as a complete bundle at `dir` (one checkpoint per
+/// site, sites in lexicographic order). Fails if `dir` already holds a
+/// bundle.
+pub fn write_bundle(db: &CrawlDb, dir: &Path, meta: BundleMeta) -> Result<Manifest, BundleError> {
+    let _span = wmtree_telemetry::span("bundle.write_db");
+    let mut writer = BundleWriter::create(dir, meta)?;
+    let pages: Vec<PageKey> = db.pages().cloned().collect();
+    let mut i = 0;
+    while i < pages.len() {
+        // Pages of one site are contiguous in (site, url) order.
+        let site = pages[i].site.clone();
+        let mut j = i;
+        while j < pages.len() && pages[j].site == site {
+            j += 1;
+        }
+        let mut visits = Vec::new();
+        for page in &pages[i..j] {
+            for profile in 0..db.n_profiles() {
+                if let Some(visit) = db.visit_any(page, profile) {
+                    visits.push((page.url.clone(), profile, visit));
+                }
+            }
+        }
+        writer.append_site(&site, visits)?;
+        i = j;
+    }
+    writer.finish()
+}
+
+/// Rebuild a database from a bundle, streaming record by record (the
+/// whole archive is never held in memory twice). Works on partial
+/// bundles too — they rebuild the checkpointed prefix.
+pub fn read_bundle(dir: &Path) -> Result<CrawlDb, BundleError> {
+    let _span = wmtree_telemetry::span("bundle.read_db");
+    let reader = BundleReader::open(dir)?;
+    let n_profiles = reader.manifest().meta.n_profiles;
+    let mut db = CrawlDb::new(n_profiles);
+    for item in reader.visits() {
+        let bv = item?;
+        if bv.profile >= n_profiles {
+            return Err(BundleError::ManifestMismatch {
+                segment: "visits".to_string(),
+                detail: format!(
+                    "profile index {} out of range (bundle has {n_profiles} profiles)",
+                    bv.profile
+                ),
+            });
+        }
+        db.insert(
+            PageKey {
+                site: bv.site,
+                url: bv.url,
+            },
+            bv.profile,
+            bv.visit,
+        );
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::standard_profiles;
+    use crate::{Commander, CrawlOptions};
+    use wmtree_webgen::{UniverseConfig, WebUniverse};
+
+    fn small_db() -> CrawlDb {
+        let u = WebUniverse::generate(UniverseConfig {
+            seed: 81,
+            sites_per_bucket: [2, 1, 1, 1, 1],
+            max_subpages: 3,
+        });
+        Commander::new(
+            &u,
+            standard_profiles(),
+            CrawlOptions {
+                max_pages_per_site: 3,
+                workers: 1,
+                experiment_seed: 5,
+                reliable: false,
+                stateful: false,
+            },
+        )
+        .run()
+    }
+
+    fn meta() -> BundleMeta {
+        BundleMeta {
+            n_profiles: 5,
+            profiles: standard_profiles().iter().map(|p| p.name.clone()).collect(),
+            experiment_seed: 5,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("wmtree-crawler-bundle-io-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn db_roundtrips_through_bundle() {
+        let db = small_db();
+        let dir = tmp("roundtrip");
+        let manifest = write_bundle(&db, &dir, meta()).unwrap();
+        assert!(manifest.complete);
+        assert!(manifest.dedup_hits > 0, "failure records should dedup");
+        let back = read_bundle(&dir).unwrap();
+        let a = serde_json::to_string(&db).unwrap();
+        let b = serde_json::to_string(&back).unwrap();
+        assert_eq!(a, b, "bundle round-trip must be the identity");
+    }
+
+    #[test]
+    fn bundle_matches_jsonl_record_count() {
+        let db = small_db();
+        let dir = tmp("counts");
+        let manifest = write_bundle(&db, &dir, meta()).unwrap();
+        let mut buf = Vec::new();
+        let jsonl_records = crate::export::write_jsonl(&db, &mut buf).unwrap();
+        assert_eq!(manifest.visit_records as usize, jsonl_records);
+    }
+}

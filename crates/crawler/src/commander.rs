@@ -13,7 +13,9 @@
 use crate::db::{CrawlDb, PageKey};
 use crate::discovery::discover_pages;
 use crate::profile::Profile;
+use std::path::Path;
 use wmtree_browser::Browser;
+use wmtree_bundle::{BundleError, BundleMeta, BundleWriter, Manifest, ResumeState};
 use wmtree_telemetry::ProgressTracker;
 use wmtree_webgen::{stable_hash, WebUniverse};
 
@@ -45,6 +47,28 @@ impl Default for CrawlOptions {
             stateful: false,
         }
     }
+}
+
+/// Outcome of a [resumable crawl](Commander::run_resumable).
+#[derive(Debug)]
+pub enum ResumableOutcome {
+    /// Every site is checkpointed; the bundle is marked complete.
+    Complete {
+        /// The full crawl database (recovered prefix + new sites).
+        db: CrawlDb,
+        /// The bundle's final manifest.
+        manifest: Manifest,
+    },
+    /// The per-invocation site cap stopped the crawl early; the bundle
+    /// on disk is a consistent, resumable partial archive.
+    Partial {
+        /// Sites checkpointed so far (including recovered ones).
+        sites_done: usize,
+        /// Sites in the universe.
+        sites_total: usize,
+        /// The bundle's manifest as of the last checkpoint.
+        manifest: Manifest,
+    },
 }
 
 /// The measurement commander.
@@ -127,6 +151,136 @@ impl<'a> Commander<'a> {
             db.merge(shard);
         }
         db
+    }
+
+    /// The bundle identity of this experiment: profile roster and
+    /// experiment seed. Bundles created with it refuse to resume under
+    /// different parameters.
+    pub fn bundle_meta(&self) -> BundleMeta {
+        BundleMeta {
+            n_profiles: self.profiles.len(),
+            profiles: self.profiles.iter().map(|p| p.name.clone()).collect(),
+            experiment_seed: self.options.experiment_seed,
+        }
+    }
+
+    /// Run the crawl *resumably*, checkpointing every completed site to
+    /// the bundle at `dir` (created if absent, resumed if present).
+    /// `max_sites` caps how many sites this invocation crawls — the
+    /// crawl then stops in an orderly way, leaving a resumable bundle.
+    ///
+    /// Interruption is invisible in the archive: a crawl stopped after
+    /// `k` sites and resumed produces a bundle byte-identical to an
+    /// uninterrupted run, whatever the worker count — sites are
+    /// committed in universe order regardless of which worker crawled
+    /// them.
+    pub fn run_resumable(
+        &self,
+        dir: &Path,
+        max_sites: Option<usize>,
+    ) -> Result<ResumableOutcome, BundleError> {
+        let progress =
+            ProgressTracker::new(self.universe.sites().len(), self.options.workers.max(1));
+        self.run_resumable_with_progress(dir, max_sites, &progress)
+    }
+
+    /// [`run_resumable`](Commander::run_resumable) with an external
+    /// progress tracker.
+    pub fn run_resumable_with_progress(
+        &self,
+        dir: &Path,
+        max_sites: Option<usize>,
+        progress: &ProgressTracker,
+    ) -> Result<ResumableOutcome, BundleError> {
+        let _run_span = wmtree_telemetry::span("crawl.run_resumable");
+        let meta = self.bundle_meta();
+        let sites = self.universe.sites();
+
+        // Open or create the archive; recover checkpointed work.
+        let (writer, state) = if Manifest::exists(dir) {
+            let manifest = Manifest::load(dir)?;
+            if manifest.complete {
+                // Nothing left to crawl: verify identity and replay.
+                manifest.check_meta(&meta)?;
+                let db = crate::bundle_io::read_bundle(dir)?;
+                return Ok(ResumableOutcome::Complete { db, manifest });
+            }
+            BundleWriter::resume(dir, meta)?
+        } else {
+            (BundleWriter::create(dir, meta)?, ResumeState::default())
+        };
+        let mut writer = writer;
+
+        // Rebuild the in-memory database from the recovered prefix.
+        let mut db = CrawlDb::new(self.profiles.len());
+        let recovered = state.sites.len();
+        for bv in state.visits {
+            db.insert(
+                PageKey {
+                    site: bv.site,
+                    url: bv.url,
+                },
+                bv.profile,
+                bv.visit,
+            );
+        }
+
+        let pending: Vec<usize> = (0..sites.len())
+            .filter(|i| !state.sites.contains(&sites[*i].domain))
+            .collect();
+        let budget = max_sites.unwrap_or(pending.len()).min(pending.len());
+        let workers = self.options.workers.max(1);
+        let mut crawled = 0usize;
+
+        // Crawl pending sites in chunks of `workers`: sites of a chunk
+        // run in parallel, but append/checkpoint strictly in universe
+        // order — the archive's bytes are independent of the worker
+        // count and of where interruptions fall.
+        for chunk in pending[..budget].chunks(workers) {
+            let mut shards: Vec<(usize, CrawlDb)> = Vec::with_capacity(chunk.len());
+            if workers <= 1 {
+                for &site_idx in chunk {
+                    let mut shard = CrawlDb::new(self.profiles.len());
+                    self.crawl_site(site_idx, &mut shard, 0, progress);
+                    shards.push((site_idx, shard));
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(chunk.len());
+                    for (w, &site_idx) in chunk.iter().enumerate() {
+                        handles.push(scope.spawn(move || {
+                            let mut shard = CrawlDb::new(self.profiles.len());
+                            self.crawl_site(site_idx, &mut shard, w, progress);
+                            (site_idx, shard)
+                        }));
+                    }
+                    for h in handles {
+                        // Propagate worker panics, as in run_with_progress.
+                        shards.push(h.join().expect("crawl worker panicked")); // wmtree-lint: allow(WM0105)
+                    }
+                });
+            }
+            for (site_idx, shard) in shards {
+                writer.append_site(
+                    &sites[site_idx].domain,
+                    crate::bundle_io::ordered_visits(&shard),
+                )?;
+                db.merge(shard);
+                crawled += 1;
+            }
+        }
+
+        if budget == pending.len() {
+            let manifest = writer.finish()?;
+            Ok(ResumableOutcome::Complete { db, manifest })
+        } else {
+            let manifest = writer.suspend()?;
+            Ok(ResumableOutcome::Partial {
+                sites_done: recovered + crawled,
+                sites_total: sites.len(),
+                manifest,
+            })
+        }
     }
 
     /// Crawl one site with every profile ("semi-parallel": all profiles

@@ -23,23 +23,36 @@ pub struct VisitRecordLine {
     pub visit: VisitResult,
 }
 
-/// Errors from export/import.
+/// Errors from export/import. Line numbers are one-based, matching what
+/// editors and `grep -n` display.
 #[derive(Debug)]
 pub enum ExportError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// A line failed to parse.
     Parse {
-        /// Zero-based line number.
+        /// One-based line number.
         line: usize,
         /// Underlying JSON error.
         source: serde_json::Error,
     },
     /// A record references a profile index out of range.
     ProfileOutOfRange {
-        /// Zero-based line number.
+        /// One-based line number.
         line: usize,
         /// The offending profile index.
+        profile: usize,
+    },
+    /// Two records claim the same `(page, profile)` slot — a hand-edited
+    /// or concatenated export; importing would silently drop one.
+    Duplicate {
+        /// One-based line number of the second occurrence.
+        line: usize,
+        /// Site of the doubly-recorded page.
+        site: String,
+        /// URL of the doubly-recorded page.
+        url: String,
+        /// The doubly-recorded profile index.
         profile: usize,
     },
 }
@@ -52,11 +65,28 @@ impl std::fmt::Display for ExportError {
             ExportError::ProfileOutOfRange { line, profile } => {
                 write!(f, "line {line}: profile index {profile} out of range")
             }
+            ExportError::Duplicate {
+                line,
+                site,
+                url,
+                profile,
+            } => write!(
+                f,
+                "line {line}: duplicate record for profile {profile} on {site} / {url}"
+            ),
         }
     }
 }
 
-impl std::error::Error for ExportError {}
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExportError::Io(e) => Some(e),
+            ExportError::Parse { source, .. } => Some(source),
+            ExportError::ProfileOutOfRange { .. } | ExportError::Duplicate { .. } => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for ExportError {
     fn from(e: std::io::Error) -> Self {
@@ -80,7 +110,7 @@ pub fn write_jsonl<W: Write>(db: &CrawlDb, mut out: W) -> Result<usize, ExportEr
                     visit: visit.clone(),
                 };
                 serde_json::to_writer(&mut out, &line).map_err(|source| ExportError::Parse {
-                    line: written,
+                    line: written + 1,
                     source,
                 })?;
                 out.write_all(b"\n")?;
@@ -92,29 +122,44 @@ pub fn write_jsonl<W: Write>(db: &CrawlDb, mut out: W) -> Result<usize, ExportEr
 }
 
 /// Read a JSONL export back into a database with `n_profiles` profiles.
+///
+/// Input order does not matter: records land in the database's
+/// canonical `(page, profile)` order, so export → import → export is
+/// byte-identical even for hand-edited (reordered) files. Two records
+/// claiming the same `(page, profile)` slot are rejected rather than
+/// silently last-writer-wins.
 pub fn read_jsonl<R: BufRead>(input: R, n_profiles: usize) -> Result<CrawlDb, ExportError> {
     let mut db = CrawlDb::new(n_profiles);
     for (i, line) in input.lines().enumerate() {
+        let lineno = i + 1;
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
         let record: VisitRecordLine =
-            serde_json::from_str(&line).map_err(|source| ExportError::Parse { line: i, source })?;
+            serde_json::from_str(&line).map_err(|source| ExportError::Parse {
+                line: lineno,
+                source,
+            })?;
         if record.profile >= n_profiles {
             return Err(ExportError::ProfileOutOfRange {
-                line: i,
+                line: lineno,
                 profile: record.profile,
             });
         }
-        db.insert(
-            PageKey {
-                site: record.site,
-                url: record.url,
-            },
-            record.profile,
-            record.visit,
-        );
+        let key = PageKey {
+            site: record.site,
+            url: record.url,
+        };
+        if db.visit_any(&key, record.profile).is_some() {
+            return Err(ExportError::Duplicate {
+                line: lineno,
+                site: key.site,
+                url: key.url,
+                profile: record.profile,
+            });
+        }
+        db.insert(key, record.profile, record.visit);
     }
     Ok(db)
 }
@@ -188,11 +233,69 @@ mod tests {
     }
 
     #[test]
-    fn garbage_line_reported_with_number() {
+    fn garbage_line_reported_with_one_based_number() {
         let input = "not json\n";
         let err = read_jsonl(std::io::Cursor::new(input), 5).unwrap_err();
         match err {
-            ExportError::Parse { line, .. } => assert_eq!(line, 0),
+            ExportError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected {other}"),
+        }
+        // A later line reports its own (one-based) position.
+        let db = small_db();
+        let mut buf = Vec::new();
+        write_jsonl(&db, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("not json\n");
+        let n_lines = text.lines().count();
+        let err = read_jsonl(std::io::Cursor::new(text.as_bytes()), db.n_profiles()).unwrap_err();
+        match err {
+            ExportError::Parse { line, .. } => assert_eq!(line, n_lines),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_exposes_source_chain() {
+        let err = read_jsonl(std::io::Cursor::new("not json\n"), 5).unwrap_err();
+        let source = std::error::Error::source(&err);
+        assert!(source.is_some(), "Parse must expose its JSON cause");
+        assert!(!source.unwrap().to_string().is_empty());
+    }
+
+    #[test]
+    fn shuffled_import_reexports_byte_identically() {
+        // A hand-edited (reordered) export must import into the same
+        // canonical database: export → shuffle → import → export is
+        // byte-identical to the original export.
+        let db = small_db();
+        let mut buf = Vec::new();
+        write_jsonl(&db, &mut buf).unwrap();
+        let canonical = String::from_utf8(buf).unwrap();
+        let mut lines: Vec<&str> = canonical.lines().collect();
+        lines.reverse();
+        let shuffled = format!("{}\n", lines.join("\n"));
+        let back = read_jsonl(std::io::Cursor::new(shuffled.as_bytes()), db.n_profiles()).unwrap();
+        let mut again = Vec::new();
+        write_jsonl(&back, &mut again).unwrap();
+        assert_eq!(String::from_utf8(again).unwrap(), canonical);
+    }
+
+    #[test]
+    fn duplicate_record_rejected_with_location() {
+        let db = small_db();
+        let mut buf = Vec::new();
+        write_jsonl(&db, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        let first = text.lines().next().unwrap().to_string();
+        let n_lines = text.lines().count();
+        text.push_str(&first);
+        text.push('\n');
+        let err = read_jsonl(std::io::Cursor::new(text.as_bytes()), db.n_profiles()).unwrap_err();
+        match err {
+            ExportError::Duplicate { line, profile, .. } => {
+                assert_eq!(line, n_lines + 1);
+                assert_eq!(profile, 0);
+            }
             other => panic!("unexpected {other}"),
         }
     }

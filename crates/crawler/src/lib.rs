@@ -23,13 +23,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bundle_io;
 mod commander;
 mod db;
 mod discovery;
 pub mod export;
 mod profile;
 
-pub use commander::{Commander, CrawlOptions};
+pub use bundle_io::{read_bundle, write_bundle};
+pub use commander::{Commander, CrawlOptions, ResumableOutcome};
 pub use db::{CrawlDb, MergeError, PageKey, ProfileStats};
 pub use discovery::discover_pages;
 pub use profile::{standard_profiles, Profile, ProfileId, STANDARD_PROFILES};

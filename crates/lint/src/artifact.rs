@@ -60,6 +60,26 @@ pub const ARTIFACT_CHECKS: &[(&str, &str, &str)] = &[
         "config-subpage-cap",
         "subpage caps do not exceed the paper's 25 pages per site",
     ),
+    (
+        "WM0231",
+        "bundle-integrity",
+        "record checksums, segment chains, and counts agree with the bundle manifest",
+    ),
+    (
+        "WM0232",
+        "bundle-references",
+        "every visit record resolves: stored object, profile index in range",
+    ),
+    (
+        "WM0233",
+        "bundle-orphans",
+        "no object is stored without a referencing visit record (warning)",
+    ),
+    (
+        "WM0234",
+        "bundle-incomplete",
+        "the bundle records a finished crawl, not a resumable partial one (warning)",
+    ),
 ];
 
 /// Check a [`DepTree`]. `origin` names the artifact in diagnostics
@@ -229,6 +249,94 @@ pub fn check_crawl_db(db: &CrawlDb, origin: &str) -> Vec<Diagnostic> {
         }
     }
     out
+}
+
+/// Check a bundle directory (`WM023x`): runs the lenient full-archive
+/// verification of `wmtree-bundle` — per-record checksums, segment
+/// chains against the manifest, object-store content addresses and
+/// referential integrity — and maps every defect to a diagnostic.
+/// `Err` means the directory could not be scanned at all (no manifest,
+/// unreadable files).
+pub fn check_bundle(dir: &std::path::Path, origin: &str) -> Result<Vec<Diagnostic>, String> {
+    let report = wmtree_bundle::verify_bundle(dir).map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for issue in &report.issues {
+        match issue {
+            wmtree_bundle::VerifyIssue::Corrupt {
+                segment,
+                line,
+                offset,
+                detail,
+            } => out.push(
+                Diagnostic::artifact(
+                    Code("WM0231"),
+                    Severity::Error,
+                    format!("{origin}:{segment}:{line}"),
+                    detail.clone(),
+                )
+                .with_note(format!("record starts at byte offset {offset}")),
+            ),
+            wmtree_bundle::VerifyIssue::ManifestMismatch { segment, detail } => {
+                out.push(Diagnostic::artifact(
+                    Code("WM0231"),
+                    Severity::Error,
+                    format!("{origin}:{segment}"),
+                    format!("manifest disagreement: {detail}"),
+                ));
+            }
+            wmtree_bundle::VerifyIssue::TrailingBytes { segment, bytes } => out.push(
+                Diagnostic::artifact(
+                    Code("WM0231"),
+                    Severity::Warning,
+                    format!("{origin}:{segment}"),
+                    format!("{bytes} uncommitted byte(s) past the committed region"),
+                )
+                .with_note("crash leftovers; resuming the crawl truncates them"),
+            ),
+            wmtree_bundle::VerifyIssue::DanglingObject {
+                segment,
+                line,
+                object,
+            } => out.push(
+                Diagnostic::artifact(
+                    Code("WM0232"),
+                    Severity::Error,
+                    format!("{origin}:{segment}:{line}"),
+                    format!("visit record references object {object}, which the store never recorded"),
+                )
+                .with_note("content-addressed objects must be appended before their first reference"),
+            ),
+            wmtree_bundle::VerifyIssue::ProfileOutOfRange {
+                segment,
+                line,
+                profile,
+            } => out.push(Diagnostic::artifact(
+                Code("WM0232"),
+                Severity::Error,
+                format!("{origin}:{segment}:{line}"),
+                format!("profile index {profile} out of range for the bundle's profile roster"),
+            )),
+            wmtree_bundle::VerifyIssue::OrphanObject { object } => out.push(
+                Diagnostic::artifact(
+                    Code("WM0233"),
+                    Severity::Warning,
+                    format!("{origin}:objects"),
+                    format!("object {object} is stored but never referenced"),
+                )
+                .with_note("the writer only stores payloads on first reference; an orphan means tampering or a writer bug"),
+            ),
+            wmtree_bundle::VerifyIssue::Incomplete => out.push(
+                Diagnostic::artifact(
+                    Code("WM0234"),
+                    Severity::Warning,
+                    format!("{origin}:MANIFEST.json"),
+                    "bundle is a resumable partial crawl (complete = false)",
+                )
+                .with_note("resume the crawl or expect analyses over a site prefix"),
+            ),
+        }
+    }
+    Ok(out)
 }
 
 /// Check one probability field.
@@ -433,6 +541,88 @@ mod tests {
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code.as_str(), "WM0221");
         assert!(diags[0].message.contains("visit_failure_rate"));
+    }
+
+    fn small_bundle(name: &str, finish: bool) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("wmtree-lint-bundle-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let meta = wmtree_bundle::BundleMeta {
+            n_profiles: 2,
+            profiles: vec!["A".into(), "B".into()],
+            experiment_seed: 7,
+        };
+        let mut w = wmtree_bundle::BundleWriter::create(&dir, meta).expect("create bundle");
+        let mut v = wmtree_browser::VisitResult::failed(
+            wmtree_url::Url::parse("https://www.a.com/").expect("test url"),
+        );
+        v.duration_ms = 1;
+        w.append_site(
+            "a.com",
+            vec![
+                ("https://www.a.com/".to_string(), 0, &v),
+                ("https://www.a.com/".to_string(), 1, &v),
+            ],
+        )
+        .expect("append site");
+        if finish {
+            w.finish().expect("finish bundle");
+        } else {
+            w.suspend().expect("suspend bundle");
+        }
+        dir
+    }
+
+    #[test]
+    fn clean_bundle_passes() {
+        let dir = small_bundle("clean", true);
+        assert!(check_bundle(&dir, "b").expect("scan").is_empty());
+    }
+
+    #[test]
+    fn partial_bundle_warns_incomplete() {
+        let dir = small_bundle("partial", false);
+        let diags = check_bundle(&dir, "b").expect("scan");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code.as_str(), "WM0234");
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn corrupt_bundle_reports_wm0231_with_location() {
+        let dir = small_bundle("corrupt", true);
+        let seg = dir.join("visits-000.seg");
+        let mut bytes = std::fs::read(&seg).expect("read segment");
+        bytes[30] ^= 1;
+        std::fs::write(&seg, &bytes).expect("write segment");
+        let diags = check_bundle(&dir, "b").expect("scan");
+        assert!(
+            diags.iter().any(|d| d.code.as_str() == "WM0231"
+                && d.location.display().contains("visits-000.seg:1")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dangling_reference_reports_wm0232() {
+        let dir = small_bundle("dangling", true);
+        // Hide the object store from the manifest: references dangle.
+        let mut manifest = wmtree_bundle::Manifest::load(&dir).expect("load manifest");
+        manifest.object_segments.clear();
+        manifest.objects = 0;
+        manifest.store(&dir).expect("store manifest");
+        let diags = check_bundle(&dir, "b").expect("scan");
+        assert!(
+            diags.iter().any(|d| d.code.as_str() == "WM0232"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_manifest_is_a_scan_error() {
+        let dir = std::env::temp_dir().join("wmtree-lint-bundle-nomanifest");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        assert!(check_bundle(&dir, "b").is_err());
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! wmtree-lint lint --format json          # stable JSON (byte-identical runs)
 //! wmtree-lint lint --deny-warnings        # CI mode: warnings fail too
 //! wmtree-lint lint --write-baseline       # grandfather current findings
-//! wmtree-lint check-artifacts FILE...     # layer-2 checks on JSON artifacts
+//! wmtree-lint check-artifacts PATH...     # layer-2 checks on JSON artifacts
+//!                                         # (a directory = a bundle archive)
 //! wmtree-lint rules                       # print the rule catalog
 //! ```
 //!
@@ -49,10 +50,11 @@ fn print_help() {
         "wmtree-lint — determinism-and-invariant static analysis\n\n\
          USAGE:\n  wmtree-lint lint [--root DIR] [--format pretty|json] \
          [--baseline FILE] [--deny-warnings] [--write-baseline]\n  \
-         wmtree-lint check-artifacts [--format pretty|json] [--deny-warnings] FILE...\n  \
+         wmtree-lint check-artifacts [--format pretty|json] [--deny-warnings] PATH...\n  \
          wmtree-lint rules\n\n\
          Artifact files are JSON: a DepTree, a CrawlDb, a UniverseConfig, or a\n\
-         BrowserConfig (the kind is detected from the document's fields)."
+         BrowserConfig (the kind is detected from the document's fields).\n\
+         A directory is checked as a bundle archive (MANIFEST.json + segments)."
     );
 }
 
@@ -210,6 +212,18 @@ fn cmd_check_artifacts(args: &[String]) -> ExitCode {
     }
     let mut diags = Vec::new();
     for file in &parsed.positional {
+        let path = Path::new(file);
+        // A directory is a bundle archive; anything else is a JSON file.
+        if path.is_dir() {
+            match artifact::check_bundle(path, file) {
+                Ok(found) => diags.extend(found),
+                Err(e) => {
+                    eprintln!("error: {file}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            continue;
+        }
         let text = match std::fs::read_to_string(file) {
             Ok(t) => t,
             Err(e) => {
@@ -217,7 +231,7 @@ fn cmd_check_artifacts(args: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        match check_artifact_file(Path::new(file), &text) {
+        match check_artifact_file(path, &text) {
             Ok(found) => diags.extend(found),
             Err(e) => {
                 eprintln!("error: {file}: {e}");

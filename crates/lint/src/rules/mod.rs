@@ -23,7 +23,7 @@ pub use wall_clock::WallClock;
 
 /// The crates whose outputs are serialized into results (CSV, JSON,
 /// reports) and must therefore iterate in a stable order.
-pub const RESULT_CRATES: &[&str] = &["analysis", "tree", "core", "crawler"];
+pub const RESULT_CRATES: &[&str] = &["analysis", "tree", "core", "crawler", "bundle"];
 
 /// The crates forming the deterministic pipeline: everything that runs
 /// between seed and report. `telemetry` and `bench` are measurement
@@ -33,6 +33,7 @@ pub const PIPELINE_CRATES: &[&str] = &[
     "tree",
     "core",
     "crawler",
+    "bundle",
     "browser",
     "net",
     "url",
