@@ -49,16 +49,33 @@ pub struct Composition {
     pub third_party_sites: usize,
 }
 
+/// Per-page partial counts for [`composition`], merged in page order.
+struct PageComposition {
+    levels: Vec<DepthComposition>,
+    fp: usize,
+    total: usize,
+    tracking: usize,
+    tp_sites: std::collections::BTreeSet<String>,
+}
+
 /// Compute Fig. 3 / §4.3 composition over all trees.
+///
+/// Pages fan out across `data.workers`; each worker produces integer
+/// counts plus a site set, and the merge is a commutative sum /
+/// set-union, so the result is identical for any worker count. The
+/// third-party site is taken from the page's [`crate::index::PageIndex`]
+/// (one memoized eTLD+1 per distinct URL) instead of re-parsing the URL
+/// at every occurrence.
 pub fn composition(data: &ExperimentData, max_depth: usize) -> Composition {
-    let mut levels = vec![DepthComposition::default(); max_depth + 1];
-    let mut fp = 0usize;
-    let mut total = 0usize;
-    let mut tracking = 0usize;
-    let mut tp_sites = std::collections::BTreeSet::new();
-    for page in &data.pages {
-        for tree in &page.trees {
-            for node in tree.nodes().iter().skip(1) {
+    let partials = crate::par::par_map(&data.pages, data.workers, |page| {
+        let idx = page.index();
+        let mut levels = vec![DepthComposition::default(); max_depth + 1];
+        let mut fp = 0usize;
+        let mut total = 0usize;
+        let mut tracking = 0usize;
+        let mut tp_sites: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for (tree, ti) in page.trees.iter().zip(idx.trees()) {
+            for (nid, node) in tree.nodes().iter().enumerate().skip(1) {
                 let d = node.depth.min(max_depth);
                 let lvl = &mut levels[d];
                 match node.party {
@@ -68,8 +85,9 @@ pub fn composition(data: &ExperimentData, max_depth: usize) -> Composition {
                     }
                     Party::Third => {
                         lvl.third_party += 1;
-                        if let Ok(u) = wmtree_url::Url::parse(&node.key) {
-                            tp_sites.insert(u.site());
+                        let site = idx.site_of(ti.arena_id(nid));
+                        if !site.is_empty() && !tp_sites.contains(site) {
+                            tp_sites.insert(site.to_string());
                         }
                     }
                 }
@@ -82,6 +100,31 @@ pub fn composition(data: &ExperimentData, max_depth: usize) -> Composition {
                 total += 1;
             }
         }
+        PageComposition {
+            levels,
+            fp,
+            total,
+            tracking,
+            tp_sites,
+        }
+    });
+
+    let mut levels = vec![DepthComposition::default(); max_depth + 1];
+    let mut fp = 0usize;
+    let mut total = 0usize;
+    let mut tracking = 0usize;
+    let mut tp_sites = std::collections::BTreeSet::new();
+    for p in partials {
+        for (lvl, pl) in levels.iter_mut().zip(&p.levels) {
+            lvl.first_party += pl.first_party;
+            lvl.third_party += pl.third_party;
+            lvl.tracking += pl.tracking;
+            lvl.non_tracking += pl.non_tracking;
+        }
+        fp += p.fp;
+        total += p.total;
+        tracking += p.tracking;
+        tp_sites.extend(p.tp_sites);
     }
     Composition {
         levels,

@@ -1,7 +1,9 @@
 //! The analysis input: vetted pages with one tree per profile.
 
+use crate::index::PageIndex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 use wmtree_crawler::CrawlDb;
 use wmtree_filterlist::FilterList;
 use wmtree_net::cookie::{CookieId, SecurityAttributes};
@@ -20,18 +22,51 @@ pub struct CookieObservation {
 /// One vetted page with the trees of all profiles.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PageAnalysis {
-    /// The site (eTLD+1).
-    pub site: String,
+    /// The site (eTLD+1). Shared (`Arc`) across the pages of a site so
+    /// large replays don't pay per-page string churn.
+    pub site: Arc<str>,
     /// The page URL.
     pub url: String,
     /// Tranco-style rank of the site, when known.
     pub rank: Option<u32>,
-    /// Rank-bucket label (Table 7), when known.
-    pub bucket: Option<String>,
+    /// Rank-bucket label (Table 7), when known. Shared per site.
+    pub bucket: Option<Arc<str>>,
     /// One dependency tree per profile, in profile order.
     pub trees: Vec<DepTree>,
     /// Cookies observed by each profile, in profile order.
     pub cookies: Vec<Vec<CookieObservation>>,
+    /// Lazily built shared per-page index (never serialized; rebuilt on
+    /// demand after deserialization).
+    #[serde(skip)]
+    index: OnceLock<PageIndex>,
+}
+
+impl PageAnalysis {
+    /// Assemble a page. The per-page index starts unbuilt.
+    pub fn new(
+        site: Arc<str>,
+        url: String,
+        rank: Option<u32>,
+        bucket: Option<Arc<str>>,
+        trees: Vec<DepTree>,
+        cookies: Vec<Vec<CookieObservation>>,
+    ) -> PageAnalysis {
+        PageAnalysis {
+            site,
+            url,
+            rank,
+            bucket,
+            trees,
+            cookies,
+            index: OnceLock::new(),
+        }
+    }
+
+    /// The shared per-page index, built on first use (and pre-warmed by
+    /// the parallel pipeline's workers).
+    pub fn index(&self) -> &PageIndex {
+        self.index.get_or_init(|| PageIndex::build(self))
+    }
 }
 
 /// The full analysis input.
@@ -41,12 +76,18 @@ pub struct ExperimentData {
     pub profile_names: Vec<String>,
     /// All vetted pages.
     pub pages: Vec<PageAnalysis>,
+    /// Worker threads the per-page analysis passes may fan out over.
+    /// Not serialized (it must never influence results — the
+    /// deterministic-merge rule in DESIGN.md §9); `0` means sequential.
+    #[serde(skip)]
+    pub workers: usize,
 }
 
 impl ExperimentData {
     /// Build the analysis input from a crawl database: apply the
     /// all-profiles vetting rule, construct every tree, and collect
-    /// cookie observations.
+    /// cookie observations. Sequential; see
+    /// [`from_db_parallel`](Self::from_db_parallel).
     ///
     /// `site_meta` optionally maps a site to `(rank, bucket label)` for
     /// the popularity analysis.
@@ -57,8 +98,37 @@ impl ExperimentData {
         tree_config: &TreeConfig,
         site_meta: &BTreeMap<String, (u32, String)>,
     ) -> ExperimentData {
-        let mut pages = Vec::new();
-        for (page, visits) in db.vetted_pages() {
+        Self::from_db_parallel(db, profile_names, filter_list, tree_config, site_meta, 1)
+    }
+
+    /// [`from_db`](Self::from_db) with the vetted pages chunked across
+    /// `workers` scoped threads. Workers build every tree, collect the
+    /// cookie observations, and pre-warm the per-page index; the chunks
+    /// are merged back in page order, so the result is identical for
+    /// any worker count.
+    pub fn from_db_parallel(
+        db: &CrawlDb,
+        profile_names: Vec<String>,
+        filter_list: Option<&FilterList>,
+        tree_config: &TreeConfig,
+        site_meta: &BTreeMap<String, (u32, String)>,
+        workers: usize,
+    ) -> ExperimentData {
+        let vetted = db.vetted_pages();
+        // Intern each site's strings once, up front, so workers share
+        // one `Arc` per site instead of cloning per page.
+        type InternedSite = (Arc<str>, Option<(u32, Arc<str>)>);
+        let mut interned: BTreeMap<&str, InternedSite> = BTreeMap::new();
+        for (page, _) in &vetted {
+            interned.entry(page.site.as_str()).or_insert_with(|| {
+                let meta = site_meta
+                    .get(&page.site)
+                    .map(|(r, b)| (*r, Arc::from(b.as_str())));
+                (Arc::from(page.site.as_str()), meta)
+            });
+        }
+
+        let pages = crate::par::par_map(&vetted, workers, |(page, visits)| {
             let trees: Vec<DepTree> = visits
                 .iter()
                 .map(|v| build_tree(v, filter_list, tree_config))
@@ -75,19 +145,22 @@ impl ExperimentData {
                         .collect()
                 })
                 .collect();
-            let meta = site_meta.get(&page.site);
-            pages.push(PageAnalysis {
-                site: page.site.clone(),
-                url: page.url.clone(),
-                rank: meta.map(|(r, _)| *r),
-                bucket: meta.map(|(_, b)| b.clone()),
+            let (site, meta) = &interned[page.site.as_str()];
+            let analysis = PageAnalysis::new(
+                Arc::clone(site),
+                page.url.clone(),
+                meta.as_ref().map(|(r, _)| *r),
+                meta.as_ref().map(|(_, b)| Arc::clone(b)),
                 trees,
                 cookies,
-            });
-        }
+            );
+            analysis.index(); // pre-warm in the worker
+            analysis
+        });
         ExperimentData {
             profile_names,
             pages,
+            workers,
         }
     }
 
@@ -112,7 +185,6 @@ pub(crate) mod testutil {
     //! Shared fixture: a small crawled experiment, built once.
 
     use super::*;
-    use std::sync::OnceLock;
     use wmtree_crawler::{standard_profiles, Commander, CrawlOptions};
     use wmtree_filterlist::embedded::tracking_list;
     use wmtree_webgen::{RankBucket, UniverseConfig, WebUniverse};
@@ -189,5 +261,63 @@ mod tests {
             .iter()
             .any(|p| p.cookies.iter().any(|c| !c.is_empty()));
         assert!(any_cookie);
+    }
+
+    #[test]
+    fn parallel_from_db_matches_sequential() {
+        // Rebuild the fixture's input at several worker counts; every
+        // page (and its site/bucket sharing) must be identical.
+        let data = testutil::experiment();
+        let universe = wmtree_webgen::WebUniverse::generate(wmtree_webgen::UniverseConfig {
+            seed: 61,
+            sites_per_bucket: [10, 6, 6, 6, 6],
+            max_subpages: 6,
+        });
+        let profiles = wmtree_crawler::standard_profiles();
+        let names: Vec<String> = profiles.iter().map(|p| p.name.clone()).collect();
+        let db = wmtree_crawler::Commander::new(
+            &universe,
+            profiles,
+            wmtree_crawler::CrawlOptions {
+                max_pages_per_site: 5,
+                workers: 4,
+                experiment_seed: 17,
+                reliable: true,
+                stateful: false,
+            },
+        )
+        .run();
+        let site_meta: BTreeMap<String, (u32, String)> = universe
+            .sites()
+            .iter()
+            .map(|s| (s.domain.clone(), (s.rank, s.bucket.label().to_string())))
+            .collect();
+        for workers in [2usize, 8] {
+            let par = ExperimentData::from_db_parallel(
+                &db,
+                names.clone(),
+                Some(wmtree_filterlist::embedded::tracking_list()),
+                &wmtree_tree::TreeConfig::default(),
+                &site_meta,
+                workers,
+            );
+            assert_eq!(par.pages.len(), data.pages.len());
+            for (a, b) in par.pages.iter().zip(&data.pages) {
+                assert_eq!(a.site, b.site);
+                assert_eq!(a.url, b.url);
+                assert_eq!(a.rank, b.rank);
+                assert_eq!(a.bucket, b.bucket);
+                assert_eq!(a.cookies, b.cookies);
+                assert_eq!(a.trees.len(), b.trees.len());
+                for (ta, tb) in a.trees.iter().zip(&b.trees) {
+                    assert_eq!(ta.node_count(), tb.node_count());
+                    for (na, nb) in ta.nodes().iter().zip(tb.nodes()) {
+                        assert_eq!(na.key, nb.key);
+                        assert_eq!(na.depth, nb.depth);
+                        assert_eq!(na.tracking, nb.tracking);
+                    }
+                }
+            }
+        }
     }
 }

@@ -4,11 +4,9 @@
 use crate::node_similarity::PageNodeSimilarities;
 use crate::ExperimentData;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 use wmtree_net::ResourceType;
 use wmtree_stats::descriptive::Summary;
-use wmtree_stats::jaccard::{pairwise_mean_jaccard, SimilarityCategory};
-use wmtree_tree::DepTree;
+use wmtree_stats::jaccard::{pairwise_mean_jaccard_sorted, SimilarityCategory};
 use wmtree_url::Party;
 
 /// Which nodes a depth-similarity variant includes.
@@ -50,75 +48,57 @@ pub struct DepthSimilarityRow {
     pub sim: Summary,
 }
 
-/// Node keys at a depth, subject to a filter. `in_all` is the set of
-/// keys present in all trees of the page.
-fn keys_at_depth<'a>(
-    tree: &'a DepTree,
-    depth: usize,
-    filter: DepthFilter,
-    in_all: &BTreeSet<&str>,
-) -> BTreeSet<&'a str> {
-    tree.nodes_at_depth(depth)
-        .filter(|n| match filter {
-            DepthFilter::All => true,
-            DepthFilter::WithChildren => !n.children.is_empty(),
-            DepthFilter::InAllTrees => in_all.contains(n.key.as_str()),
-            DepthFilter::FirstParty => n.party == Party::First,
-            DepthFilter::ThirdParty => n.party == Party::Third,
-        })
-        .map(|n| n.key.as_str())
-        .collect()
-}
-
 /// Per-page Jaccard values for one filter variant: per-depth scores are
 /// averaged *within* a page first ("the arithmetic mean value to state
 /// the similarity for a given page", §3.2), then each page contributes
 /// one value.
+///
+/// Runs on the shared [`PageIndex`](crate::index::PageIndex): per-depth
+/// key sets are the index's pre-sorted id lists (id order = key order),
+/// filtered in place, and the page fan-out uses the deterministic
+/// worker merge — per-page values land in page order regardless of
+/// `data.workers`.
 fn depth_scores(data: &ExperimentData, filter: DepthFilter) -> Vec<f64> {
-    let mut scores = Vec::new();
-    for page in &data.pages {
-        let mut page_scores: Vec<f64> = Vec::new();
-        // Keys present in all trees (for the InAllTrees variant).
-        let mut in_all: BTreeSet<&str> = match page.trees.first() {
-            Some(t) => t.nodes().iter().skip(1).map(|n| n.key.as_str()).collect(),
-            None => continue,
-        };
-        for t in page.trees.iter().skip(1) {
-            let keys: BTreeSet<&str> = t.nodes().iter().skip(1).map(|n| n.key.as_str()).collect();
-            in_all = in_all.intersection(&keys).copied().collect();
+    let per_page = crate::par::par_map(&data.pages, data.workers, |page| {
+        if page.trees.is_empty() {
+            return None;
         }
-
-        let max_depth = page
-            .trees
-            .iter()
-            .map(|t| t.metrics().depth)
-            .max()
-            .unwrap_or(0);
+        let idx = page.index();
+        let k = page.trees.len();
+        let tis = idx.trees();
+        let max_depth = tis.iter().map(|t| t.max_depth()).max().unwrap_or(0);
+        let mut page_scores: Vec<f64> = Vec::new();
+        let mut sets: Vec<Vec<u32>> = vec![Vec::new(); k];
         for depth in 1..=max_depth {
-            let sets: Vec<BTreeSet<String>> = page
-                .trees
-                .iter()
-                .map(|t| {
-                    keys_at_depth(t, depth, filter, &in_all)
-                        .into_iter()
-                        .map(String::from)
-                        .collect()
-                })
-                .collect();
+            for (set, (tree, ti)) in sets.iter_mut().zip(page.trees.iter().zip(tis)) {
+                set.clear();
+                set.extend(ti.depth_ids(depth).iter().copied().filter(|&id| {
+                    let nid = ti.node_of(id).expect("depth id resolves"); // wmtree-lint: allow(WM0105)
+                    match filter {
+                        DepthFilter::All => true,
+                        DepthFilter::WithChildren => !ti.children_ids(nid).is_empty(),
+                        DepthFilter::InAllTrees => idx.present_in(id) == k,
+                        DepthFilter::FirstParty => tree.node(nid).party == Party::First,
+                        DepthFilter::ThirdParty => tree.node(nid).party == Party::Third,
+                    }
+                }));
+            }
             // Skip depths empty in every tree: nothing to compare there
             // (they would report a vacuous perfect similarity).
             if sets.iter().all(|s| s.is_empty()) {
                 continue;
             }
-            if let Some(score) = pairwise_mean_jaccard(&sets) {
+            if let Some(score) = pairwise_mean_jaccard_sorted(&sets) {
                 page_scores.push(score);
             }
         }
-        if !page_scores.is_empty() {
-            scores.push(page_scores.iter().sum::<f64>() / page_scores.len() as f64);
+        if page_scores.is_empty() {
+            None
+        } else {
+            Some(page_scores.iter().sum::<f64>() / page_scores.len() as f64)
         }
-    }
-    scores
+    });
+    per_page.into_iter().flatten().collect()
 }
 
 /// Compute all five rows of Table 3.
@@ -232,6 +212,85 @@ mod tests {
         }
     }
 
+    /// The pre-index `depth_scores`, kept verbatim as a test oracle.
+    fn depth_scores_reference(data: &ExperimentData, filter: DepthFilter) -> Vec<f64> {
+        use std::collections::BTreeSet;
+        use wmtree_stats::jaccard::pairwise_mean_jaccard;
+        let keys_at_depth = |tree: &wmtree_tree::DepTree,
+                             depth: usize,
+                             in_all: &BTreeSet<String>|
+         -> BTreeSet<String> {
+            tree.nodes_at_depth(depth)
+                .filter(|n| match filter {
+                    DepthFilter::All => true,
+                    DepthFilter::WithChildren => !n.children.is_empty(),
+                    DepthFilter::InAllTrees => in_all.contains(n.key.as_str()),
+                    DepthFilter::FirstParty => n.party == Party::First,
+                    DepthFilter::ThirdParty => n.party == Party::Third,
+                })
+                .map(|n| n.key.clone())
+                .collect()
+        };
+        let mut scores = Vec::new();
+        for page in &data.pages {
+            let mut page_scores: Vec<f64> = Vec::new();
+            let mut in_all: BTreeSet<String> = match page.trees.first() {
+                Some(t) => t.nodes().iter().skip(1).map(|n| n.key.clone()).collect(),
+                None => continue,
+            };
+            for t in page.trees.iter().skip(1) {
+                let keys: BTreeSet<String> =
+                    t.nodes().iter().skip(1).map(|n| n.key.clone()).collect();
+                in_all = in_all.intersection(&keys).cloned().collect();
+            }
+            let max_depth = page
+                .trees
+                .iter()
+                .map(|t| t.metrics().depth)
+                .max()
+                .unwrap_or(0);
+            for depth in 1..=max_depth {
+                let sets: Vec<BTreeSet<String>> = page
+                    .trees
+                    .iter()
+                    .map(|t| keys_at_depth(t, depth, &in_all))
+                    .collect();
+                if sets.iter().all(|s| s.is_empty()) {
+                    continue;
+                }
+                if let Some(score) = pairwise_mean_jaccard(&sets) {
+                    page_scores.push(score);
+                }
+            }
+            if !page_scores.is_empty() {
+                scores.push(page_scores.iter().sum::<f64>() / page_scores.len() as f64);
+            }
+        }
+        scores
+    }
+
+    #[test]
+    fn index_backed_depth_scores_match_reference() {
+        let data = experiment();
+        for filter in [
+            DepthFilter::All,
+            DepthFilter::WithChildren,
+            DepthFilter::InAllTrees,
+            DepthFilter::FirstParty,
+            DepthFilter::ThirdParty,
+        ] {
+            let new: Vec<u64> = depth_scores(data, filter)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            let old: Vec<u64> = depth_scores_reference(data, filter)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(new, old, "bitwise divergence for {filter:?}");
+        }
+    }
+
     #[test]
     fn fig4_similarity_decays_with_depth() {
         let data = experiment();
@@ -250,6 +309,29 @@ mod tests {
 mod diag {
     use super::*;
     use crate::data::testutil::experiment;
+    use std::collections::BTreeSet;
+    use wmtree_stats::jaccard::pairwise_mean_jaccard;
+    use wmtree_tree::DepTree;
+
+    /// The pre-index per-depth key extraction, kept as a readable
+    /// reference for the diagnostics below.
+    fn keys_at_depth<'a>(
+        tree: &'a DepTree,
+        depth: usize,
+        filter: DepthFilter,
+        in_all: &BTreeSet<&str>,
+    ) -> BTreeSet<&'a str> {
+        tree.nodes_at_depth(depth)
+            .filter(|n| match filter {
+                DepthFilter::All => true,
+                DepthFilter::WithChildren => !n.children.is_empty(),
+                DepthFilter::InAllTrees => in_all.contains(n.key.as_str()),
+                DepthFilter::FirstParty => n.party == Party::First,
+                DepthFilter::ThirdParty => n.party == Party::Third,
+            })
+            .map(|n| n.key.as_str())
+            .collect()
+    }
 
     /// Not an assertion — prints per-depth similarity diagnostics.
     #[test]

@@ -34,7 +34,9 @@ pub mod cookies;
 pub mod data;
 pub mod depth_similarity;
 pub mod distributions;
+pub mod index;
 pub mod node_similarity;
+pub mod par;
 pub mod popularity;
 pub mod presence;
 pub mod profiles;

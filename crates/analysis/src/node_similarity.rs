@@ -1,11 +1,19 @@
 //! Per-node cross-tree similarity: the horizontal (children) and
 //! vertical (parents, dependency chains) comparisons of §3.2.
+//!
+//! Runs on the shared [`PageIndex`](crate::index::PageIndex): node keys
+//! are interned `u32` ids whose ascending order is exactly the string
+//! order the original `BTreeSet<&str>` implementation iterated in, and
+//! child/parent comparisons use the index's sorted id slices through
+//! [`jaccard_sorted`], which computes bit-identical floats from the
+//! same counts. The pre-index implementation is kept in the test
+//! module as an oracle.
 
 use crate::data::PageAnalysis;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use wmtree_net::ResourceType;
-use wmtree_stats::jaccard::jaccard;
+use wmtree_stats::jaccard::jaccard_sorted;
 use wmtree_url::Party;
 
 /// Similarity measurements of one node (identified by its normalized
@@ -60,8 +68,8 @@ impl NodeSimilarity {
 pub struct PageNodeSimilarities {
     /// Page URL.
     pub url: String,
-    /// Site of the page.
-    pub site: String,
+    /// Site of the page (shared with the input page).
+    pub site: Arc<str>,
     /// Number of trees compared (= number of profiles).
     pub n_trees: usize,
     /// One record per distinct node key (union over the trees),
@@ -71,63 +79,44 @@ pub struct PageNodeSimilarities {
 
 /// Compute all node similarities for one page.
 pub fn analyze_page(page: &PageAnalysis) -> PageNodeSimilarities {
-    let k = page.trees.len();
-    // Union of node keys (root excluded — it is trivially shared).
-    let mut keys: BTreeSet<&str> = BTreeSet::new();
-    for tree in &page.trees {
-        for node in tree.nodes().iter().skip(1) {
-            keys.insert(node.key.as_str());
-        }
-    }
+    let idx = page.index();
+    let trees = idx.trees();
+    let k = trees.len();
 
-    // Pre-index: key → node id per tree.
-    let ids: Vec<BTreeMap<&str, usize>> = page
-        .trees
-        .iter()
-        .map(|t| {
-            t.nodes()
-                .iter()
-                .enumerate()
-                .skip(1)
-                .map(|(i, n)| (n.key.as_str(), i))
-                .collect()
-        })
-        .collect();
+    let mut nodes = Vec::with_capacity(idx.record_keys().len());
+    // Per-key scratch, reused across keys.
+    let mut depths: Vec<usize> = Vec::new();
+    let mut child_sets: Vec<&[u32]> = Vec::new();
+    let mut parents: Vec<Option<u32>> = Vec::with_capacity(k);
+    let mut chains: Vec<Vec<u32>> = Vec::new();
 
-    let mut nodes = Vec::with_capacity(keys.len());
-    for key in keys {
-        let mut depths = Vec::new();
+    // Record keys ascend in interned-id order = key-string order, so
+    // the output rows (and every accumulated float) match the original
+    // sorted-set iteration exactly.
+    for &key_id in idx.record_keys() {
+        depths.clear();
+        child_sets.clear();
+        parents.clear();
+        chains.clear();
         let mut max_children = 0usize;
-        let mut child_sets: Vec<BTreeSet<&str>> = Vec::new();
-        let mut parent_sets: Vec<Option<BTreeSet<&str>>> = Vec::with_capacity(k);
-        let mut chains: Vec<Vec<&str>> = Vec::new();
-        let mut meta: Option<(ResourceType, Party, bool)> = None;
 
-        for (ti, tree) in page.trees.iter().enumerate() {
-            match ids[ti].get(key) {
-                Some(&id) => {
-                    let node = tree.node(id);
-                    if meta.is_none() {
-                        meta = Some((node.resource_type, node.party, node.tracking));
-                    }
-                    depths.push(node.depth);
-                    let children: BTreeSet<&str> = tree.children_keys(id).into_iter().collect();
+        for ti in trees {
+            match ti.non_root_node_of(key_id) {
+                Some(nid) => {
+                    let children = ti.children_ids(nid);
                     max_children = max_children.max(children.len());
                     child_sets.push(children);
-                    let parents: BTreeSet<&str> = tree.parent_key(id).into_iter().collect();
-                    parent_sets.push(Some(parents));
-                    chains.push(tree.dependency_chain(id));
+                    parents.push(ti.parent_key_id(nid));
+                    let chain = ti.chain_ids(nid);
+                    depths.push(chain.len());
+                    chains.push(chain);
                 }
-                None => parent_sets.push(None),
+                None => parents.push(None),
             }
         }
 
         let present_in = depths.len();
-        // `keys` is the union over all trees, so some tree holds the
-        // node; a `None` here would mean the index maps are stale.
-        let Some((resource_type, party, tracking)) = meta else {
-            continue;
-        };
+        let meta = idx.meta(key_id);
 
         // Child similarity: over the trees where present, when the node
         // has a child anywhere.
@@ -136,7 +125,7 @@ pub fn analyze_page(page: &PageAnalysis) -> PageNodeSimilarities {
             let mut n = 0usize;
             for i in 0..child_sets.len() {
                 for j in (i + 1)..child_sets.len() {
-                    sum += jaccard(&child_sets[i], &child_sets[j]);
+                    sum += jaccard_sorted(child_sets[i], child_sets[j]);
                     n += 1;
                 }
             }
@@ -146,14 +135,16 @@ pub fn analyze_page(page: &PageAnalysis) -> PageNodeSimilarities {
         };
 
         // Parent similarity: over all tree pairs, absent ⇒ 0 (App. D).
+        // Parent sets are singletons, so the Jaccard of a pair is
+        // exactly 1.0 (same parent) or 0.0 (different parents).
         let parent_similarity = {
             let mut sum = 0.0;
             let mut n = 0usize;
             for i in 0..k {
                 for j in (i + 1)..k {
                     n += 1;
-                    if let (Some(a), Some(b)) = (&parent_sets[i], &parent_sets[j]) {
-                        sum += jaccard(a, b);
+                    if let (Some(a), Some(b)) = (parents[i], parents[j]) {
+                        sum += if a == b { 1.0 } else { 0.0 };
                     }
                 }
             }
@@ -174,11 +165,11 @@ pub fn analyze_page(page: &PageAnalysis) -> PageNodeSimilarities {
         };
 
         nodes.push(NodeSimilarity {
-            key: key.to_string(),
-            resource_type,
-            party,
-            tracking,
-            depths,
+            key: idx.key(key_id).to_string(),
+            resource_type: meta.resource_type,
+            party: meta.party,
+            tracking: meta.tracking,
+            depths: depths.clone(),
             present_in,
             max_children,
             child_similarity,
@@ -196,29 +187,35 @@ pub fn analyze_page(page: &PageAnalysis) -> PageNodeSimilarities {
     }
 }
 
-/// Analyze every page of an experiment.
+/// Analyze every page of an experiment, fanning the per-page work out
+/// over `data.workers` scoped threads (results merge in page order, so
+/// the output is identical for any worker count).
 pub fn analyze_all(data: &crate::ExperimentData) -> Vec<PageNodeSimilarities> {
     let _span = wmtree_telemetry::span("analysis.node_similarity");
     wmtree_telemetry::counter!("analysis.pages_analyzed").add(data.pages.len() as u64);
-    data.pages.iter().map(analyze_page).collect()
+    crate::par::par_map(&data.pages, data.workers, analyze_page)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::data::testutil::experiment;
+    use proptest::prelude::*;
+    use std::collections::{BTreeMap, BTreeSet};
+    use wmtree_stats::jaccard::jaccard;
     use wmtree_tree::DepTree;
 
     /// Build a PageAnalysis from hand-made trees.
     fn page_of(trees: Vec<DepTree>) -> PageAnalysis {
-        PageAnalysis {
-            site: "s.com".into(),
-            url: "https://s.com/".into(),
-            rank: None,
-            bucket: None,
-            cookies: vec![Vec::new(); trees.len()],
+        let cookies = vec![Vec::new(); trees.len()];
+        PageAnalysis::new(
+            Arc::from("s.com"),
+            "https://s.com/".into(),
+            None,
+            None,
             trees,
-        }
+            cookies,
+        )
     }
 
     fn tree(edges: &[(&str, &str)]) -> DepTree {
@@ -238,6 +235,203 @@ mod tests {
             );
         }
         t
+    }
+
+    /// The pre-index implementation, kept verbatim as the oracle the
+    /// `PageIndex`-backed [`analyze_page`] must match bit-for-bit.
+    fn analyze_page_reference(page: &PageAnalysis) -> PageNodeSimilarities {
+        let k = page.trees.len();
+        let mut keys: BTreeSet<&str> = BTreeSet::new();
+        for tree in &page.trees {
+            for node in tree.nodes().iter().skip(1) {
+                keys.insert(node.key.as_str());
+            }
+        }
+
+        let ids: Vec<BTreeMap<&str, usize>> = page
+            .trees
+            .iter()
+            .map(|t| {
+                t.nodes()
+                    .iter()
+                    .enumerate()
+                    .skip(1)
+                    .map(|(i, n)| (n.key.as_str(), i))
+                    .collect()
+            })
+            .collect();
+
+        let mut nodes = Vec::with_capacity(keys.len());
+        for key in keys {
+            let mut depths = Vec::new();
+            let mut max_children = 0usize;
+            let mut child_sets: Vec<BTreeSet<&str>> = Vec::new();
+            let mut parent_sets: Vec<Option<BTreeSet<&str>>> = Vec::with_capacity(k);
+            let mut chains: Vec<Vec<&str>> = Vec::new();
+            let mut meta: Option<(ResourceType, Party, bool)> = None;
+
+            for (ti, tree) in page.trees.iter().enumerate() {
+                match ids[ti].get(key) {
+                    Some(&id) => {
+                        let node = tree.node(id);
+                        if meta.is_none() {
+                            meta = Some((node.resource_type, node.party, node.tracking));
+                        }
+                        depths.push(node.depth);
+                        let children: BTreeSet<&str> = tree.children_keys(id).into_iter().collect();
+                        max_children = max_children.max(children.len());
+                        child_sets.push(children);
+                        let parents: BTreeSet<&str> = tree.parent_key(id).into_iter().collect();
+                        parent_sets.push(Some(parents));
+                        chains.push(tree.dependency_chain(id));
+                    }
+                    None => parent_sets.push(None),
+                }
+            }
+
+            let present_in = depths.len();
+            let Some((resource_type, party, tracking)) = meta else {
+                continue;
+            };
+
+            let child_similarity = if present_in >= 2 && max_children > 0 {
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for i in 0..child_sets.len() {
+                    for j in (i + 1)..child_sets.len() {
+                        sum += jaccard(&child_sets[i], &child_sets[j]);
+                        n += 1;
+                    }
+                }
+                Some(sum / n as f64)
+            } else {
+                None
+            };
+
+            let parent_similarity = {
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for i in 0..k {
+                    for j in (i + 1)..k {
+                        n += 1;
+                        if let (Some(a), Some(b)) = (&parent_sets[i], &parent_sets[j]) {
+                            sum += jaccard(a, b);
+                        }
+                    }
+                }
+                if n == 0 {
+                    None
+                } else {
+                    Some(sum / n as f64)
+                }
+            };
+
+            let same_chain_where_present =
+                present_in >= 2 && chains.windows(2).all(|w| w[0] == w[1]);
+            let unique_chain = {
+                let first = &chains[0];
+                chains.iter().filter(|c| *c == first).count() == 1 || present_in == 1
+            };
+
+            nodes.push(NodeSimilarity {
+                key: key.to_string(),
+                resource_type,
+                party,
+                tracking,
+                depths,
+                present_in,
+                max_children,
+                child_similarity,
+                parent_similarity,
+                same_chain_where_present,
+                unique_chain,
+            });
+        }
+
+        PageNodeSimilarities {
+            url: page.url.clone(),
+            site: page.site.clone(),
+            n_trees: k,
+            nodes,
+        }
+    }
+
+    /// Bitwise f64 equality for the float fields, exact equality for
+    /// the rest.
+    fn assert_bit_identical(a: &PageNodeSimilarities, b: &PageNodeSimilarities) {
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(
+                x.child_similarity.map(f64::to_bits),
+                y.child_similarity.map(f64::to_bits),
+                "child sim of {}",
+                x.key
+            );
+            assert_eq!(
+                x.parent_similarity.map(f64::to_bits),
+                y.parent_similarity.map(f64::to_bits),
+                "parent sim of {}",
+                x.key
+            );
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn index_backed_matches_reference_on_fixture() {
+        let data = experiment();
+        for page in &data.pages {
+            assert_bit_identical(&analyze_page(page), &analyze_page_reference(page));
+        }
+    }
+
+    /// Random pages: arbitrary forests over a small key pool, so keys
+    /// collide across trees in every configuration (shared, missing,
+    /// reparented, different depths, root collisions).
+    fn arb_page() -> impl Strategy<Value = PageAnalysis> {
+        let op = (0u8..32, 0u8..12);
+        let tree_ops = prop::collection::vec(op, 0..24);
+        prop::collection::vec(tree_ops, 2..5).prop_map(|trees| {
+            let built: Vec<DepTree> = trees
+                .into_iter()
+                .map(|ops| {
+                    let mut t = DepTree::new_rooted("https://page.example/".into());
+                    for (parent_hint, key) in ops {
+                        let pid = parent_hint as usize % t.node_count();
+                        let ty = match key % 3 {
+                            0 => ResourceType::Script,
+                            1 => ResourceType::Image,
+                            _ => ResourceType::Stylesheet,
+                        };
+                        let party = if key % 2 == 0 {
+                            Party::First
+                        } else {
+                            Party::Third
+                        };
+                        t.attach(
+                            pid,
+                            format!("https://h{}.example/r/{}", key % 4, key),
+                            ty,
+                            party,
+                            key % 5 == 0,
+                        );
+                    }
+                    t
+                })
+                .collect();
+            page_of(built)
+        })
+    }
+
+    proptest! {
+        /// The tentpole's correctness contract: on arbitrary universes
+        /// the `PageIndex`-backed pass equals the pre-index oracle,
+        /// floats included.
+        #[test]
+        fn index_backed_matches_reference_on_random_pages(page in arb_page()) {
+            assert_bit_identical(&analyze_page(&page), &analyze_page_reference(&page));
+        }
     }
 
     /// The Appendix D worked example, end to end.

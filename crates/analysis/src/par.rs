@@ -1,0 +1,65 @@
+//! Deterministic scoped-thread fan-out for per-page analysis passes.
+//!
+//! The same worker scheme the crawler's `Commander` uses: chunk the
+//! input across `workers` scoped threads, write each result into its
+//! pre-assigned slot, and join. Because every item's result lands at
+//! the item's own position, the output is **identical for any worker
+//! count** — the deterministic-merge rule of DESIGN.md §9. Ordered
+//! floating-point accumulation therefore stays inside `f`, never
+//! across threads.
+
+/// Map `f` over `items`, fanning out over up to `workers` scoped
+/// threads, returning results in input order. `workers <= 1` (or a
+/// single item) runs inline.
+pub fn par_map<I, T, F>(items: &[I], workers: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (inp, outp) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            handles.push(scope.spawn(move || {
+                for (item, slot) in inp.iter().zip(outp.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("analysis worker panicked"); // wmtree-lint: allow(WM0105)
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot")) // wmtree-lint: allow(WM0105)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_worker_count() {
+        let items: Vec<u32> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x as u64 * 3 + 1).collect();
+        for workers in [0usize, 1, 2, 3, 8, 64, 1000] {
+            let got = par_map(&items, workers, |&x| x as u64 * 3 + 1);
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let got: Vec<u8> = par_map(&[] as &[u8], 8, |&x| x);
+        assert!(got.is_empty());
+    }
+}

@@ -44,7 +44,7 @@ pub fn popularity(data: &ExperimentData, sims: &[PageNodeSimilarities]) -> Popul
         parent: Vec<f64>,
         pages: usize,
     }
-    let mut buckets: BTreeMap<String, Acc> = BTreeMap::new();
+    let mut buckets: BTreeMap<std::sync::Arc<str>, Acc> = BTreeMap::new();
     // Keep the paper's bucket ordering.
     let order = [
         "1-5k",
@@ -56,7 +56,7 @@ pub fn popularity(data: &ExperimentData, sims: &[PageNodeSimilarities]) -> Popul
 
     for (page, sim) in data.pages.iter().zip(sims) {
         let Some(bucket) = &page.bucket else { continue };
-        let acc = buckets.entry(bucket.clone()).or_default();
+        let acc = buckets.entry(std::sync::Arc::clone(bucket)).or_default();
         acc.pages += 1;
         for tree in &page.trees {
             acc.nodes.push((tree.node_count() - 1) as f64);
@@ -81,7 +81,7 @@ pub fn popularity(data: &ExperimentData, sims: &[PageNodeSimilarities]) -> Popul
     let mut rows: Vec<BucketRow> = buckets
         .iter()
         .map(|(b, acc)| BucketRow {
-            bucket: b.clone(),
+            bucket: b.to_string(),
             mean_nodes: mean(&acc.nodes),
             child_sim: mean(&acc.child),
             parent_sim: mean(&acc.parent),
@@ -157,6 +157,7 @@ mod tests {
         let data = ExperimentData {
             profile_names: vec!["a".into()],
             pages: vec![],
+            workers: 1,
         };
         let pop = popularity(&data, &[]);
         assert!(pop.rows.is_empty());

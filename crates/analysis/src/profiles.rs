@@ -3,8 +3,7 @@
 
 use crate::ExperimentData;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
-use wmtree_stats::jaccard::jaccard;
+use wmtree_stats::jaccard::jaccard_sorted;
 use wmtree_url::Party;
 
 /// One row of Table 5.
@@ -25,8 +24,31 @@ pub struct ProfileRow {
 }
 
 /// Compute Table 5.
+///
+/// Pages fan out across `data.workers`; the merge is integer
+/// sums/maxima, so the result is exact and identical for any worker
+/// count.
 pub fn table5(data: &ExperimentData) -> Vec<ProfileRow> {
     let k = data.n_profiles();
+    let partials = crate::par::par_map(&data.pages, data.workers, |page| {
+        let mut counts = vec![[0usize; 5]; k]; // nodes, tp, tracker, depth, breadth
+        for (p, row) in counts.iter_mut().enumerate().take(k) {
+            let tree = &page.trees[p];
+            let m = tree.metrics();
+            row[0] += m.nodes - 1; // root excluded: count loaded resources
+            row[3] = row[3].max(m.depth);
+            row[4] = row[4].max(m.breadth);
+            for n in tree.nodes().iter().skip(1) {
+                if n.party == Party::Third {
+                    row[1] += 1;
+                }
+                if n.tracking {
+                    row[2] += 1;
+                }
+            }
+        }
+        counts
+    });
     let mut rows: Vec<ProfileRow> = data
         .profile_names
         .iter()
@@ -39,21 +61,13 @@ pub fn table5(data: &ExperimentData) -> Vec<ProfileRow> {
             max_breadth: 0,
         })
         .collect();
-    for page in &data.pages {
-        for (p, row) in rows.iter_mut().enumerate().take(k) {
-            let tree = &page.trees[p];
-            let m = tree.metrics();
-            row.nodes += m.nodes - 1; // root excluded: count loaded resources
-            row.max_depth = row.max_depth.max(m.depth);
-            row.max_breadth = row.max_breadth.max(m.breadth);
-            for n in tree.nodes().iter().skip(1) {
-                if n.party == Party::Third {
-                    row.third_party += 1;
-                }
-                if n.tracking {
-                    row.tracker += 1;
-                }
-            }
+    for counts in partials {
+        for (row, c) in rows.iter_mut().zip(counts) {
+            row.nodes += c[0];
+            row.third_party += c[1];
+            row.tracker += c[2];
+            row.max_depth = row.max_depth.max(c[3]);
+            row.max_breadth = row.max_breadth.max(c[4]);
         }
     }
     rows
@@ -90,14 +104,11 @@ pub struct ProfileComparison {
 /// the standard order).
 pub fn table6(data: &ExperimentData, reference: usize) -> Vec<ProfileComparison> {
     let k = data.n_profiles();
-    let mut out = Vec::new();
-    for p in 0..k {
-        if p == reference {
-            continue;
-        }
-        out.push(compare_pair(data, reference, p));
-    }
-    out
+    // Fan out over profile pairs: each pair keeps its sequential
+    // page-order accumulation, so every column is bit-identical to the
+    // single-threaded result for any worker count.
+    let pairs: Vec<usize> = (0..k).filter(|&p| p != reference).collect();
+    crate::par::par_map(&pairs, data.workers, |&p| compare_pair(data, reference, p))
 }
 
 /// Compare two profiles over all vetted pages.
@@ -110,10 +121,15 @@ pub fn compare_pair(data: &ExperimentData, a: usize, b: usize) -> ProfileCompari
 
     for page in &data.pages {
         let ta = &page.trees[a];
-        let tb = &page.trees[b];
-        // Nodes present in both trees.
+        let idx = page.index();
+        let tia = &idx.trees()[a];
+        let tib = &idx.trees()[b];
+        // Nodes present in both trees. The index resolves tree-b lookups
+        // and children/parent comparisons over interned ids: the
+        // per-node BTreeSet rebuilds of the pre-index version become
+        // two-pointer walks over pre-sorted id slices.
         for (ida, node) in ta.nodes().iter().enumerate().skip(1) {
-            let Some(idb) = tb.find(&node.key) else {
+            let Some(idb) = tib.node_of(tia.arena_id(ida)) else {
                 continue;
             };
             let party_idx = match node.party {
@@ -122,10 +138,10 @@ pub fn compare_pair(data: &ExperimentData, a: usize, b: usize) -> ProfileCompari
             };
 
             // Children comparison (nodes with ≥1 child in either tree).
-            let ca: BTreeSet<&str> = ta.children_keys(ida).into_iter().collect();
-            let cb: BTreeSet<&str> = tb.children_keys(idb).into_iter().collect();
+            let ca = tia.children_ids(ida);
+            let cb = tib.children_ids(idb);
             if !ca.is_empty() || !cb.is_empty() {
-                let j = jaccard(&ca, &cb);
+                let j = jaccard_sorted(ca, cb);
                 let slot = &mut child[party_idx];
                 slot.2 += 1;
                 if j == 1.0 {
@@ -137,9 +153,9 @@ pub fn compare_pair(data: &ExperimentData, a: usize, b: usize) -> ProfileCompari
                 child_sim.1 += 1;
             }
 
-            // Parent comparison.
-            let pa = ta.parent_key(ida);
-            let pb = tb.parent_key(idb);
+            // Parent comparison (interned ids ⇔ key strings).
+            let pa = tia.parent_key_id(ida);
+            let pb = tib.parent_key_id(idb);
             if let (Some(pa), Some(pb)) = (pa, pb) {
                 let slot = &mut parent[party_idx];
                 slot.2 += 1;
@@ -194,16 +210,17 @@ pub fn level_split_similarity(
     let mut shallow = (0.0f64, 0usize);
     let mut deep = (0.0f64, 0usize);
     for page in &data.pages {
-        let ta = &page.trees[a];
-        let tb = &page.trees[b];
-        let max_depth = ta.metrics().depth.max(tb.metrics().depth);
+        let idx = page.index();
+        let ta = &idx.trees()[a];
+        let tb = &idx.trees()[b];
+        let max_depth = ta.max_depth().max(tb.max_depth());
         for depth in 1..=max_depth {
-            let sa: BTreeSet<&str> = ta.nodes_at_depth(depth).map(|n| n.key.as_str()).collect();
-            let sb: BTreeSet<&str> = tb.nodes_at_depth(depth).map(|n| n.key.as_str()).collect();
+            let sa = ta.depth_ids(depth);
+            let sb = tb.depth_ids(depth);
             if sa.is_empty() && sb.is_empty() {
                 continue;
             }
-            let j = jaccard(&sa, &sb);
+            let j = jaccard_sorted(sa, sb);
             let slot = if depth <= split {
                 &mut shallow
             } else {
@@ -224,6 +241,88 @@ pub fn level_split_similarity(
 mod tests {
     use super::*;
     use crate::data::testutil::experiment;
+    use std::collections::BTreeSet;
+    use wmtree_stats::jaccard::jaccard;
+
+    /// The pre-index `compare_pair`, kept verbatim as a test oracle.
+    fn compare_pair_reference(data: &ExperimentData, a: usize, b: usize) -> ProfileComparison {
+        let mut child = [(0usize, 0usize, 0usize); 2];
+        let mut parent = [(0usize, 0usize, 0usize); 2];
+        let mut parent_sim = (0.0f64, 0usize);
+        let mut child_sim = (0.0f64, 0usize);
+        for page in &data.pages {
+            let ta = &page.trees[a];
+            let tb = &page.trees[b];
+            for (ida, node) in ta.nodes().iter().enumerate().skip(1) {
+                let Some(idb) = tb.find(&node.key) else {
+                    continue;
+                };
+                let party_idx = match node.party {
+                    Party::First => 0,
+                    Party::Third => 1,
+                };
+                let ca: BTreeSet<&str> = ta.children_keys(ida).into_iter().collect();
+                let cb: BTreeSet<&str> = tb.children_keys(idb).into_iter().collect();
+                if !ca.is_empty() || !cb.is_empty() {
+                    let j = jaccard(&ca, &cb);
+                    let slot = &mut child[party_idx];
+                    slot.2 += 1;
+                    if j == 1.0 {
+                        slot.0 += 1;
+                    } else if j == 0.0 {
+                        slot.1 += 1;
+                    }
+                    child_sim.0 += j;
+                    child_sim.1 += 1;
+                }
+                let pa = ta.parent_key(ida);
+                let pb = tb.parent_key(idb);
+                if let (Some(pa), Some(pb)) = (pa, pb) {
+                    let slot = &mut parent[party_idx];
+                    slot.2 += 1;
+                    if pa == pb {
+                        slot.0 += 1;
+                    } else {
+                        slot.1 += 1;
+                    }
+                    if node.depth >= 2 {
+                        parent_sim.0 += if pa == pb { 1.0 } else { 0.0 };
+                        parent_sim.1 += 1;
+                    }
+                }
+            }
+        }
+        let share = |n: usize, d: usize| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+        let mean = |(s, n): (f64, usize)| if n == 0 { 0.0 } else { s / n as f64 };
+        ProfileComparison {
+            name: data.profile_names[b].clone(),
+            fp_children_perfect: share(child[0].0, child[0].2),
+            fp_children_none: share(child[0].1, child[0].2),
+            tp_children_perfect: share(child[1].0, child[1].2),
+            tp_children_none: share(child[1].1, child[1].2),
+            fp_parent_perfect: share(parent[0].0, parent[0].2),
+            fp_parent_none: share(parent[0].1, parent[0].2),
+            tp_parent_perfect: share(parent[1].0, parent[1].2),
+            tp_parent_none: share(parent[1].1, parent[1].2),
+            parent_sim_mean: mean(parent_sim),
+            child_sim_mean: mean(child_sim),
+        }
+    }
+
+    #[test]
+    fn index_backed_compare_pair_matches_reference() {
+        let data = experiment();
+        for b in [0usize, 2, 3, 4] {
+            let new = compare_pair(data, 1, b);
+            let old = compare_pair_reference(data, 1, b);
+            assert_eq!(
+                new.child_sim_mean.to_bits(),
+                old.child_sim_mean.to_bits(),
+                "pair (1, {b})"
+            );
+            assert_eq!(new, old, "pair (1, {b})");
+        }
+    }
 
     #[test]
     fn table5_shape() {

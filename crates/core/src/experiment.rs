@@ -222,7 +222,14 @@ impl Experiment {
         };
         let data = {
             let _span = wmtree_telemetry::span("experiment.build_trees");
-            ExperimentData::from_db(&db, names, filter, &self.config.tree, &site_meta)
+            ExperimentData::from_db_parallel(
+                &db,
+                names,
+                filter,
+                &self.config.tree,
+                &site_meta,
+                self.config.workers,
+            )
         };
         manifest.push_stage("build_trees", sw.lap("build_trees"));
         let sims = analyze_all(&data);

@@ -1,0 +1,131 @@
+//! Candidate-rule index: host buckets, literal-token buckets, and an
+//! always-checked general pool.
+//!
+//! [`FilterList::is_tracking`](crate::FilterList::is_tracking) is called
+//! once per observed request while dependency trees are built — on a
+//! full run that is millions of evaluations against every rule of the
+//! list. The index prunes that product:
+//!
+//! * `||host^`-style rules land in a **host bucket** keyed by the exact
+//!   label-boundary suffix they can match
+//!   ([`Pattern::index_host`](crate::matcher::Pattern)); a request only
+//!   probes the buckets of its host's label suffixes.
+//! * other rules with a selective interior literal run land in a
+//!   **token bucket** ([`Pattern::index_token`](crate::matcher::Pattern));
+//!   a request only probes the buckets of the alphanumeric runs that
+//!   actually occur in its URL.
+//! * everything else stays in the **general pool**, checked every time.
+//!
+//! The index is a pure accelerator: a rule is bucketed only when its
+//! key is *implied* by a match, so the candidate set always contains
+//! every matching rule and `any(candidates) == any(all rules)`. The
+//! property test in `tests/prop.rs` asserts exactly that against the
+//! linear scan.
+
+use crate::rule::{FilterRule, RequestInfo};
+use std::collections::BTreeMap;
+
+/// Buckets over one rule set (blocking or exception rules). Values are
+/// indices into the rule vector.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RuleBuckets {
+    /// Label-boundary host suffix → host-anchored rules pinned to it.
+    host: BTreeMap<String, Vec<u32>>,
+    /// Interior literal run → rules requiring that run in the URL.
+    token: BTreeMap<String, Vec<u32>>,
+    /// Rules with no usable key; always evaluated.
+    general: Vec<u32>,
+}
+
+impl RuleBuckets {
+    pub(crate) fn build(rules: &[FilterRule]) -> RuleBuckets {
+        let mut b = RuleBuckets::default();
+        for (i, rule) in rules.iter().enumerate() {
+            let i = i as u32;
+            let p = rule.pattern();
+            if let Some(h) = p.index_host() {
+                b.host.entry(h.to_string()).or_default().push(i);
+            } else if let Some(t) = p.index_token() {
+                b.token.entry(t.to_string()).or_default().push(i);
+            } else {
+                b.general.push(i);
+            }
+        }
+        b
+    }
+
+    /// Does any rule in this bucket set match the request? `lower_url`
+    /// and `lower_host` are the request's URL/host lowercased once by
+    /// the caller (rules with `$match-case` ignore them).
+    pub(crate) fn any_match(
+        &self,
+        rules: &[FilterRule],
+        req: &RequestInfo<'_>,
+        lower_url: &str,
+        lower_host: &str,
+    ) -> bool {
+        let hit = |i: &u32| rules[*i as usize].matches_lowered(req, lower_url, lower_host);
+        if self.general.iter().any(hit) {
+            return true;
+        }
+        // Host buckets: every label-boundary suffix of the host.
+        if !self.host.is_empty() {
+            let mut start = 0usize;
+            loop {
+                if let Some(ids) = self.host.get(&lower_host[start..]) {
+                    if ids.iter().any(hit) {
+                        return true;
+                    }
+                }
+                match lower_host[start..].find('.') {
+                    Some(dot) => start += dot + 1,
+                    None => break,
+                }
+            }
+        }
+        // Token buckets: every distinct alphanumeric run of the URL.
+        if !self.token.is_empty() {
+            let bytes = lower_url.as_bytes();
+            let mut seen: Vec<&str> = Vec::new();
+            let mut i = 0usize;
+            while i < bytes.len() {
+                if !bytes[i].is_ascii_alphanumeric() {
+                    i += 1;
+                    continue;
+                }
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                let run = &lower_url[start..i];
+                if seen.contains(&run) {
+                    continue;
+                }
+                seen.push(run);
+                if let Some(ids) = self.token.get(run) {
+                    if ids.iter().any(hit) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The full candidate index of a [`crate::FilterList`]: buckets for the
+/// blocking rules and for the exception rules.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RuleIndex {
+    pub(crate) block: RuleBuckets,
+    pub(crate) except: RuleBuckets,
+}
+
+impl RuleIndex {
+    pub(crate) fn build(block: &[FilterRule], except: &[FilterRule]) -> RuleIndex {
+        RuleIndex {
+            block: RuleBuckets::build(block),
+            except: RuleBuckets::build(except),
+        }
+    }
+}

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod embedded;
+mod index;
 mod matcher;
 mod parser;
 mod rule;
@@ -49,12 +50,17 @@ pub use parser::ParsedLine;
 pub use rule::{FilterRule, RequestInfo, RuleOptions, TypeMask};
 
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A parsed filter list: blocking rules and exception rules.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FilterList {
     block: Vec<FilterRule>,
     except: Vec<FilterRule>,
+    /// Candidate index, built lazily on first match. Never serialized:
+    /// it is derived state and must not influence the list's identity.
+    #[serde(skip)]
+    index: OnceLock<index::RuleIndex>,
 }
 
 impl FilterList {
@@ -82,20 +88,85 @@ impl FilterList {
         self.except.len()
     }
 
+    fn index(&self) -> &index::RuleIndex {
+        self.index
+            .get_or_init(|| index::RuleIndex::build(&self.block, &self.except))
+    }
+
     /// Does any blocking rule match this request (ignoring exceptions)?
+    ///
+    /// Uses the candidate index: only rules whose host/token bucket the
+    /// request can satisfy are evaluated. Equivalent to
+    /// [`FilterList::matches_block_linear`] by construction (and by the
+    /// property tests in `tests/prop.rs`).
     pub fn matches_block(&self, req: &RequestInfo<'_>) -> bool {
-        self.block.iter().any(|r| r.matches(req))
+        let lower_url = lowered_url(req);
+        let lower_host = lowered_host(req);
+        self.index()
+            .block
+            .any_match(&self.block, req, &lower_url, &lower_host)
     }
 
     /// Does any exception rule match this request?
     pub fn matches_exception(&self, req: &RequestInfo<'_>) -> bool {
-        self.except.iter().any(|r| r.matches(req))
+        let lower_url = lowered_url(req);
+        let lower_host = lowered_host(req);
+        self.index()
+            .except
+            .any_match(&self.except, req, &lower_url, &lower_host)
     }
 
     /// The paper's tracking oracle: a URL is a tracking request when a
     /// blocking rule matches and no exception rule overrides it.
+    ///
+    /// The request URL and host are lowercased once here; the candidate
+    /// index keeps the number of rules actually evaluated small.
     pub fn is_tracking(&self, req: &RequestInfo<'_>) -> bool {
-        self.matches_block(req) && !self.matches_exception(req)
+        let idx = self.index();
+        let lower_url = lowered_url(req);
+        let lower_host = lowered_host(req);
+        idx.block
+            .any_match(&self.block, req, &lower_url, &lower_host)
+            && !idx
+                .except
+                .any_match(&self.except, req, &lower_url, &lower_host)
+    }
+
+    /// Reference implementation of [`FilterList::matches_block`]: a
+    /// linear scan over every blocking rule. Kept as the semantic oracle
+    /// the index is tested against.
+    pub fn matches_block_linear(&self, req: &RequestInfo<'_>) -> bool {
+        self.block.iter().any(|r| r.matches(req))
+    }
+
+    /// Reference implementation of [`FilterList::matches_exception`].
+    pub fn matches_exception_linear(&self, req: &RequestInfo<'_>) -> bool {
+        self.except.iter().any(|r| r.matches(req))
+    }
+
+    /// Reference implementation of [`FilterList::is_tracking`] (linear
+    /// scan, per-rule lowercasing).
+    pub fn is_tracking_linear(&self, req: &RequestInfo<'_>) -> bool {
+        self.matches_block_linear(req) && !self.matches_exception_linear(req)
+    }
+}
+
+/// The request URL, serialized and lowercased in one buffer (the
+/// serialization already allocates; lowercasing reuses it).
+fn lowered_url(req: &RequestInfo<'_>) -> String {
+    let mut s = req.url.as_str();
+    s.make_ascii_lowercase();
+    s
+}
+
+/// The request host, lowercased only when needed — `Url::parse`
+/// lowercases hosts, so the borrow is the overwhelmingly common case.
+fn lowered_host<'a>(req: &RequestInfo<'a>) -> std::borrow::Cow<'a, str> {
+    let host = req.url.host();
+    if host.bytes().any(|b| b.is_ascii_uppercase()) {
+        std::borrow::Cow::Owned(host.to_ascii_lowercase())
+    } else {
+        std::borrow::Cow::Borrowed(host)
     }
 }
 

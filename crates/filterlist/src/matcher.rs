@@ -109,52 +109,173 @@ impl Pattern {
                     return false;
                 };
                 let host_end = host_start + host.len();
-                let mut positions = vec![host_start];
-                for (i, b) in url.as_bytes()[host_start..host_end].iter().enumerate() {
-                    if *b == b'.' {
-                        positions.push(host_start + i + 1);
+                if self.match_at(bytes, host_start) {
+                    return true;
+                }
+                url.as_bytes()[host_start..host_end]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| **b == b'.')
+                    .any(|(i, _)| self.match_at(bytes, host_start + i + 1))
+            }
+            Anchor::None => {
+                // Quick reject: every literal of the pattern must appear
+                // somewhere in the URL; one substring probe of the
+                // longest literal is far cheaper than a positional scan.
+                if let Some(lit) = self.longest_literal() {
+                    if !url.contains(lit) {
+                        return false;
                     }
                 }
-                positions.into_iter().any(|p| self.match_at(bytes, p))
+                (0..=bytes.len()).any(|p| self.match_at(bytes, p))
             }
-            Anchor::None => (0..=bytes.len()).any(|p| self.match_at(bytes, p)),
         }
+    }
+
+    /// The longest literal token, if any — the pattern's best quick-reject
+    /// and indexing handle.
+    fn longest_literal(&self) -> Option<&str> {
+        self.tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Literal(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .max_by_key(|l| l.len())
+    }
+
+    /// Host-bucket key for the rule index: `Some(hp)` when the pattern is
+    /// `||`-anchored and can only match URLs whose host has `hp` as a
+    /// full label-boundary suffix (e.g. `||tracker.com^` → `tracker.com`,
+    /// matching `tracker.com` and `cdn.tracker.com` but never
+    /// `nottracker.com`). Patterns whose host portion is open-ended
+    /// (`||ad.` with no terminator) get `None` and stay in the
+    /// always-checked pool.
+    pub(crate) fn index_host(&self) -> Option<&str> {
+        if self.anchor != Anchor::Host {
+            return None;
+        }
+        let Some(Token::Literal(lit)) = self.tokens.first() else {
+            return None;
+        };
+        // Longest prefix of characters that can appear in a hostname.
+        let hp_len = lit
+            .bytes()
+            .take_while(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'-' | b'_' | b'%'))
+            .count();
+        if hp_len == 0 {
+            return None;
+        }
+        if hp_len < lit.len() {
+            // The literal continues with a character that cannot occur in
+            // a host, so any match pins the host's end right after `hp`.
+            return Some(&lit[..hp_len]);
+        }
+        // The whole literal is host-like; the host end is only pinned if
+        // the next token is a separator (which excludes all host
+        // characters) or the pattern is end-anchored here.
+        match self.tokens.get(1) {
+            Some(Token::Separator) => Some(lit.as_str()),
+            None if self.end_anchor => Some(lit.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Token-bucket key for the rule index: the longest alphanumeric run
+    /// that is *interior* to one of the pattern's literals (non-alnum on
+    /// both sides), and therefore guaranteed to appear as a complete
+    /// alphanumeric run in every matching URL. Runs shorter than 3 bytes
+    /// are too common to be selective and are skipped.
+    pub(crate) fn index_token(&self) -> Option<&str> {
+        let mut best: Option<&str> = None;
+        for tok in &self.tokens {
+            let Token::Literal(lit) = tok else { continue };
+            let b = lit.as_bytes();
+            let mut i = 0;
+            while i < b.len() {
+                if !b[i].is_ascii_alphanumeric() {
+                    i += 1;
+                    continue;
+                }
+                let start = i;
+                while i < b.len() && b[i].is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                let bounded = start > 0 && i < b.len();
+                if bounded && i - start >= 3 && best.is_none_or(|x| x.len() < i - start) {
+                    best = Some(&lit[start..i]);
+                }
+            }
+        }
+        best
     }
 
     /// Try to match the token list starting at byte offset `pos`.
+    ///
+    /// Iterative scan with single-level wildcard backtracking: advancing
+    /// the most recent `*`'s consumption is sufficient because every
+    /// other token consumes a fixed amount, so recursion (which is
+    /// O(n^k) for k wildcards and can overflow the stack on adversarial
+    /// patterns) is unnecessary.
     fn match_at(&self, url: &[u8], pos: usize) -> bool {
-        self.match_tokens(url, pos, 0)
-    }
-
-    fn match_tokens(&self, url: &[u8], pos: usize, tok: usize) -> bool {
-        if tok == self.tokens.len() {
-            return !self.end_anchor || pos == url.len();
-        }
-        match &self.tokens[tok] {
-            Token::Literal(lit) => {
-                let lb = lit.as_bytes();
-                if url.len() >= pos + lb.len() && &url[pos..pos + lb.len()] == lb {
-                    self.match_tokens(url, pos + lb.len(), tok + 1)
-                } else {
-                    false
+        let toks = &self.tokens;
+        let mut tok = 0usize;
+        let mut p = pos;
+        // (token index after the last wildcard, next position it will try)
+        let mut retry: Option<(usize, usize)> = None;
+        loop {
+            let stepped = if tok == toks.len() {
+                if !self.end_anchor || p == url.len() {
+                    return true;
                 }
+                false
+            } else {
+                match &toks[tok] {
+                    Token::Wildcard => {
+                        retry = Some((tok + 1, p));
+                        tok += 1;
+                        true
+                    }
+                    Token::Literal(lit) => {
+                        let lb = lit.as_bytes();
+                        if url.len() >= p + lb.len() && &url[p..p + lb.len()] == lb {
+                            p += lb.len();
+                            tok += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    Token::Separator => {
+                        if p == url.len() {
+                            // `^` matches the end of the URL — but only
+                            // if it is the final token (an end anchor is
+                            // then trivially satisfied: pos == len).
+                            if tok + 1 == toks.len() {
+                                return true;
+                            }
+                            false
+                        } else if is_separator(url[p]) {
+                            p += 1;
+                            tok += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                }
+            };
+            if stepped {
+                continue;
             }
-            Token::Separator => {
-                if pos == url.len() {
-                    // `^` matches the end of the URL — but only if it is
-                    // the final token (an end anchor is then trivially
-                    // satisfied because pos == len).
-                    return tok + 1 == self.tokens.len();
+            // Dead end: let the last wildcard swallow one more byte.
+            match retry {
+                Some((t, rp)) if rp < url.len() => {
+                    retry = Some((t, rp + 1));
+                    tok = t;
+                    p = rp + 1;
                 }
-                if is_separator(url[pos]) {
-                    self.match_tokens(url, pos + 1, tok + 1)
-                } else {
-                    false
-                }
-            }
-            Token::Wildcard => {
-                // Try every suffix (greedy is unnecessary; first match wins).
-                (pos..=url.len()).any(|p| self.match_tokens(url, p, tok + 1))
+                _ => return false,
             }
         }
     }
@@ -258,6 +379,86 @@ mod tests {
     #[test]
     fn empty_pattern_matches_everything() {
         assert!(m("", "https://anything.com/", "anything.com"));
+    }
+
+    /// The original recursive matcher, kept verbatim as a test oracle
+    /// for the iterative backtracking scan.
+    fn match_tokens_recursive(p: &Pattern, url: &[u8], pos: usize, tok: usize) -> bool {
+        if tok == p.tokens.len() {
+            return !p.end_anchor || pos == url.len();
+        }
+        match &p.tokens[tok] {
+            Token::Literal(lit) => {
+                let lb = lit.as_bytes();
+                if url.len() >= pos + lb.len() && &url[pos..pos + lb.len()] == lb {
+                    match_tokens_recursive(p, url, pos + lb.len(), tok + 1)
+                } else {
+                    false
+                }
+            }
+            Token::Separator => {
+                if pos == url.len() {
+                    return tok + 1 == p.tokens.len();
+                }
+                if is_separator(url[pos]) {
+                    match_tokens_recursive(p, url, pos + 1, tok + 1)
+                } else {
+                    false
+                }
+            }
+            Token::Wildcard => {
+                (pos..=url.len()).any(|q| match_tokens_recursive(p, url, q, tok + 1))
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn iterative_matches_recursive(
+            pattern in "[a-z0-9/^*|.-]{0,12}",
+            url in "[a-z0-9/:.?=&_-]{0,40}",
+        ) {
+            let p = Pattern::compile(&pattern);
+            let bytes = url.as_bytes();
+            for pos in 0..=bytes.len() {
+                proptest::prop_assert_eq!(
+                    p.match_at(bytes, pos),
+                    match_tokens_recursive(&p, bytes, pos, 0),
+                    "pattern {:?} url {:?} pos {}", pattern, url, pos
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_host_keys() {
+        let key = |p: &str| Pattern::compile(p).index_host().map(str::to_string);
+        assert_eq!(key("||tracker.com^"), Some("tracker.com".into()));
+        assert_eq!(key("||stats.net/collect"), Some("stats.net".into()));
+        assert_eq!(key("||x.com|"), Some("x.com".into()));
+        // Open-ended host portion: must stay in the general pool.
+        assert_eq!(key("||ad."), None);
+        assert_eq!(key("||tracker.com"), None);
+        // Wildcard right after the host-like literal: end not pinned.
+        assert_eq!(key("||track*er.com^"), None);
+        // Not host-anchored.
+        assert_eq!(key("/banner/ads/"), None);
+        assert_eq!(key("|https://ads."), None);
+    }
+
+    #[test]
+    fn index_token_picks_interior_runs() {
+        let key = |p: &str| Pattern::compile(p).index_token().map(str::to_string);
+        // "banner" and "ads" are interior (bounded by '/'): longest wins.
+        assert_eq!(key("/banner/ads/"), Some("banner".into()));
+        // Edge runs are not guaranteed complete in the URL.
+        assert_eq!(key("track"), None);
+        assert_eq!(key("/track"), None);
+        assert_eq!(key("track/"), None);
+        // Short interior runs are skipped.
+        assert_eq!(key("/ad/"), None);
+        // Wildcards split literals; only interior-of-literal runs count.
+        assert_eq!(key("*/pixel/*"), Some("pixel".into()));
     }
 
     #[test]

@@ -139,9 +139,48 @@ impl FilterRule {
         &self.options
     }
 
+    /// The rule's compiled pattern (for the candidate index).
+    pub(crate) fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
     /// Evaluate the rule against a request.
     pub fn matches(&self, req: &RequestInfo<'_>) -> bool {
         // Options first (cheap), then the pattern scan.
+        if !self.options_match(req) {
+            return false;
+        }
+        let target = req.url.as_str();
+        if self.options.match_case {
+            self.pattern.matches(&target, req.url.host())
+        } else {
+            self.pattern.matches(
+                &target.to_ascii_lowercase(),
+                &req.url.host().to_ascii_lowercase(),
+            )
+        }
+    }
+
+    /// Like [`FilterRule::matches`], but with the request URL and host
+    /// already lowercased by the caller — [`crate::FilterList`] prepares
+    /// them once per request instead of once per rule.
+    pub(crate) fn matches_lowered(
+        &self,
+        req: &RequestInfo<'_>,
+        lower_url: &str,
+        lower_host: &str,
+    ) -> bool {
+        if !self.options_match(req) {
+            return false;
+        }
+        if self.options.match_case {
+            self.pattern.matches(&req.url.as_str(), req.url.host())
+        } else {
+            self.pattern.matches(lower_url, lower_host)
+        }
+    }
+
+    fn options_match(&self, req: &RequestInfo<'_>) -> bool {
         if !self.options.types.includes(req.resource_type) {
             return false;
         }
@@ -170,15 +209,7 @@ impl FilterRule {
                 return false;
             }
         }
-        let target = req.url.as_str();
-        if self.options.match_case {
-            self.pattern.matches(&target, req.url.host())
-        } else {
-            self.pattern.matches(
-                &target.to_ascii_lowercase(),
-                &req.url.host().to_ascii_lowercase(),
-            )
-        }
+        true
     }
 }
 

@@ -18,6 +18,33 @@ fn url_str() -> impl Strategy<Value = String> {
         .prop_map(|(h, segs)| format!("https://{h}/{}", segs.join("/")))
 }
 
+/// One filter line covering every anchor/bucket shape the index handles:
+/// host-bucketable, open-ended host (general pool), interior-token and
+/// edge-token substrings, start/end anchors, wildcards, exceptions, and
+/// options.
+fn rule_line() -> impl Strategy<Value = String> {
+    (
+        prop::sample::select((0usize..12).collect::<Vec<_>>()),
+        host(),
+        "[a-z]{3,9}",
+        "[a-z]{2,6}",
+    )
+        .prop_map(|(shape, h, t, e)| match shape {
+            0 => format!("||{h}^"),         // host-anchored, bucketable
+            1 => format!("||{h}/{t}"),      // host anchor with path
+            2 => format!("||{e}."),         // open-ended host → general pool
+            3 => format!("/{t}/"),          // interior token
+            4 => t,                         // edge token → general pool
+            5 => format!("|https://{h}"),   // start anchor
+            6 => format!(".{e}|"),          // end anchor
+            7 => format!("{e}*{t}^"),       // wildcard + separator
+            8 => format!("@@||{h}^"),       // exception, host bucket
+            9 => format!("@@/{t}/"),        // exception, token bucket
+            10 => format!("||{h}^$script"), // type option
+            _ => format!("||{h}^$third-party"),
+        })
+}
+
 proptest! {
     /// A host-anchor rule matches exactly the URLs whose host is the
     /// domain or a subdomain of it.
@@ -87,6 +114,32 @@ proptest! {
     #[test]
     fn parser_total(input in "[ -~\\n]{0,300}") {
         let _ = FilterList::parse(&input);
+    }
+
+    /// The candidate index is a pure accelerator: `is_tracking` (indexed,
+    /// lowercase-once) agrees with the linear per-rule scan on arbitrary
+    /// rule/URL pairs, across every anchor shape the syntax supports.
+    #[test]
+    fn index_agrees_with_linear_scan(
+        rules in prop::collection::vec(rule_line(), 0..12),
+        target in url_str(),
+        page in url_str(),
+        ty in prop::sample::select(vec![
+            ResourceType::Script,
+            ResourceType::Image,
+            ResourceType::Xhr,
+        ]),
+    ) {
+        let list = FilterList::parse(&rules.join("\n"));
+        let u = Url::parse(&target).unwrap();
+        let p = Url::parse(&page).unwrap();
+        let req = RequestInfo::new(&u, &p, ty);
+        prop_assert_eq!(list.is_tracking(&req), list.is_tracking_linear(&req));
+        prop_assert_eq!(list.matches_block(&req), list.matches_block_linear(&req));
+        prop_assert_eq!(
+            list.matches_exception(&req),
+            list.matches_exception_linear(&req)
+        );
     }
 
     /// Type options restrict, never extend, matching.

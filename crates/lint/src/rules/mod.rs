@@ -9,6 +9,7 @@
 mod env_dep;
 mod hash_iter;
 mod rng;
+mod thread_spawn;
 mod unwrap;
 mod wall_clock;
 
@@ -18,6 +19,7 @@ use crate::lexer::{SourceFile, Token};
 pub use env_dep::EnvDep;
 pub use hash_iter::HashIter;
 pub use rng::UnseededRng;
+pub use thread_spawn::ThreadSpawn;
 pub use unwrap::UnwrapInPipeline;
 pub use wall_clock::WallClock;
 
@@ -97,6 +99,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(UnseededRng),
         Box::new(EnvDep),
         Box::new(UnwrapInPipeline),
+        Box::new(ThreadSpawn),
     ]
 }
 
@@ -162,6 +165,6 @@ mod tests {
         sorted.sort();
         sorted.dedup();
         assert_eq!(codes, sorted, "rule codes must be unique and ordered");
-        assert_eq!(cat.len(), 5);
+        assert_eq!(cat.len(), 6);
     }
 }

@@ -25,6 +25,64 @@ pub fn jaccard_slices<T: Ord + Clone>(a: &[T], b: &[T]) -> f64 {
     jaccard(&sa, &sb)
 }
 
+/// Size of the intersection of two sorted, duplicate-free slices
+/// (two-pointer merge — no allocation).
+pub fn sorted_intersection_count<T: Ord>(a: &[T], b: &[T]) -> usize {
+    debug_assert!(
+        a.windows(2).all(|w| w[0] < w[1]),
+        "slice not sorted/deduped"
+    );
+    debug_assert!(
+        b.windows(2).all(|w| w[0] < w[1]),
+        "slice not sorted/deduped"
+    );
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+/// Jaccard index of two **sorted, duplicate-free** slices.
+///
+/// Computes the exact same `inter as f64 / union as f64` expression as
+/// [`jaccard`] from the same counts, so results are bit-identical to the
+/// set-based path — callers may switch representations without
+/// perturbing any downstream float.
+pub fn jaccard_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = sorted_intersection_count(a, b);
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// [`pairwise_mean_jaccard`] over sorted, duplicate-free slices, with
+/// the identical pair order and accumulation arithmetic.
+pub fn pairwise_mean_jaccard_sorted<T: Ord, S: AsRef<[T]>>(sets: &[S]) -> Option<f64> {
+    if sets.len() < 2 {
+        return None;
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for i in 0..sets.len() {
+        for j in (i + 1)..sets.len() {
+            sum += jaccard_sorted(sets[i].as_ref(), sets[j].as_ref());
+            n += 1;
+        }
+    }
+    Some(sum / n as f64)
+}
+
 /// The paper's k-set similarity: arithmetic mean of the Jaccard index of
 /// all unordered pairs (§3.2, "Computing Tree Similarities").
 ///
@@ -191,6 +249,42 @@ mod tests {
         assert!(pairwise_mean_jaccard(&one).is_none());
         let none: Vec<BTreeSet<String>> = vec![];
         assert!(pairwise_mean_jaccard(&none).is_none());
+    }
+
+    #[test]
+    fn sorted_slices_match_set_path_bitwise() {
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[], &[]),
+            (&[], &[1, 2]),
+            (&[1, 2, 3], &[2, 3, 4]),
+            (&[1, 5, 9], &[2, 6, 10]),
+            (&[0, 1, 2, 3], &[0, 1, 2, 3]),
+            (&[7], &[7, 8, 9]),
+        ];
+        for (a, b) in cases {
+            let sa: BTreeSet<u32> = a.iter().copied().collect();
+            let sb: BTreeSet<u32> = b.iter().copied().collect();
+            let from_sets = jaccard(&sa, &sb);
+            let from_slices = jaccard_sorted(a, b);
+            assert_eq!(from_sets.to_bits(), from_slices.to_bits(), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn pairwise_sorted_matches_set_path_bitwise() {
+        let groups: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![1, 3], vec![1, 2, 3, 4]];
+        let sets: Vec<BTreeSet<u32>> = groups.iter().map(|g| g.iter().copied().collect()).collect();
+        let a = pairwise_mean_jaccard(&sets).unwrap();
+        let b = pairwise_mean_jaccard_sorted(&groups).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert!(pairwise_mean_jaccard_sorted::<u32, Vec<u32>>(&[vec![1]]).is_none());
+    }
+
+    #[test]
+    fn sorted_intersection_counts() {
+        assert_eq!(sorted_intersection_count(&[1u32, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(sorted_intersection_count::<u32>(&[], &[1, 2]), 0);
+        assert_eq!(sorted_intersection_count(&[5u32], &[5]), 1);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::tree::DepTree;
 use std::collections::HashMap;
 use wmtree_browser::VisitResult;
 use wmtree_filterlist::{FilterList, RequestInfo};
-use wmtree_url::{normalize_url_str, Party};
+use wmtree_url::{normalize_url_str, psl, Party, Url};
 
 /// Call-stack attribution mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +47,21 @@ impl TreeConfig {
             raw.split('#').next().unwrap_or(raw).to_string()
         }
     }
+
+    /// [`key_of`](Self::key_of) for an already-parsed URL — skips the
+    /// serialize-then-reparse round trip, which dominates tree-building
+    /// cost (one full `Url::parse` per request otherwise).
+    fn key_of_url(&self, url: &Url) -> String {
+        if self.normalize_urls {
+            url.normalize_for_comparison()
+        } else {
+            let mut s = url.as_str();
+            if let Some(i) = s.find('#') {
+                s.truncate(i);
+            }
+            s
+        }
+    }
 }
 
 /// Build the dependency tree of one successful visit.
@@ -60,7 +75,11 @@ pub fn build_tree(
     config: &TreeConfig,
 ) -> DepTree {
     let page_url = &visit.page_url;
-    let root_key = config.key_of(&page_url.as_str());
+    let root_key = config.key_of_url(page_url);
+    // The page's site (eTLD+1) is fixed for the whole visit; computing
+    // it once turns per-request party classification into a single
+    // allocation-free suffix walk over the request's host.
+    let page_site = page_url.site();
     let mut tree = DepTree::new_rooted(root_key.clone());
 
     // Frame id → (normalized) document key.
@@ -77,7 +96,7 @@ pub fn build_tree(
         .collect();
 
     for req in &visit.requests {
-        let key = config.key_of(&req.url.as_str());
+        let key = config.key_of_url(&req.url);
         if key == root_key {
             continue; // the navigation request is the root itself
         }
@@ -85,7 +104,7 @@ pub fn build_tree(
         // --- Parent attribution (§3.2) --------------------------------
         // 1. Redirects.
         let parent_key: Option<String> = if let Some(from) = &req.redirect_from {
-            Some(config.key_of(&from.as_str()))
+            Some(config.key_of_url(from))
         }
         // 2. JavaScript / CSS call stacks.
         else if !req.call_stack.is_empty() {
@@ -117,7 +136,11 @@ pub fn build_tree(
             .and_then(|p| tree.find(&p))
             .unwrap_or(tree.root());
 
-        let party = Party::classify(page_url, &req.url);
+        let party = if psl::host_in_site(req.url.host(), &page_site) {
+            Party::First
+        } else {
+            Party::Third
+        };
         let tracking = filter_list
             .map(|list| list.is_tracking(&RequestInfo::new(&req.url, page_url, req.resource_type)))
             .unwrap_or(false);

@@ -227,8 +227,14 @@ impl Url {
             out.push_str(&p.to_string());
         }
         // Percent-encoding differences must not split node identities
-        // (`%41` vs `A` in paths; RFC 3986 §6.2.2).
-        out.push_str(&crate::encoding::normalize_percent_encoding(&self.path));
+        // (`%41` vs `A` in paths; RFC 3986 §6.2.2). Unescaped
+        // components — the overwhelmingly common case — are appended
+        // verbatim without the normalization pass's allocation.
+        if self.path.contains('%') {
+            out.push_str(&crate::encoding::normalize_percent_encoding(&self.path));
+        } else {
+            out.push_str(&self.path);
+        }
         if self.query.is_some() {
             out.push('?');
             let mut first = true;
@@ -237,7 +243,11 @@ impl Url {
                     out.push('&');
                 }
                 first = false;
-                out.push_str(&crate::encoding::normalize_percent_encoding(k));
+                if k.contains('%') {
+                    out.push_str(&crate::encoding::normalize_percent_encoding(k));
+                } else {
+                    out.push_str(k);
+                }
                 out.push('=');
             }
         }

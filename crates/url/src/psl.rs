@@ -126,6 +126,16 @@ fn suffix_set() -> &'static HashSet<&'static str> {
     SET.get_or_init(|| SUFFIXES.iter().copied().collect())
 }
 
+/// Lowercase only when needed: hostnames are almost always already
+/// lowercase, so the common path borrows and allocates nothing.
+fn lower(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.bytes().any(|b| b.is_ascii_uppercase()) {
+        std::borrow::Cow::Owned(s.to_ascii_lowercase())
+    } else {
+        std::borrow::Cow::Borrowed(s)
+    }
+}
+
 fn is_ip_literal(host: &str) -> bool {
     // IPv6 literal or dotted-quad IPv4.
     if host.starts_with('[') || host.contains(':') {
@@ -147,11 +157,16 @@ fn is_ip_literal(host: &str) -> bool {
 /// assert!(!wmtree_url::psl::is_public_suffix("example.com"));
 /// ```
 pub fn is_public_suffix(candidate: &str) -> bool {
-    let candidate = candidate.to_ascii_lowercase();
-    if EXCEPTIONS.contains(&candidate.as_str()) {
+    is_public_suffix_lower(&lower(candidate))
+}
+
+/// [`is_public_suffix`] for an already-lowercased candidate: pure
+/// lookups, no allocation.
+fn is_public_suffix_lower(candidate: &str) -> bool {
+    if EXCEPTIONS.contains(&candidate) {
         return false;
     }
-    if suffix_set().contains(candidate.as_str()) {
+    if suffix_set().contains(candidate) {
         return true;
     }
     // Wildcard: `x.<base>` where `<base>` is a wildcard rule.
@@ -167,15 +182,19 @@ pub fn is_public_suffix(candidate: &str) -> bool {
 /// label sequence that is a public suffix. Returns the last label when
 /// nothing matches (the PSL's implicit `*` rule).
 pub fn public_suffix(host: &str) -> String {
-    let host = host.to_ascii_lowercase();
-    let labels: Vec<&str> = host.split('.').collect();
-    for start in 0..labels.len() {
-        let candidate = labels[start..].join(".");
-        if is_public_suffix(&candidate) {
-            return candidate;
+    let host = lower(host);
+    let mut start = 0usize;
+    loop {
+        let candidate = &host[start..];
+        if is_public_suffix_lower(candidate) {
+            return candidate.to_string();
+        }
+        match host[start..].find('.') {
+            Some(dot) => start += dot + 1,
+            None => break,
         }
     }
-    labels.last().copied().unwrap_or("").to_string()
+    host.rsplit('.').next().unwrap_or("").to_string()
 }
 
 /// The registerable domain (eTLD+1) of `host`: one label more than the
@@ -191,35 +210,70 @@ pub fn public_suffix(host: &str) -> String {
 /// assert_eq!(etld_plus_one("192.168.0.1"), "192.168.0.1");
 /// ```
 pub fn etld_plus_one(host: &str) -> String {
-    let host = host.to_ascii_lowercase();
-    if is_ip_literal(&host) {
+    let host = lower(host);
+    etld_plus_one_lower(&host).to_string()
+}
+
+/// [`etld_plus_one`] over an already-lowercased host, returning a
+/// subslice of it. One left-to-right pass over the label boundaries: at
+/// each start offset the remaining suffix is a candidate (longest
+/// first), so no per-candidate `join(".")` buffers and no `Vec<&str>`
+/// of labels are ever built.
+fn etld_plus_one_lower(host: &str) -> &str {
+    if is_ip_literal(host) {
         return host;
     }
-    let labels: Vec<&str> = host.split('.').collect();
-    if labels.len() < 2 {
+    if !host.contains('.') {
         return host;
     }
     // Exception rules are registerable as-is.
-    if EXCEPTIONS.contains(&host.as_str()) {
+    if EXCEPTIONS.contains(&host) {
         return host;
     }
-    for start in 0..labels.len() {
-        let candidate = labels[start..].join(".");
-        if is_public_suffix(&candidate) {
-            if start == 0 {
-                // Host itself is a suffix — not registerable.
-                return host;
+    // `start` walks the label starts; `prev_start` trails one label
+    // behind so a suffix hit at `start` yields eTLD+1 as a subslice.
+    let mut prev_start = 0usize;
+    let mut start = 0usize;
+    loop {
+        if is_public_suffix_lower(&host[start..]) {
+            // At start == 0 the host itself is a suffix — not
+            // registerable, returned whole.
+            return if start == 0 {
+                host
+            } else {
+                &host[prev_start..]
+            };
+        }
+        match host[start..].find('.') {
+            Some(dot) => {
+                prev_start = start;
+                start += dot + 1;
             }
-            return labels[start - 1..].join(".");
+            None => break,
         }
     }
-    // Implicit `*` rule: last label is the suffix.
-    labels[labels.len() - 2..].join(".")
+    // Implicit `*` rule: the last label is the suffix, so eTLD+1 is the
+    // last two labels.
+    &host[prev_start..]
+}
+
+/// Does `host` register under `site` — i.e. is `site` the eTLD+1 of
+/// `host`? `site` must already be an eTLD+1 in lowercase (as returned
+/// by [`etld_plus_one`]); `host` is lowercased as needed. Equivalent to
+/// `etld_plus_one(host) == site` without the allocation, for callers
+/// that classify many hosts against one fixed site.
+pub fn host_in_site(host: &str, site: &str) -> bool {
+    let host = lower(host);
+    etld_plus_one_lower(&host) == site
 }
 
 /// Do two hosts belong to the same site (same eTLD+1)?
+///
+/// Allocation-free for lowercase inputs: both sides resolve to
+/// subslices of the argument strings and are compared in place.
 pub fn same_site(a: &str, b: &str) -> bool {
-    etld_plus_one(a) == etld_plus_one(b)
+    let (a, b) = (lower(a), lower(b));
+    etld_plus_one_lower(&a) == etld_plus_one_lower(&b)
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@ fn main() {
             };
             let entry = census.entry(url.site()).or_default();
             entry.nodes += 1;
-            entry.sites.insert(page.site.clone());
+            entry.sites.insert(page.site.to_string());
             if node.present_in == page.n_trees {
                 entry.in_all_profiles += 1;
             }

@@ -1,0 +1,119 @@
+//! Worker-count invariance of the *analysis* stage: the parallel
+//! post-crawl pipeline (tree building fan-out + per-page analysis
+//! passes) must produce byte-identical outputs for any worker count.
+//! "Outputs" means everything a consumer can observe: the report JSON,
+//! every rendered CSV, and the run manifest's metric-snapshot diff.
+//!
+//! Everything lives in one `#[test]`: the metrics registry is process
+//! global, and snapshot-diff attribution is only exact while no other
+//! run records concurrently. Integration tests are separate binaries,
+//! so this file owns its process.
+
+use wmtree::telemetry::Snapshot;
+use wmtree::{Experiment, ExperimentConfig, ExperimentResults, Report, Scale};
+
+fn config(workers: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::at_scale(Scale::Tiny).with_seed(0x9A7);
+    cfg.workers = workers;
+    cfg
+}
+
+/// Every byte-addressable rendering of a run, plus the worker-invariant
+/// slice of its telemetry (metric counters; wall-clock stage timings are
+/// excluded by construction — they live outside the metrics registry).
+struct Rendered {
+    report_json: String,
+    report_text: String,
+    csvs: Vec<(&'static str, String)>,
+    metrics: Snapshot,
+}
+
+fn render(results: &ExperimentResults) -> Rendered {
+    let report = Report::generate(results);
+    Rendered {
+        report_json: report.to_json(),
+        report_text: report.render(),
+        csvs: vec![
+            ("fig1", report.fig1_csv()),
+            ("fig2", report.fig2_csv()),
+            ("fig3", report.fig3_csv()),
+            ("fig4", report.fig4_csv()),
+            ("fig7", report.fig7_csv()),
+            ("fig8", report.fig8_csv()),
+            ("table5", report.table5_csv()),
+            ("table7", report.table7_csv()),
+        ],
+        metrics: results.manifest.metrics.clone(),
+    }
+}
+
+fn assert_identical(baseline: &Rendered, other: &Rendered, what: &str) {
+    assert_eq!(
+        baseline.report_json, other.report_json,
+        "report JSON differs: {what}"
+    );
+    assert_eq!(
+        baseline.report_text, other.report_text,
+        "rendered report differs: {what}"
+    );
+    for ((name, a), (_, b)) in baseline.csvs.iter().zip(&other.csvs) {
+        assert_eq!(a, b, "{name} CSV differs: {what}");
+    }
+    assert_eq!(
+        baseline.metrics, other.metrics,
+        "metric snapshot differs: {what}"
+    );
+}
+
+#[test]
+fn analysis_outputs_are_worker_count_invariant() {
+    // --- Crawl-then-analyze at 1, 2, and 8 workers. ---
+    let sequential = render(&Experiment::new(config(1)).run());
+    for workers in [2usize, 8] {
+        let parallel = render(&Experiment::new(config(workers)).run());
+        assert_identical(
+            &sequential,
+            &parallel,
+            &format!("run() at {workers} workers vs 1"),
+        );
+    }
+
+    // --- Replay from a recorded bundle, again across worker counts.
+    // The bundle is recorded once (sequentially); replays rebuild the
+    // database and re-run tree building + analysis under fan-out. ---
+    let dir = std::env::temp_dir().join("wmtree-parallel-identity");
+    let _ = std::fs::remove_dir_all(&dir);
+    match Experiment::new(config(1)).run_to_bundle(&dir, None) {
+        Ok(wmtree::BundleRun::Complete { .. }) => {}
+        other => panic!("uncapped bundle run must complete: {other:?}"),
+    }
+    // A replay records no crawl metrics (the bundle is read, not
+    // fetched), so its metric snapshot is compared replay-vs-replay;
+    // reports and CSVs are a pure function of the database and must
+    // also match the crawl-then-analyze run byte for byte.
+    let replay_sequential = render(&Experiment::new(config(1)).replay_from_bundle(&dir).unwrap());
+    assert_eq!(
+        replay_sequential.report_json, sequential.report_json,
+        "replayed report JSON differs from the crawl-then-analyze run"
+    );
+    assert_eq!(
+        replay_sequential.report_text, sequential.report_text,
+        "replayed report differs from the crawl-then-analyze run"
+    );
+    for ((name, a), (_, b)) in replay_sequential.csvs.iter().zip(&sequential.csvs) {
+        assert_eq!(a, b, "replayed {name} CSV differs");
+    }
+    for workers in [2usize, 8] {
+        let replayed = render(
+            &Experiment::new(config(workers))
+                .replay_from_bundle(&dir)
+                .unwrap(),
+        );
+        assert_identical(
+            &replay_sequential,
+            &replayed,
+            &format!("replay_from_bundle at {workers} workers vs 1"),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

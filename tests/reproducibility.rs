@@ -29,8 +29,8 @@ fn same_config_same_everything() {
 fn different_universe_seed_different_web() {
     let a = Experiment::new(tiny(1)).run();
     let b = Experiment::new(tiny(2)).run();
-    let sites_a: Vec<&str> = a.data.pages.iter().map(|p| p.site.as_str()).collect();
-    let sites_b: Vec<&str> = b.data.pages.iter().map(|p| p.site.as_str()).collect();
+    let sites_a: Vec<&str> = a.data.pages.iter().map(|p| p.site.as_ref()).collect();
+    let sites_b: Vec<&str> = b.data.pages.iter().map(|p| p.site.as_ref()).collect();
     assert_ne!(sites_a, sites_b);
 }
 
@@ -44,9 +44,9 @@ fn different_experiment_seed_same_web_different_visits() {
     let b = Experiment::new(cfg_b).run();
     // Same universe: same site population.
     let sa: std::collections::BTreeSet<&str> =
-        a.data.pages.iter().map(|p| p.site.as_str()).collect();
+        a.data.pages.iter().map(|p| p.site.as_ref()).collect();
     let sb: std::collections::BTreeSet<&str> =
-        b.data.pages.iter().map(|p| p.site.as_str()).collect();
+        b.data.pages.iter().map(|p| p.site.as_ref()).collect();
     assert!(!sa.is_disjoint(&sb));
     // Different visit randomness: trees differ for shared pages.
     let mut any_diff = false;

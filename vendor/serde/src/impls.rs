@@ -148,6 +148,20 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(std::sync::Arc::from)
+            .ok_or_else(|| Error::new(format!("expected string, got {}", v.kind())))
+    }
+}
+
 // ------------------------------------------------------------------ option
 
 impl<T: Serialize> Serialize for Option<T> {

@@ -9,7 +9,9 @@
 //! - non-generic structs: named fields, tuple/newtype, unit;
 //! - non-generic enums: unit, newtype, tuple, and struct variants
 //!   (externally tagged, like serde's default);
-//! - the `#[serde(rename = "...")]` field attribute.
+//! - the `#[serde(rename = "...")]` and `#[serde(skip)]` field
+//!   attributes (`skip` omits the field when serializing and fills it
+//!   with `Default::default()` when deserializing).
 //!
 //! Anything else (generics, other `#[serde]` attributes) fails with a
 //! dedicated compile error rather than silently misbehaving.
@@ -80,9 +82,19 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     Fields::Named(fields) => {
-                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
                         let entries: Vec<String> = fields
                             .iter()
+                            .filter(|f| !f.skip)
                             .map(|f| {
                                 format!(
                                     "(::std::string::String::from(\"{}\"), \
@@ -130,6 +142,7 @@ fn ser_fields_body(fields: &Fields, recv: &str) -> String {
         Fields::Named(fields) => {
             let entries: Vec<String> = fields
                 .iter()
+                .filter(|f| !f.skip)
                 .map(|f| {
                     format!(
                         "(::std::string::String::from(\"{}\"), \
@@ -172,7 +185,13 @@ fn gen_deserialize(item: &Item) -> String {
         ItemKind::Struct(Fields::Named(fields)) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{}: ::serde::__private::field(__v, \"{}\")?", f.name, f.key()))
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else {
+                        format!("{}: ::serde::__private::field(__v, \"{}\")?", f.name, f.key())
+                    }
+                })
                 .collect();
             format!(
                 "::std::result::Result::Ok({name} {{ {} }})",
@@ -203,11 +222,15 @@ fn gen_deserialize(item: &Item) -> String {
                         let inits: Vec<String> = fields
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "{}: ::serde::__private::field(__payload, \"{}\")?",
-                                    f.name,
-                                    f.key()
-                                )
+                                if f.skip {
+                                    format!("{}: ::std::default::Default::default()", f.name)
+                                } else {
+                                    format!(
+                                        "{}: ::serde::__private::field(__payload, \"{}\")?",
+                                        f.name,
+                                        f.key()
+                                    )
+                                }
                             })
                             .collect();
                         format!(

@@ -6,12 +6,28 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 pub struct Field {
     pub name: String,
     pub rename: Option<String>,
+    /// `#[serde(skip)]`: omitted when serializing, `Default::default()`
+    /// when deserializing.
+    pub skip: bool,
 }
 
 impl Field {
     /// The key this field serializes under.
     pub fn key(&self) -> &str {
         self.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// The `#[serde(...)]` attributes collected from one field or item.
+#[derive(Default)]
+pub struct SerdeAttrs {
+    pub rename: Option<String>,
+    pub skip: bool,
+}
+
+impl SerdeAttrs {
+    fn any(&self) -> bool {
+        self.rename.is_some() || self.skip
     }
 }
 
@@ -65,11 +81,11 @@ impl Cursor {
         matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
     }
 
-    /// Skip `#[...]` attributes, returning a rename captured from any
-    /// `#[serde(rename = "...")]` among them. Unsupported `#[serde]`
-    /// attribute contents are an error.
-    fn skip_attrs(&mut self) -> Result<Option<String>, String> {
-        let mut rename = None;
+    /// Skip `#[...]` attributes, returning the `#[serde(...)]` contents
+    /// captured among them (`rename = "..."` and/or `skip`).
+    /// Unsupported `#[serde]` attribute contents are an error.
+    fn skip_attrs(&mut self) -> Result<SerdeAttrs, String> {
+        let mut attrs = SerdeAttrs::default();
         while self.at_punct('#') {
             self.next();
             let group = match self.next() {
@@ -80,13 +96,13 @@ impl Cursor {
             if matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
                 match inner.get(1) {
                     Some(TokenTree::Group(args)) => {
-                        rename = Some(parse_serde_rename(args.stream())?);
+                        parse_serde_args(args.stream(), &mut attrs)?;
                     }
                     _ => return Err("malformed #[serde] attribute".into()),
                 }
             }
         }
-        Ok(rename)
+        Ok(attrs)
     }
 
     /// Skip `pub` / `pub(...)`.
@@ -118,21 +134,28 @@ impl Cursor {
     }
 }
 
-fn parse_serde_rename(args: TokenStream) -> Result<String, String> {
+fn parse_serde_args(args: TokenStream, attrs: &mut SerdeAttrs) -> Result<(), String> {
     let tokens: Vec<TokenTree> = args.into_iter().collect();
     match tokens.as_slice() {
         [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
             if key.to_string() == "rename" && eq.as_char() == '=' =>
         {
             let raw = lit.to_string();
-            raw.strip_prefix('"')
-                .and_then(|s| s.strip_suffix('"'))
-                .map(str::to_owned)
-                .ok_or_else(|| "rename value must be a string literal".into())
+            attrs.rename = Some(
+                raw.strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .map(str::to_owned)
+                    .ok_or_else(|| String::from("rename value must be a string literal"))?,
+            );
+            Ok(())
+        }
+        [TokenTree::Ident(key)] if key.to_string() == "skip" => {
+            attrs.skip = true;
+            Ok(())
         }
         _ => Err(
-            "vendored serde_derive supports only #[serde(rename = \"...\")]; \
-             extend vendor/serde_derive for anything else"
+            "vendored serde_derive supports only #[serde(rename = \"...\")] and \
+             #[serde(skip)]; extend vendor/serde_derive for anything else"
                 .into(),
         ),
     }
@@ -199,7 +222,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Fields, String> {
     };
     let mut fields = Vec::new();
     loop {
-        let rename = cur.skip_attrs()?;
+        let attrs = cur.skip_attrs()?;
         cur.skip_vis();
         let name = match cur.next() {
             Some(TokenTree::Ident(i)) => i.to_string(),
@@ -210,7 +233,11 @@ fn parse_named_fields(body: TokenStream) -> Result<Fields, String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             _ => return Err(format!("expected `:` after field `{name}`")),
         }
-        fields.push(Field { name, rename });
+        fields.push(Field {
+            name,
+            rename: attrs.rename,
+            skip: attrs.skip,
+        });
         if !cur.skip_until_comma() {
             break;
         }
@@ -226,8 +253,8 @@ fn count_tuple_fields(body: TokenStream) -> Result<usize, String> {
     };
     let mut count = 0;
     loop {
-        if cur.skip_attrs()?.is_some() {
-            return Err("#[serde(rename)] is not supported on tuple fields".into());
+        if cur.skip_attrs()?.any() {
+            return Err("#[serde(...)] attributes are not supported on tuple fields".into());
         }
         cur.skip_vis();
         if cur.peek().is_none() {
