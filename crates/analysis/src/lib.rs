@@ -37,6 +37,7 @@ pub mod distributions;
 pub mod index;
 pub mod node_similarity;
 pub mod par;
+pub mod partial;
 pub mod popularity;
 pub mod presence;
 pub mod profiles;
@@ -48,3 +49,4 @@ pub mod unique_nodes;
 
 pub use data::{CookieObservation, ExperimentData, PageAnalysis};
 pub use node_similarity::{NodeSimilarity, PageNodeSimilarities};
+pub use partial::{MergeDigest, MergedAnalysis, PartialAccumulators, PartialMergeError};

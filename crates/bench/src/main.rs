@@ -16,7 +16,18 @@
 //! repro --from-bundle DIR    # skip crawling; analyze a recorded bundle
 //! repro --workers 8          # post-crawl pipeline fan-out width
 //! repro --bench-stages FILE  # measure stage wall times, write BENCH JSON
+//! repro --bench-stages FILE --scale small,medium  # one run entry per scale
+//! repro --shards 5 --shard-dir DIR          # plan + crawl all shards + merge
+//! repro --shards 5 --shard-dir DIR --plan-only   # write SHARDS.json only
+//! repro --shard-dir DIR --shard-id 2        # crawl (or resume) one shard
+//! repro --merge-shards DIR   # streaming merge of a fully crawled plan
 //! ```
+//!
+//! The shard flags are the multi-process recipe for `--scale huge`
+//! (the paper's 25k-site corpus): plan once, crawl each shard in its
+//! own process with `--shard-id`, then `--merge-shards` — the merged
+//! report is byte-identical to a single-process run, but peak memory
+//! is one shard.
 //!
 //! Unless `--no-telemetry` is given, every run ends with a telemetry
 //! summary on stderr, and `--telemetry DIR` (or `--csv DIR`) writes the
@@ -39,11 +50,13 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "repro — regenerate the IMC'23 tables and figures\n\n\
-             USAGE: repro [--scale tiny|small|medium|large] \
+             USAGE: repro [--scale tiny|small|medium|large|huge] \
              [--table 1..7] [--fig 1..8] [--case unique-nodes|cookies|tracking] \
              [--json FILE] [--csv DIR] [--telemetry DIR] [--no-telemetry] [--ablations] \
              [--bundle DIR [--resume] [--max-sites N]] [--from-bundle DIR] \
-             [--workers N] [--bench-stages FILE]"
+             [--shards N --shard-dir DIR [--plan-only]] \
+             [--shard-dir DIR --shard-id K [--max-sites N]] [--merge-shards DIR] \
+             [--workers N] [--bench-stages FILE [--scale s1,s2]]"
         );
         return;
     }
@@ -58,11 +71,32 @@ fn main() {
         return;
     }
 
-    let scale = match get("--scale").as_deref() {
-        Some("tiny") => Scale::Tiny,
-        Some("medium") => Scale::Medium,
-        Some("large") => Scale::Large,
-        _ => Scale::Small,
+    // `--bench-stages` accepts a comma-separated scale list (e.g.
+    // `--scale small,medium`) and measures every scale into one file;
+    // everything else takes a single scale.
+    if let Some(path) = get("--bench-stages") {
+        let scales: Vec<Scale> = match get("--scale") {
+            Some(names) => names
+                .split(',')
+                .map(|name| {
+                    Scale::parse(name).unwrap_or_else(|| {
+                        eprintln!("[repro] unknown scale {name:?} (tiny|small|medium|large|huge)");
+                        std::process::exit(2);
+                    })
+                })
+                .collect(),
+            None => vec![Scale::Small],
+        };
+        bench_stages(&scales, &path);
+        return;
+    }
+
+    let scale = match get("--scale") {
+        Some(name) => Scale::parse(&name).unwrap_or_else(|| {
+            eprintln!("[repro] unknown scale {name:?} (tiny|small|medium|large|huge)");
+            std::process::exit(2);
+        }),
+        None => Scale::Small,
     };
     let workers = get("--workers").and_then(|s| s.parse::<usize>().ok());
     let config = |scale: Scale| {
@@ -73,12 +107,107 @@ fn main() {
         cfg
     };
 
-    if let Some(path) = get("--bench-stages") {
-        bench_stages(scale, &path);
+    // One-shard crawl: `--shard-dir DIR --shard-id K`. Crawls (or
+    // resumes) that shard's bundle and exits — the report comes later,
+    // from `--merge-shards`.
+    if let Some(id) = get("--shard-id") {
+        let dir = get("--shard-dir").unwrap_or_else(|| {
+            eprintln!("[repro] --shard-id needs --shard-dir DIR (where SHARDS.json lives)");
+            std::process::exit(2);
+        });
+        let id: usize = id.parse().unwrap_or_else(|_| {
+            eprintln!("[repro] --shard-id must be a shard number");
+            std::process::exit(2);
+        });
+        let plan_dir = std::path::Path::new(&dir);
+        let max_sites = get("--max-sites").and_then(|s| s.parse::<usize>().ok());
+        eprintln!("[repro] crawling shard {id} of plan {dir} at {scale:?} scale...");
+        let exp = Experiment::new(config(scale));
+        match wmtree_shard::crawl_shard(&exp, plan_dir, id, max_sites) {
+            Ok(wmtree_shard::ShardCrawl::Complete { pages, bundle_hash }) => {
+                eprintln!("[repro] shard {id} complete: {pages} pages, bundle hash {bundle_hash}");
+            }
+            Ok(wmtree_shard::ShardCrawl::Partial {
+                sites_done,
+                sites_total,
+            }) => {
+                eprintln!(
+                    "[repro] shard {id} checkpointed at {sites_done}/{sites_total} sites; \
+                     rerun `--shard-dir {dir} --shard-id {id}` to continue"
+                );
+            }
+            Err(e) => {
+                eprintln!("[repro] shard crawl failed: {e}");
+                std::process::exit(2);
+            }
+        }
         return;
     }
 
-    let mut results = if let Some(dir) = get("--from-bundle") {
+    // Plan (and optionally crawl) a sharded experiment:
+    // `--shards N --shard-dir DIR [--plan-only]`. Falls through into
+    // the streaming merge (and the normal report path) once every
+    // shard is crawled.
+    let mut merge_dir = get("--merge-shards");
+    if let Some(n) = get("--shards") {
+        let dir = get("--shard-dir").unwrap_or_else(|| {
+            eprintln!("[repro] --shards needs --shard-dir DIR");
+            std::process::exit(2);
+        });
+        let n: usize = n.parse().unwrap_or_else(|_| {
+            eprintln!("[repro] --shards must be a shard count");
+            std::process::exit(2);
+        });
+        let plan_dir = std::path::Path::new(&dir);
+        let exp = Experiment::new(config(scale));
+        if wmtree_shard::ShardPlan::exists(plan_dir) {
+            eprintln!("[repro] {dir} already holds SHARDS.json; keeping the existing plan");
+        } else {
+            let plan = wmtree_shard::ShardPlan::new(&exp, n).unwrap_or_else(|e| {
+                eprintln!("[repro] shard planning failed: {e}");
+                std::process::exit(2);
+            });
+            plan.store(plan_dir).unwrap_or_else(|e| {
+                eprintln!("[repro] writing SHARDS.json failed: {e}");
+                std::process::exit(2);
+            });
+            eprintln!(
+                "[repro] planned {} shards over {} sites into {dir}",
+                plan.shards.len(),
+                plan.total_sites
+            );
+        }
+        if args.iter().any(|a| a == "--plan-only") {
+            return;
+        }
+        match wmtree_shard::crawl_remaining_shards(&exp, plan_dir) {
+            Ok(crawled) => eprintln!("[repro] crawled {crawled} remaining shards"),
+            Err(e) => {
+                eprintln!("[repro] shard crawl failed: {e}");
+                std::process::exit(2);
+            }
+        }
+        merge_dir = Some(dir);
+    }
+
+    let mut results = if let Some(dir) = merge_dir {
+        // Streaming merge: one shard-bundle in memory at a time.
+        eprintln!("[repro] merging shards from {dir} (streaming, one shard at a time)...");
+        let exp = Experiment::new(config(scale));
+        match wmtree_shard::merge_shards(&exp, std::path::Path::new(&dir)) {
+            Ok(merged) => {
+                eprintln!(
+                    "[repro] merged {} pages from {dir}; peak residency {} pages (one shard)",
+                    merged.digest.pages, merged.peak_shard_pages
+                );
+                merged.results
+            }
+            Err(e) => {
+                eprintln!("[repro] shard merge failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else if let Some(dir) = get("--from-bundle") {
         eprintln!("[repro] replaying analyses from bundle {dir} (no crawl)...");
         let exp = Experiment::new(config(scale));
         match exp.replay_from_bundle(std::path::Path::new(&dir)) {
@@ -240,11 +369,12 @@ fn main() {
 }
 
 /// `--bench-stages FILE`: measure the post-crawl pipeline (tree
-/// building + analyses) on the standard repro universe at 1 and 8
-/// workers and write a machine-readable comparison against the
-/// pre-optimization sequential baseline (the evidence file for the
-/// parallel-pipeline PR, committed as `BENCH_4.json`).
-fn bench_stages(scale: Scale, path: &str) {
+/// building + analyses) at 1 and 8 workers for each requested scale
+/// and write one machine-readable file with a `runs` array. The Small
+/// run additionally carries a comparison against the pre-optimization
+/// sequential baseline (the same baseline `BENCH_4.json` was measured
+/// against, so the files are directly comparable).
+fn bench_stages(scales: &[Scale], path: &str) {
     // Stage wall times measured at the commit before the parallel
     // post-crawl pipeline, the shared per-page index, and the filter
     // candidate index landed (same host, Small scale, sequential
@@ -253,11 +383,11 @@ fn bench_stages(scale: Scale, path: &str) {
     const BASELINE_ANALYZE_MS: f64 = 231.72;
     let baseline_combined = BASELINE_BUILD_TREES_MS + BASELINE_ANALYZE_MS;
 
-    // One crawl feeds every arm; the measured region is exactly the
-    // post-crawl pipeline (the `build_trees` and `analyze` stages of a
-    // run). Arms are interleaved across repetitions and the minimum per
-    // stage is kept — shared hosts throttle sustained load, and the
-    // minimum is the robust estimator of true stage cost.
+    // One crawl per scale feeds every arm; the measured region is
+    // exactly the post-crawl pipeline (the `build_trees` and `analyze`
+    // stages of a run). Arms are interleaved across repetitions and the
+    // minimum per stage is kept — shared hosts throttle sustained load,
+    // and the minimum is the robust estimator of true stage cost.
     const WORKER_ARMS: [usize; 2] = [1, 8];
     const REPS: usize = 3;
 
@@ -269,87 +399,106 @@ fn bench_stages(scale: Scale, path: &str) {
     use wmtree::filterlist::embedded::tracking_list;
     use wmtree::webgen::WebUniverse;
 
-    let cfg = ExperimentConfig::at_scale(scale);
-    eprintln!("[repro] bench-stages: one crawl at {scale:?} scale...");
-    let universe = WebUniverse::generate(cfg.universe);
-    let db = Commander::new(
-        &universe,
-        cfg.profiles.clone(),
-        CrawlOptions {
-            max_pages_per_site: cfg.max_pages_per_site,
-            workers: cfg.workers,
-            experiment_seed: cfg.experiment_seed,
-            reliable: cfg.reliable,
-            stateful: false,
-        },
-    )
-    .run();
-    let site_meta: BTreeMap<String, (u32, String)> = universe
-        .sites()
-        .iter()
-        .map(|s| (s.domain.clone(), (s.rank, s.bucket.label().to_string())))
-        .collect();
-    let names: Vec<String> = cfg.profiles.iter().map(|p| p.name.clone()).collect();
-    let filter = cfg.use_filter_list.then(tracking_list);
+    let mut run_objects: Vec<String> = Vec::new();
+    for &scale in scales {
+        let cfg = ExperimentConfig::at_scale(scale);
+        eprintln!("[repro] bench-stages: one crawl at {scale:?} scale...");
+        let universe = WebUniverse::generate(cfg.universe);
+        let db = Commander::new(
+            &universe,
+            cfg.profiles.clone(),
+            CrawlOptions {
+                max_pages_per_site: cfg.max_pages_per_site,
+                workers: cfg.workers,
+                experiment_seed: cfg.experiment_seed,
+                reliable: cfg.reliable,
+                stateful: false,
+            },
+        )
+        .run();
+        let site_meta: BTreeMap<String, (u32, String)> = universe
+            .sites()
+            .iter()
+            .map(|s| (s.domain.clone(), (s.rank, s.bucket.label().to_string())))
+            .collect();
+        let names: Vec<String> = cfg.profiles.iter().map(|p| p.name.clone()).collect();
+        let filter = cfg.use_filter_list.then(tracking_list);
 
-    let mut best = [[f64::INFINITY; 2]; WORKER_ARMS.len()];
-    for _rep in 0..REPS {
-        for (ai, &workers) in WORKER_ARMS.iter().enumerate() {
-            let t = Instant::now();
-            let data = ExperimentData::from_db_parallel(
-                &db,
-                names.clone(),
-                filter,
-                &cfg.tree,
-                &site_meta,
-                workers,
-            );
-            let build = t.elapsed().as_secs_f64() * 1e3;
-            let t = Instant::now();
-            let sims = analyze_all(&data);
-            let analyze = t.elapsed().as_secs_f64() * 1e3;
-            std::hint::black_box(&sims);
-            best[ai][0] = best[ai][0].min(build);
-            best[ai][1] = best[ai][1].min(analyze);
+        let mut best = [[f64::INFINITY; 2]; WORKER_ARMS.len()];
+        for _rep in 0..REPS {
+            for (ai, &workers) in WORKER_ARMS.iter().enumerate() {
+                let t = Instant::now();
+                let data = ExperimentData::from_db_parallel(
+                    &db,
+                    names.clone(),
+                    filter,
+                    &cfg.tree,
+                    &site_meta,
+                    workers,
+                );
+                let build = t.elapsed().as_secs_f64() * 1e3;
+                let t = Instant::now();
+                let sims = analyze_all(&data);
+                let analyze = t.elapsed().as_secs_f64() * 1e3;
+                std::hint::black_box(&sims);
+                best[ai][0] = best[ai][0].min(build);
+                best[ai][1] = best[ai][1].min(analyze);
+            }
         }
-    }
-    let mut arms: Vec<(usize, f64, f64)> = Vec::new();
-    for (ai, &workers) in WORKER_ARMS.iter().enumerate() {
-        let (build, analyze) = (best[ai][0], best[ai][1]);
-        eprintln!(
-            "[repro]   {workers} workers: build_trees {build:.2} ms + analyze {analyze:.2} ms \
-             = {:.2} ms (min of {REPS})",
-            build + analyze
-        );
-        arms.push((workers, build, analyze));
+        let mut arms: Vec<(usize, f64, f64)> = Vec::new();
+        for (ai, &workers) in WORKER_ARMS.iter().enumerate() {
+            let (build, analyze) = (best[ai][0], best[ai][1]);
+            eprintln!(
+                "[repro]   {workers} workers: build_trees {build:.2} ms + analyze {analyze:.2} ms \
+                 = {:.2} ms (min of {REPS})",
+                build + analyze
+            );
+            arms.push((workers, build, analyze));
+        }
+        let arm_objects: Vec<String> = arms
+            .iter()
+            .map(|(workers, build, analyze)| {
+                format!(
+                    "        {{\n          \"workers\": {workers},\n          \
+                     \"build_trees_ms\": {build:.2},\n          \
+                     \"analyze_ms\": {analyze:.2},\n          \"combined_ms\": {:.2}\n        }}",
+                    build + analyze
+                )
+            })
+            .collect();
+
+        // The pre-PR sequential baseline was measured at Small, so the
+        // cross-version speedup is only meaningful for the Small run;
+        // other scales report their arms alone (the w=8/w=1 ratio is
+        // the within-version signal there).
+        let baseline_block = if scale == Scale::Small {
+            let (_, build, analyze) = *arms.last().expect("two arms measured");
+            let speedup = baseline_combined / (build + analyze);
+            eprintln!("[repro]   speedup vs sequential Small baseline: {speedup:.2}x");
+            format!(
+                ",\n      \"baseline\": {{\n        \"note\": \"sequential pipeline before the \
+                 parallel post-crawl PR (same host, same universe)\",\n        \
+                 \"build_trees_ms\": {BASELINE_BUILD_TREES_MS},\n        \
+                 \"analyze_ms\": {BASELINE_ANALYZE_MS},\n        \
+                 \"combined_ms\": {baseline_combined:.2}\n      }},\n      \
+                 \"speedup_vs_baseline\": {speedup:.2}"
+            )
+        } else {
+            String::new()
+        };
+        run_objects.push(format!(
+            "    {{\n      \"scale\": \"{scale:?}\",\n      \"arms\": [\n{}\n      ]{}\n    }}",
+            arm_objects.join(",\n"),
+            baseline_block
+        ));
     }
 
-    // Speedup of the widest arm over the pre-PR sequential baseline.
-    // (On a single-core host the win is algorithmic — candidate-indexed
-    // filter matching, the shared per-page index, allocation-free
-    // eTLD+1 — and the arms differ only by coordination overhead.)
-    let (_, build, analyze) = *arms.last().expect("two arms measured");
-    let speedup = baseline_combined / (build + analyze);
-    let arm_objects: Vec<String> = arms
-        .iter()
-        .map(|(workers, build, analyze)| {
-            format!(
-                "    {{\n      \"workers\": {workers},\n      \"build_trees_ms\": {build:.2},\n      \
-                 \"analyze_ms\": {analyze:.2},\n      \"combined_ms\": {:.2}\n    }}",
-                build + analyze
-            )
-        })
-        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"post_crawl_pipeline_stages\",\n  \"scale\": \"{scale:?}\",\n  \
-         \"baseline\": {{\n    \"note\": \"sequential pipeline before the parallel post-crawl \
-         PR (same host, same universe)\",\n    \"build_trees_ms\": {BASELINE_BUILD_TREES_MS},\n    \
-         \"analyze_ms\": {BASELINE_ANALYZE_MS},\n    \"combined_ms\": {baseline_combined:.2}\n  \
-         }},\n  \"arms\": [\n{}\n  ],\n  \"speedup_vs_baseline\": {speedup:.2}\n}}\n",
-        arm_objects.join(",\n"),
+        "{{\n  \"bench\": \"post_crawl_pipeline_stages\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+        run_objects.join(",\n"),
     );
     std::fs::write(path, &json).expect("write bench-stages JSON");
-    eprintln!("[repro] wrote {path} (speedup vs sequential baseline: {speedup:.2}x)");
+    eprintln!("[repro] wrote {path}");
 }
 
 /// Table 1 is configuration, not measurement — print the profile matrix.

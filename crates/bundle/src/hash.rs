@@ -5,6 +5,9 @@
 //! rendered as fixed-width lowercase hex so the archives are plain
 //! text, byte-stable, and diffable.
 
+use crate::error::BundleError;
+use crate::manifest::MANIFEST_FILE;
+use std::path::Path;
 use wmtree_webgen::stable_hash;
 
 /// Domain seed for content addresses of stored objects.
@@ -13,6 +16,8 @@ const OBJECT_SEED: u64 = 0x776d_6275_6f62_6a31; // "wmbuobj1"
 const LINE_SEED: u64 = 0x776d_6275_6c6e_3131; // "wmbuln11"
 /// Domain seed (initial value) for the per-segment rolling chain.
 const CHAIN_SEED: u64 = 0x776d_6275_6368_6e31; // "wmbuchn1"
+/// Domain seed for whole-bundle content hashes.
+const BUNDLE_SEED: u64 = 0x776d_6275_6e64_6c31; // "wmbundl1"
 
 /// Content address of a serialized object payload.
 pub fn object_hash(payload: &[u8]) -> u64 {
@@ -34,6 +39,21 @@ pub fn chain_start() -> u64 {
 /// newline) into a segment's rolling chain.
 pub fn chain_fold(chain: u64, line: &[u8]) -> u64 {
     stable_hash(chain, line)
+}
+
+/// Content hash of a whole bundle, as fixed-width hex.
+///
+/// Defined as the stable hash of the `MANIFEST.json` bytes under a
+/// bundle-specific domain seed. The manifest pins the record count and
+/// rolling chain checksum of every segment, so any committed byte of
+/// the archive is transitively covered: two bundles share a content
+/// hash iff their committed contents are byte-identical. (Bytes beyond
+/// the manifest-covered prefix are uncommitted crash leftovers and
+/// deliberately excluded — resuming truncates them.)
+pub fn bundle_content_hash(dir: &Path) -> Result<String, BundleError> {
+    let path = dir.join(MANIFEST_FILE);
+    let bytes = std::fs::read(&path).map_err(|source| BundleError::Io { path, source })?;
+    Ok(to_hex(stable_hash(BUNDLE_SEED, &bytes)))
 }
 
 /// Render a hash as the fixed-width lowercase hex the archive stores.

@@ -38,6 +38,7 @@ pub mod verify;
 pub mod writer;
 
 pub use error::BundleError;
+pub use hash::bundle_content_hash;
 pub use manifest::{BundleMeta, Manifest, SegmentMeta, DEFAULT_SEGMENT_CAPACITY};
 pub use reader::{BundleReader, VisitIter};
 pub use record::{BundleVisit, Checkpoint, ObjectEntry, Record, VisitRef};

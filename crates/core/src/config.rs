@@ -16,8 +16,13 @@ pub enum Scale {
     Small,
     /// ~750 sites, 15 pages each — minutes.
     Medium,
-    /// ~2.5k sites, 25 pages each — the largest preset.
+    /// ~2.5k sites, 25 pages each — the largest single-process preset.
     Large,
+    /// 25k sites, 25 pages each — the paper's full corpus (~1.7M page
+    /// visits across 5 profiles). Meant to be produced piecemeal as
+    /// rank-range shards (`wmtree-shard`) and analyzed by streaming
+    /// merge, never held in one in-memory `CrawlDb`.
+    Huge,
 }
 
 impl Scale {
@@ -28,6 +33,7 @@ impl Scale {
             Scale::Small => [50, 25, 25, 25, 25],
             Scale::Medium => [150, 150, 150, 150, 150],
             Scale::Large => [500, 500, 500, 500, 500],
+            Scale::Huge => [5000, 5000, 5000, 5000, 5000],
         }
     }
 
@@ -37,7 +43,19 @@ impl Scale {
             Scale::Tiny => 4,
             Scale::Small => 8,
             Scale::Medium => 15,
-            Scale::Large => 25,
+            Scale::Large | Scale::Huge => 25,
+        }
+    }
+
+    /// Parse a scale name as the `repro` CLI spells it.
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
+            "huge" => Some(Scale::Huge),
+            _ => None,
         }
     }
 }
@@ -119,6 +137,24 @@ mod tests {
         assert!(total(Scale::Tiny) < total(Scale::Small));
         assert!(total(Scale::Small) < total(Scale::Medium));
         assert!(total(Scale::Medium) < total(Scale::Large));
+        assert!(total(Scale::Large) < total(Scale::Huge));
+        // Huge is the paper's corpus: 25k sites × ≤25 pages × 5
+        // profiles ≈ 1.7M visit attempts upper bound (§3.1).
+        assert_eq!(total(Scale::Huge), 25_000 * 25);
+    }
+
+    #[test]
+    fn scale_names_parse() {
+        for (name, scale) in [
+            ("tiny", Scale::Tiny),
+            ("small", Scale::Small),
+            ("medium", Scale::Medium),
+            ("large", Scale::Large),
+            ("huge", Scale::Huge),
+        ] {
+            assert_eq!(Scale::parse(name), Some(scale));
+        }
+        assert_eq!(Scale::parse("paper"), None);
     }
 
     #[test]

@@ -131,6 +131,28 @@ impl Experiment {
         }
     }
 
+    /// Crawl only the contiguous site window `[lo, hi)` — one shard of
+    /// a sharded run — resumably into the bundle at `dir`. Unlike
+    /// [`run_to_bundle`](Experiment::run_to_bundle), no analyses run
+    /// here: sharded runs analyze by streaming merge (`wmtree-shard`)
+    /// once every shard bundle is complete, so peak memory stays one
+    /// shard. `max_sites` caps how many sites this invocation crawls
+    /// (interrupt + resume works exactly as for whole-universe
+    /// bundles).
+    pub fn crawl_window_to_bundle(
+        &self,
+        lo: usize,
+        hi: usize,
+        dir: &Path,
+        max_sites: Option<usize>,
+    ) -> Result<ResumableOutcome, BundleError> {
+        let _run_span = wmtree_telemetry::span("experiment.crawl_window");
+        let progress = ProgressTracker::new(hi - lo, self.config.workers.max(1));
+        self.commander()
+            .with_site_range(lo, hi)
+            .run_resumable_with_progress(dir, max_sites, &progress)
+    }
+
     /// Skip crawling entirely: rebuild the database from a (complete)
     /// bundle recorded under the *same* configuration and run the
     /// analyses on it. The results — and any report/CSV rendered from

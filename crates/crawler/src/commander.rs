@@ -77,6 +77,9 @@ pub struct Commander<'a> {
     universe: &'a WebUniverse,
     profiles: Vec<Profile>,
     options: CrawlOptions,
+    /// Half-open site-index window `[lo, hi)` into the rank-sorted
+    /// universe this commander crawls. `None` = the whole universe.
+    site_range: Option<(usize, usize)>,
 }
 
 impl<'a> Commander<'a> {
@@ -87,6 +90,27 @@ impl<'a> Commander<'a> {
             universe,
             profiles,
             options,
+            site_range: None,
+        }
+    }
+
+    /// Restrict the crawl to the half-open site-index window
+    /// `[lo, hi)` of the rank-sorted universe — the unit of work of a
+    /// shard. Visit seeds derive from `(experiment seed, profile, page
+    /// URL)`, never from the site index, so a windowed crawl records
+    /// exactly the visits a full crawl would record for those sites.
+    pub fn with_site_range(mut self, lo: usize, hi: usize) -> Self {
+        let n = self.universe.sites().len();
+        assert!(lo <= hi && hi <= n, "site range [{lo}, {hi}) out of 0..{n}");
+        self.site_range = Some((lo, hi));
+        self
+    }
+
+    /// The site-index window this commander crawls.
+    fn site_window(&self) -> std::ops::Range<usize> {
+        match self.site_range {
+            Some((lo, hi)) => lo..hi,
+            None => 0..self.universe.sites().len(),
         }
     }
 
@@ -101,8 +125,7 @@ impl<'a> Commander<'a> {
     ///
     /// [`run_with_progress`]: Commander::run_with_progress
     pub fn run(&self) -> CrawlDb {
-        let progress =
-            ProgressTracker::new(self.universe.sites().len(), self.options.workers.max(1));
+        let progress = ProgressTracker::new(self.site_window().len(), self.options.workers.max(1));
         self.run_with_progress(&progress)
     }
 
@@ -111,10 +134,10 @@ impl<'a> Commander<'a> {
     /// it afterwards for the run manifest).
     pub fn run_with_progress(&self, progress: &ProgressTracker) -> CrawlDb {
         let _run_span = wmtree_telemetry::span("crawl.run");
-        let sites = self.universe.sites();
+        let window = self.site_window();
         if self.options.workers <= 1 {
             let mut db = CrawlDb::new(self.profiles.len());
-            for site_idx in 0..sites.len() {
+            for site_idx in window {
                 self.crawl_site(site_idx, &mut db, 0, progress);
             }
             return db;
@@ -122,15 +145,16 @@ impl<'a> Commander<'a> {
         // Shard sites over workers; each worker fills its own DB shard,
         // merged at the end (site-level sync is inherent: a site's five
         // profile visits happen inside one worker task).
-        let workers = self.options.workers.min(sites.len().max(1));
+        let workers = self.options.workers.min(window.len().max(1));
         let mut shards: Vec<CrawlDb> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
+                let window = window.clone();
                 let handle = scope.spawn(move || {
                     let mut db = CrawlDb::new(self.profiles.len());
-                    let mut site_idx = w;
-                    while site_idx < sites.len() {
+                    let mut site_idx = window.start + w;
+                    while site_idx < window.end {
                         self.crawl_site(site_idx, &mut db, w, progress);
                         site_idx += workers;
                     }
@@ -179,8 +203,7 @@ impl<'a> Commander<'a> {
         dir: &Path,
         max_sites: Option<usize>,
     ) -> Result<ResumableOutcome, BundleError> {
-        let progress =
-            ProgressTracker::new(self.universe.sites().len(), self.options.workers.max(1));
+        let progress = ProgressTracker::new(self.site_window().len(), self.options.workers.max(1));
         self.run_resumable_with_progress(dir, max_sites, &progress)
     }
 
@@ -225,7 +248,8 @@ impl<'a> Commander<'a> {
             );
         }
 
-        let pending: Vec<usize> = (0..sites.len())
+        let pending: Vec<usize> = self
+            .site_window()
             .filter(|i| !state.sites.contains(&sites[*i].domain))
             .collect();
         let budget = max_sites.unwrap_or(pending.len()).min(pending.len());
@@ -277,7 +301,7 @@ impl<'a> Commander<'a> {
             let manifest = writer.suspend()?;
             Ok(ResumableOutcome::Partial {
                 sites_done: recovered + crawled,
-                sites_total: sites.len(),
+                sites_total: self.site_window().len(),
                 manifest,
             })
         }
@@ -487,6 +511,68 @@ mod tests {
             a, b,
             "workers=1 and workers=8 must produce identical databases"
         );
+    }
+
+    #[test]
+    fn windowed_crawls_union_to_the_full_database() {
+        // Three disjoint site windows must crawl exactly the visits of
+        // a full run — the contract the shard runner is built on.
+        let u = uni();
+        let full = Commander::new(&u, standard_profiles(), options()).run();
+        let n = u.sites().len();
+        let cuts = [0, n / 3, 2 * n / 3, n];
+        let mut merged = CrawlDb::new(5);
+        for w in cuts.windows(2) {
+            let part = Commander::new(&u, standard_profiles(), options())
+                .with_site_range(w[0], w[1])
+                .run();
+            merged.merge(part);
+        }
+        let a = serde_json::to_string(&full).unwrap();
+        let b = serde_json::to_string(&merged).unwrap();
+        assert_eq!(a, b, "windowed crawls must union to the full database");
+    }
+
+    #[test]
+    fn windowed_resumable_bundle_completes_per_window() {
+        let u = uni();
+        let dir = std::env::temp_dir().join("wmtree-commander-window-bundle");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = Commander::new(&u, standard_profiles(), options()).with_site_range(2, 5);
+        match cmd.run_resumable(&dir, None).unwrap() {
+            ResumableOutcome::Complete { db, manifest } => {
+                assert!(manifest.complete);
+                // Exactly the windowed sites' pages are recorded.
+                let expect = Commander::new(&u, standard_profiles(), options())
+                    .with_site_range(2, 5)
+                    .run();
+                assert_eq!(db.page_count(), expect.page_count());
+            }
+            ResumableOutcome::Partial { .. } => panic!("uncapped window must complete"),
+        }
+        // A capped window reports progress against the window size.
+        let dir2 = std::env::temp_dir().join("wmtree-commander-window-partial");
+        let _ = std::fs::remove_dir_all(&dir2);
+        let cmd = Commander::new(&u, standard_profiles(), options()).with_site_range(2, 5);
+        match cmd.run_resumable(&dir2, Some(1)).unwrap() {
+            ResumableOutcome::Partial {
+                sites_done,
+                sites_total,
+                ..
+            } => {
+                assert_eq!(sites_done, 1);
+                assert_eq!(sites_total, 3, "totals count the window, not the universe");
+            }
+            ResumableOutcome::Complete { .. } => panic!("cap of 1 must interrupt"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "site range")]
+    fn site_range_bounds_checked() {
+        let u = uni();
+        let n = u.sites().len();
+        let _ = Commander::new(&u, standard_profiles(), options()).with_site_range(0, n + 1);
     }
 
     #[test]

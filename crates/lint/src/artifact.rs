@@ -80,6 +80,26 @@ pub const ARTIFACT_CHECKS: &[(&str, &str, &str)] = &[
         "bundle-incomplete",
         "the bundle records a finished crawl, not a resumable partial one (warning)",
     ),
+    (
+        "WM0235",
+        "shards-coverage",
+        "SHARDS.json rank ranges are disjoint, in order, and cover the whole universe",
+    ),
+    (
+        "WM0236",
+        "shards-dense-ids",
+        "shard ids are dense (0..n, in rank order)",
+    ),
+    (
+        "WM0237",
+        "shards-bundle-hashes",
+        "every recorded shard bundle content hash matches the archive on disk",
+    ),
+    (
+        "WM0238",
+        "shards-merged-sites",
+        "the merged report's site count equals the sum of per-shard vetted site counts",
+    ),
 ];
 
 /// Check a [`DepTree`]. `origin` names the artifact in diagnostics
@@ -336,6 +356,213 @@ pub fn check_bundle(dir: &std::path::Path, origin: &str) -> Result<Vec<Diagnosti
             ),
         }
     }
+    Ok(out)
+}
+
+/// Check a shard-plan directory (`WM0235`–`WM0238`): a `SHARDS.json`
+/// manifest plus per-shard bundle directories. Verifies the partition
+/// (disjoint, ordered rank ranges covering the universe; dense ids),
+/// every recorded bundle content hash against the archive on disk,
+/// and — when the directory holds a merged `report.json` — that the
+/// merged report's vetted-site count equals the sum of the shards'.
+/// `Err` means the directory could not be scanned at all (no plan,
+/// unreadable files).
+pub fn check_shard_dir(dir: &std::path::Path, origin: &str) -> Result<Vec<Diagnostic>, String> {
+    let plan = wmtree_shard::ShardPlan::load(dir).map_err(|e| e.to_string())?;
+    let at_plan = format!("{origin}:{}", wmtree_shard::SHARDS_FILE);
+    let mut out = Vec::new();
+
+    // WM0236 — dense ids in rank order.
+    for (i, spec) in plan.shards.iter().enumerate() {
+        if spec.id != i {
+            out.push(Diagnostic::artifact(
+                Code("WM0236"),
+                Severity::Error,
+                format!("{at_plan}:shard[{i}]"),
+                format!(
+                    "shard ids must be dense 0..{}, found id {}",
+                    plan.shards.len(),
+                    spec.id
+                ),
+            ));
+        }
+    }
+
+    // WM0235 — windows partition the universe; rank ranges disjoint.
+    if plan.shards.is_empty() {
+        out.push(Diagnostic::artifact(
+            Code("WM0235"),
+            Severity::Error,
+            at_plan.clone(),
+            "plan has no shards",
+        ));
+    } else {
+        let first = &plan.shards[0];
+        let last = plan.shards.last().expect("non-empty"); // wmtree-lint: allow(WM0105)
+        if first.site_lo != 0 {
+            out.push(Diagnostic::artifact(
+                Code("WM0235"),
+                Severity::Error,
+                format!("{at_plan}:shard[0]"),
+                format!("first shard starts at site {}, not 0", first.site_lo),
+            ));
+        }
+        if last.site_hi != plan.total_sites {
+            out.push(Diagnostic::artifact(
+                Code("WM0235"),
+                Severity::Error,
+                format!("{at_plan}:shard[{}]", plan.shards.len() - 1),
+                format!(
+                    "last shard ends at site {}, universe has {}",
+                    last.site_hi, plan.total_sites
+                ),
+            ));
+        }
+        for (i, spec) in plan.shards.iter().enumerate() {
+            if spec.site_lo >= spec.site_hi {
+                out.push(Diagnostic::artifact(
+                    Code("WM0235"),
+                    Severity::Error,
+                    format!("{at_plan}:shard[{i}]"),
+                    format!("empty site window [{}, {})", spec.site_lo, spec.site_hi),
+                ));
+            }
+            if spec.rank_lo > spec.rank_hi {
+                out.push(Diagnostic::artifact(
+                    Code("WM0235"),
+                    Severity::Error,
+                    format!("{at_plan}:shard[{i}]"),
+                    format!("inverted rank range [{}, {}]", spec.rank_lo, spec.rank_hi),
+                ));
+            }
+        }
+        for (i, w) in plan.shards.windows(2).enumerate() {
+            if w[0].site_hi != w[1].site_lo {
+                out.push(Diagnostic::artifact(
+                    Code("WM0235"),
+                    Severity::Error,
+                    format!("{at_plan}:shard[{}]", i + 1),
+                    format!(
+                        "site windows must be contiguous: shard {} ends at {}, shard {} starts at {}",
+                        i, w[0].site_hi, i + 1, w[1].site_lo
+                    ),
+                ));
+            }
+            if w[0].rank_hi >= w[1].rank_lo {
+                out.push(Diagnostic::artifact(
+                    Code("WM0235"),
+                    Severity::Error,
+                    format!("{at_plan}:shard[{}]", i + 1),
+                    format!(
+                        "rank ranges overlap: shard {} ends at rank {}, shard {} starts at rank {}",
+                        i,
+                        w[0].rank_hi,
+                        i + 1,
+                        w[1].rank_lo
+                    ),
+                ));
+            }
+        }
+    }
+
+    // WM0237 — recorded bundle hashes verify against the archives.
+    let mut shard_vetted_sites: Option<usize> = Some(0);
+    for spec in &plan.shards {
+        let at = format!("{at_plan}:shard[{}]", spec.id);
+        let bundle_dir = dir.join(&spec.dir);
+        let Some(recorded) = spec.bundle_hash.as_deref() else {
+            out.push(
+                Diagnostic::artifact(
+                    Code("WM0237"),
+                    Severity::Warning,
+                    at,
+                    format!("shard {} has no recorded bundle hash", spec.id),
+                )
+                .with_note("not yet crawled to completion; the plan cannot be merged"),
+            );
+            shard_vetted_sites = None;
+            continue;
+        };
+        match wmtree_bundle::bundle_content_hash(&bundle_dir) {
+            Ok(actual) if actual == recorded => match wmtree_crawler::read_bundle(&bundle_dir) {
+                Ok(db) => {
+                    if let Some(total) = shard_vetted_sites.as_mut() {
+                        *total += db.vetted_sites().len();
+                    }
+                }
+                Err(e) => {
+                    out.push(Diagnostic::artifact(
+                        Code("WM0237"),
+                        Severity::Error,
+                        format!("{origin}:{}", spec.dir),
+                        format!("shard bundle does not replay: {e}"),
+                    ));
+                    shard_vetted_sites = None;
+                }
+            },
+            Ok(actual) => {
+                out.push(
+                    Diagnostic::artifact(
+                        Code("WM0237"),
+                        Severity::Error,
+                        format!("{origin}:{}", spec.dir),
+                        format!("bundle content hash {actual} does not match recorded {recorded}"),
+                    )
+                    .with_note("the archive changed after its hash was recorded in SHARDS.json"),
+                );
+                shard_vetted_sites = None;
+            }
+            Err(e) => {
+                out.push(Diagnostic::artifact(
+                    Code("WM0237"),
+                    Severity::Error,
+                    format!("{origin}:{}", spec.dir),
+                    format!("cannot hash shard bundle: {e}"),
+                ));
+                shard_vetted_sites = None;
+            }
+        }
+    }
+
+    // WM0238 — merged report (if exported into the plan directory)
+    // agrees with the sum of per-shard vetted site counts. Shards
+    // partition the site space, so the per-shard counts are disjoint.
+    let report_path = dir.join("report.json");
+    if report_path.is_file() {
+        let at = format!("{origin}:report.json");
+        match std::fs::read_to_string(&report_path) {
+            Ok(text) => match serde_json::from_str::<wmtree::report::Report>(&text) {
+                Ok(report) => {
+                    if let Some(total) = shard_vetted_sites {
+                        if report.crawl.vetted_sites != total {
+                            out.push(Diagnostic::artifact(
+                                Code("WM0238"),
+                                Severity::Error,
+                                at,
+                                format!(
+                                    "merged report counts {} vetted sites, shards sum to {total}",
+                                    report.crawl.vetted_sites
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Err(e) => out.push(Diagnostic::artifact(
+                    Code("WM0238"),
+                    Severity::Error,
+                    at,
+                    format!("merged report does not parse: {e}"),
+                )),
+            },
+            Err(e) => out.push(Diagnostic::artifact(
+                Code("WM0238"),
+                Severity::Error,
+                at,
+                format!("cannot read merged report: {e}"),
+            )),
+        }
+    }
+
     Ok(out)
 }
 
@@ -623,6 +850,75 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("mkdir");
         assert!(check_bundle(&dir, "b").is_err());
+    }
+
+    #[test]
+    fn shard_plan_violations_found() {
+        use wmtree_shard::ShardPlan;
+        let exp = wmtree::Experiment::new(ExperimentConfig::at_scale(Scale::Tiny));
+        let dir = std::env::temp_dir().join("wmtree-lint-shards");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A fresh, uncrawled plan: structurally clean, but every shard
+        // warns that its bundle hash is missing (WM0237).
+        let plan = ShardPlan::new(&exp, 3).expect("plan");
+        plan.store(&dir).expect("store");
+        let diags = check_shard_dir(&dir, "s").expect("scan");
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags
+            .iter()
+            .all(|d| d.code.as_str() == "WM0237" && d.severity == Severity::Warning));
+
+        // Break the partition: overlapping ranks, a gap in the site
+        // windows, and a non-dense id.
+        let mut bad = plan.clone();
+        bad.shards[1].rank_lo = bad.shards[0].rank_hi;
+        bad.shards[2].site_lo += 1;
+        bad.shards[2].id = 9;
+        bad.store(&dir).expect("store");
+        let codes: Vec<&str> = check_shard_dir(&dir, "s")
+            .expect("scan")
+            .iter()
+            .map(|d| d.code.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        assert!(codes.contains(&"WM0235"), "{codes:?}");
+        assert!(codes.contains(&"WM0236"), "{codes:?}");
+
+        // Crawl shard 0 for real, then corrupt its recorded hash: the
+        // mismatch is an error naming the shard's bundle directory.
+        plan.store(&dir).expect("restore good plan");
+        wmtree_shard::crawl_shard(&exp, &dir, 0, None).expect("crawl shard 0");
+        let mut tampered = ShardPlan::load(&dir).expect("reload");
+        tampered.shards[0].bundle_hash = Some("0000000000000000".into());
+        tampered.store(&dir).expect("store tampered");
+        let diags = check_shard_dir(&dir, "s").expect("scan");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code.as_str() == "WM0237" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+
+        // A merged report that disagrees with the shard sum (WM0238):
+        // only meaningful once every shard is crawled. First restore
+        // shard 0's true hash, undoing the tamper above.
+        let hash0 = wmtree_bundle::bundle_content_hash(&dir.join("shard-000")).expect("hash");
+        ShardPlan::record_bundle_hash(&dir, 0, hash0).expect("restore hash");
+        wmtree_shard::crawl_shard(&exp, &dir, 1, None).expect("crawl shard 1");
+        wmtree_shard::crawl_shard(&exp, &dir, 2, None).expect("crawl shard 2");
+        let merged = wmtree_shard::merge_shards(&exp, &dir).expect("merge");
+        let mut report = wmtree::Report::generate(&merged.results);
+        assert!(check_shard_dir(&dir, "s").expect("scan").is_empty());
+        report.crawl.vetted_sites += 1;
+        std::fs::write(dir.join("report.json"), report.to_json()).expect("write report");
+        let diags = check_shard_dir(&dir, "s").expect("scan");
+        assert!(
+            diags.iter().any(|d| d.code.as_str() == "WM0238"),
+            "{diags:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -215,7 +215,14 @@ fn cmd_check_artifacts(args: &[String]) -> ExitCode {
         let path = Path::new(file);
         // A directory is a bundle archive; anything else is a JSON file.
         if path.is_dir() {
-            match artifact::check_bundle(path, file) {
+            // A directory holding SHARDS.json is a shard plan (checked
+            // with its per-shard bundles); anything else is a bundle.
+            let check = if path.join(wmtree_shard::SHARDS_FILE).is_file() {
+                artifact::check_shard_dir(path, file)
+            } else {
+                artifact::check_bundle(path, file)
+            };
+            match check {
                 Ok(found) => diags.extend(found),
                 Err(e) => {
                     eprintln!("error: {file}: {e}");

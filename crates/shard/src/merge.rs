@@ -1,0 +1,190 @@
+//! Streaming merge analysis: replay one shard-bundle at a time into
+//! mergeable partial accumulators, then finish into exactly the
+//! results a monolithic single-process run produces.
+//!
+//! The memory argument: the expensive residency of a run is the raw
+//! crawl database (every visit of every page). The merge holds at most
+//! **one shard's** database at a time — load shard k, vet + build
+//! trees, analyze its pages, fold the (much smaller) per-page analysis
+//! records into the accumulator, and drop the database before touching
+//! shard k+1. The `shard.pages.in_memory` gauge tracks the live
+//! database's page count and `shard.pages.in_memory.peak` its maximum,
+//! so a run can *prove* its residency never exceeded one shard.
+
+use crate::error::ShardError;
+use crate::plan::ShardPlan;
+use std::path::Path;
+use wmtree::{Experiment, ExperimentResults};
+use wmtree_analysis::node_similarity::analyze_all;
+use wmtree_analysis::{ExperimentData, MergeDigest, PartialAccumulators};
+use wmtree_bundle::{bundle_content_hash, Manifest};
+use wmtree_crawler::read_bundle;
+use wmtree_filterlist::embedded::tracking_list;
+use wmtree_telemetry::{ManifestProfile, RunManifest, Stopwatch};
+
+/// A finished streaming merge.
+#[derive(Debug)]
+pub struct MergedRun {
+    /// The merged results — byte-identical (report, CSVs, totals) to a
+    /// monolithic run of the same experiment.
+    pub results: ExperimentResults,
+    /// The totals digest both pipelines must agree on.
+    pub digest: MergeDigest,
+    /// Maximum pages any one shard's database held in memory — the
+    /// bounded-memory witness (equals the largest shard, not the
+    /// corpus).
+    pub peak_shard_pages: usize,
+}
+
+/// Verify one shard's recorded bundle hash against the archive on
+/// disk. Fails if the shard was never crawled to completion or the
+/// archive changed since its hash was recorded.
+fn check_hash(plan_dir: &Path, spec: &crate::plan::ShardSpec) -> Result<(), ShardError> {
+    let dir = plan_dir.join(&spec.dir);
+    let recorded = spec
+        .bundle_hash
+        .as_deref()
+        .ok_or(ShardError::NotCrawled { id: spec.id })?;
+    let actual = bundle_content_hash(&dir).map_err(|source| ShardError::Shard {
+        id: spec.id,
+        dir: dir.clone(),
+        source,
+    })?;
+    if actual != recorded {
+        return Err(ShardError::HashMismatch {
+            id: spec.id,
+            dir,
+            recorded: recorded.to_string(),
+            actual,
+        });
+    }
+    Ok(())
+}
+
+/// Merge every shard of the plan in `plan_dir` into full experiment
+/// results by streaming: one shard-bundle in memory at a time, folded
+/// in rank (= id) order. Every shard must have been crawled to
+/// completion ([`crate::runner::crawl_shard`]); each bundle's content
+/// hash and per-record checksums are verified as it is read, and any
+/// corruption surfaces as an error naming the shard and the exact
+/// location inside its archive.
+pub fn merge_shards(exp: &Experiment, plan_dir: &Path) -> Result<MergedRun, ShardError> {
+    let _span = wmtree_telemetry::span("shard.merge");
+    let metrics_before = wmtree_telemetry::global().snapshot();
+    let mut sw = Stopwatch::start();
+
+    let plan = ShardPlan::load(plan_dir)?;
+    plan.check_experiment(exp)?;
+
+    let cfg = exp.config();
+    let names: Vec<String> = cfg.profiles.iter().map(|p| p.name.clone()).collect();
+    let filter = if cfg.use_filter_list {
+        Some(tracking_list())
+    } else {
+        None
+    };
+    let site_meta: std::collections::BTreeMap<String, (u32, String)> = exp
+        .universe()
+        .sites()
+        .iter()
+        .map(|s| (s.domain.clone(), (s.rank, s.bucket.label().to_string())))
+        .collect();
+
+    let mut manifest = RunManifest::new(
+        cfg.experiment_seed,
+        format!(
+            "{} sites × ≤{} pages × {} profiles, merged from {} shards",
+            plan.total_sites,
+            cfg.max_pages_per_site,
+            names.len(),
+            plan.shards.len(),
+        ),
+    );
+    manifest.profiles = cfg
+        .profiles
+        .iter()
+        .map(|p| ManifestProfile {
+            name: p.name.clone(),
+            version: p.version,
+            user_interaction: p.user_interaction,
+            gui: p.gui,
+            country: p.country.clone(),
+        })
+        .collect();
+
+    let gauge = wmtree_telemetry::gauge!("shard.pages.in_memory");
+    let peak_gauge = wmtree_telemetry::gauge!("shard.pages.in_memory.peak");
+    let mut peak: usize = 0;
+    let mut acc = PartialAccumulators::empty(names.clone());
+
+    for spec in &plan.shards {
+        let _shard_span = wmtree_telemetry::span("shard.merge.fold");
+        check_hash(plan_dir, spec)?;
+        let dir = plan_dir.join(&spec.dir);
+        let located = |source| ShardError::Shard {
+            id: spec.id,
+            dir: dir.clone(),
+            source,
+        };
+
+        let bundle = Manifest::load(&dir).map_err(located)?;
+        if !bundle.complete {
+            return Err(ShardError::NotCrawled { id: spec.id });
+        }
+
+        // The one-shard residency window: the raw database lives only
+        // inside this block.
+        let part = {
+            let db = read_bundle(&dir).map_err(located)?;
+            gauge.set(db.page_count() as i64);
+            peak = peak.max(db.page_count());
+            peak_gauge.set(peak as i64);
+
+            let data = ExperimentData::from_db_parallel(
+                &db,
+                names.clone(),
+                filter,
+                &cfg.tree,
+                &site_meta,
+                cfg.workers,
+            );
+            let sims = analyze_all(&data);
+            PartialAccumulators::from_shard(
+                data,
+                sims,
+                db.profile_stats(),
+                db.page_count(),
+                db.total_successful_visits(),
+                db.vetted_sites().len(),
+            )
+        };
+        gauge.set(0);
+        acc.merge(part)
+            .map_err(|source| ShardError::Merge { source })?;
+        wmtree_telemetry::counter!("shard.merges.folded").inc();
+    }
+    manifest.push_stage("fold_shards", sw.lap("fold_shards"));
+
+    let merged = acc
+        .finish(cfg.workers)
+        .map_err(|source| ShardError::Merge { source })?;
+    manifest.push_stage("finish_merge", sw.lap("finish_merge"));
+
+    manifest.metrics = wmtree_telemetry::global().snapshot().since(&metrics_before);
+    manifest.timings = wmtree_telemetry::global().timings().snapshot();
+
+    let digest = merged.digest.clone();
+    Ok(MergedRun {
+        results: ExperimentResults {
+            data: merged.data,
+            sims: merged.sims,
+            profile_stats: merged.profile_stats,
+            pages_discovered: digest.pages_discovered,
+            successful_visits: digest.successful_visits,
+            vetted_sites: digest.vetted_sites,
+            manifest,
+        },
+        digest,
+        peak_shard_pages: peak,
+    })
+}

@@ -1,0 +1,314 @@
+//! The shard plan: a deterministic partition of the universe by
+//! site-rank range, persisted as `SHARDS.json`.
+//!
+//! The universe's site list is sorted by rank, so a rank-range shard is
+//! a contiguous site-index window `[site_lo, site_hi)`. The plan binds
+//! shard id → rank range → bundle directory → bundle content hash; the
+//! hash is recorded only once a shard's crawl completes, so the
+//! manifest doubles as the progress ledger of a multi-process run.
+
+use crate::error::ShardError;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use wmtree::Experiment;
+
+/// File name of the shard manifest inside a shard directory.
+pub const SHARDS_FILE: &str = "SHARDS.json";
+
+/// Current `SHARDS.json` schema version.
+pub const SHARDS_VERSION: u32 = 1;
+
+/// One shard: a contiguous rank range of the universe.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Dense shard id (`0..n`), which is also rank order.
+    pub id: usize,
+    /// Rank of the shard's first site (inclusive).
+    pub rank_lo: u32,
+    /// Rank of the shard's last site (inclusive).
+    pub rank_hi: u32,
+    /// First site index of the window (inclusive; the universe's site
+    /// list is rank-sorted).
+    pub site_lo: usize,
+    /// One past the last site index of the window.
+    pub site_hi: usize,
+    /// Bundle directory of this shard, relative to the plan directory
+    /// (e.g. `shard-000`).
+    pub dir: String,
+    /// Content hash of the shard's completed bundle; `None` until the
+    /// shard has been crawled to completion.
+    pub bundle_hash: Option<String>,
+}
+
+impl ShardSpec {
+    /// Number of sites in the window.
+    pub fn sites(&self) -> usize {
+        self.site_hi - self.site_lo
+    }
+}
+
+/// The whole plan: experiment identity plus the shard partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    /// Schema version ([`SHARDS_VERSION`]).
+    pub version: u32,
+    /// Universe seed the shards were planned for.
+    pub universe_seed: u64,
+    /// Experiment seed (drives visit seeds).
+    pub experiment_seed: u64,
+    /// Profile names, in Table 1 order.
+    pub profiles: Vec<String>,
+    /// Total sites in the universe (the windows cover `[0, total)`).
+    pub total_sites: usize,
+    /// The shards, in id (= rank) order.
+    pub shards: Vec<ShardSpec>,
+}
+
+impl ShardPlan {
+    /// Partition an experiment's universe into `n` shards of
+    /// near-equal site count (the first `total % n` shards get one
+    /// extra site). `n` is clamped to `[1, total_sites]` so every
+    /// shard is non-empty.
+    pub fn new(exp: &Experiment, n: usize) -> Result<ShardPlan, ShardError> {
+        let sites = exp.universe().sites();
+        let total = sites.len();
+        if total == 0 {
+            return Err(ShardError::Plan {
+                detail: "universe has no sites".into(),
+            });
+        }
+        let n = n.clamp(1, total);
+        let shards = (0..n)
+            .map(|k| {
+                let site_lo = k * total / n;
+                let site_hi = (k + 1) * total / n;
+                ShardSpec {
+                    id: k,
+                    rank_lo: sites[site_lo].rank,
+                    rank_hi: sites[site_hi - 1].rank,
+                    site_lo,
+                    site_hi,
+                    dir: format!("shard-{k:03}"),
+                    bundle_hash: None,
+                }
+            })
+            .collect();
+        Ok(ShardPlan {
+            version: SHARDS_VERSION,
+            universe_seed: exp.config().universe.seed,
+            experiment_seed: exp.config().experiment_seed,
+            profiles: exp
+                .config()
+                .profiles
+                .iter()
+                .map(|p| p.name.clone())
+                .collect(),
+            total_sites: total,
+            shards,
+        })
+    }
+
+    /// Path of the manifest inside a plan directory.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(SHARDS_FILE)
+    }
+
+    /// Whether a plan exists in `dir`.
+    pub fn exists(dir: &Path) -> bool {
+        Self::path_in(dir).is_file()
+    }
+
+    /// Load the plan from `dir`.
+    pub fn load(dir: &Path) -> Result<ShardPlan, ShardError> {
+        let path = Self::path_in(dir);
+        let text = std::fs::read_to_string(&path).map_err(|source| ShardError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        serde_json::from_str(&text).map_err(|source| ShardError::Json { path, source })
+    }
+
+    /// Store the plan into `dir` (created if absent) — write to a
+    /// temporary file, then rename over [`SHARDS_FILE`], so a crash
+    /// never leaves a torn manifest.
+    pub fn store(&self, dir: &Path) -> Result<(), ShardError> {
+        std::fs::create_dir_all(dir).map_err(|source| ShardError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let path = Self::path_in(dir);
+        let body = serde_json::to_string_pretty(self).map_err(|source| ShardError::Json {
+            path: path.clone(),
+            source,
+        })?;
+        let tmp = dir.join(format!("{SHARDS_FILE}.tmp"));
+        std::fs::write(&tmp, body).map_err(|source| ShardError::Io {
+            path: tmp.clone(),
+            source,
+        })?;
+        std::fs::rename(&tmp, &path).map_err(|source| ShardError::Io { path, source })
+    }
+
+    /// The shard with a given id.
+    pub fn shard(&self, id: usize) -> Result<&ShardSpec, ShardError> {
+        self.shards.get(id).ok_or(ShardError::UnknownShard {
+            id,
+            n_shards: self.shards.len(),
+        })
+    }
+
+    /// Absolute bundle directory of a shard under the plan directory.
+    pub fn shard_dir(&self, plan_dir: &Path, id: usize) -> Result<PathBuf, ShardError> {
+        Ok(plan_dir.join(&self.shard(id)?.dir))
+    }
+
+    /// Check the plan was made for this experiment: same universe,
+    /// seeds, and profile roster. A shard bundle crawled under one
+    /// experiment must never be merged under another.
+    pub fn check_experiment(&self, exp: &Experiment) -> Result<(), ShardError> {
+        let mismatch = |field: &str, planned: String, actual: String| {
+            Err(ShardError::ConfigMismatch {
+                field: field.into(),
+                planned,
+                actual,
+            })
+        };
+        if self.version != SHARDS_VERSION {
+            return mismatch(
+                "version",
+                self.version.to_string(),
+                SHARDS_VERSION.to_string(),
+            );
+        }
+        let cfg = exp.config();
+        if self.universe_seed != cfg.universe.seed {
+            return mismatch(
+                "universe_seed",
+                self.universe_seed.to_string(),
+                cfg.universe.seed.to_string(),
+            );
+        }
+        if self.experiment_seed != cfg.experiment_seed {
+            return mismatch(
+                "experiment_seed",
+                self.experiment_seed.to_string(),
+                cfg.experiment_seed.to_string(),
+            );
+        }
+        let names: Vec<String> = cfg.profiles.iter().map(|p| p.name.clone()).collect();
+        if self.profiles != names {
+            return mismatch(
+                "profiles",
+                format!("{:?}", self.profiles),
+                format!("{names:?}"),
+            );
+        }
+        let total = exp.universe().sites().len();
+        if self.total_sites != total {
+            return mismatch(
+                "total_sites",
+                self.total_sites.to_string(),
+                total.to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Record the completed bundle's content hash for one shard:
+    /// re-load the manifest from disk, set the hash, and store it back
+    /// atomically. Re-loading (rather than writing `self`) lets
+    /// multiple OS processes crawl different shards of one plan — each
+    /// records only its own shard's hash.
+    pub fn record_bundle_hash(
+        plan_dir: &Path,
+        id: usize,
+        hash: String,
+    ) -> Result<ShardPlan, ShardError> {
+        let mut plan = ShardPlan::load(plan_dir)?;
+        let n_shards = plan.shards.len();
+        let spec = plan
+            .shards
+            .get_mut(id)
+            .ok_or(ShardError::UnknownShard { id, n_shards })?;
+        spec.bundle_hash = Some(hash);
+        plan.store(plan_dir)?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmtree::{ExperimentConfig, Scale};
+
+    fn exp() -> Experiment {
+        Experiment::new(ExperimentConfig::at_scale(Scale::Tiny))
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wmtree-shard-plan-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn windows_partition_the_universe() {
+        let exp = exp();
+        let total = exp.universe().sites().len();
+        for n in [1, 2, 3, 5, 7, total, total + 10] {
+            let plan = ShardPlan::new(&exp, n).expect("plan");
+            assert_eq!(plan.shards.len(), n.clamp(1, total), "n={n}");
+            assert_eq!(plan.shards[0].site_lo, 0);
+            assert_eq!(plan.shards.last().expect("non-empty").site_hi, total);
+            for w in plan.shards.windows(2) {
+                assert_eq!(w[0].site_hi, w[1].site_lo, "contiguous");
+                assert!(w[0].rank_hi < w[1].rank_lo, "rank ranges disjoint");
+            }
+            for (i, s) in plan.shards.iter().enumerate() {
+                assert_eq!(s.id, i, "dense ids");
+                assert!(s.sites() > 0, "non-empty shards");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_roundtrips_and_records_hashes() {
+        let exp = exp();
+        let dir = tmp("roundtrip");
+        let plan = ShardPlan::new(&exp, 3).expect("plan");
+        plan.store(&dir).expect("store");
+        assert!(ShardPlan::exists(&dir));
+        assert_eq!(ShardPlan::load(&dir).expect("load"), plan);
+
+        let updated =
+            ShardPlan::record_bundle_hash(&dir, 1, "0123456789abcdef".into()).expect("record");
+        assert_eq!(
+            updated.shards[1].bundle_hash.as_deref(),
+            Some("0123456789abcdef")
+        );
+        assert_eq!(updated.shards[0].bundle_hash, None);
+        assert_eq!(ShardPlan::load(&dir).expect("reload"), updated);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_experiment_is_rejected() {
+        let exp = exp();
+        let plan = ShardPlan::new(&exp, 2).expect("plan");
+        plan.check_experiment(&exp).expect("same experiment passes");
+        let other = Experiment::new(ExperimentConfig::at_scale(Scale::Tiny).with_seed(99));
+        let err = plan.check_experiment(&other).expect_err("must reject");
+        assert!(
+            matches!(err, ShardError::ConfigMismatch { ref field, .. } if field == "universe_seed"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_shard_is_located() {
+        let exp = exp();
+        let plan = ShardPlan::new(&exp, 2).expect("plan");
+        let err = plan.shard(7).expect_err("out of range");
+        assert_eq!(err.to_string(), "shard 7 not in plan (plan has 2 shards)");
+    }
+}
