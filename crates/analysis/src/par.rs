@@ -30,12 +30,31 @@ where
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
+    par_map_min(items, workers, MIN_ITEMS_PER_WORKER, f)
+}
+
+/// [`par_map`] with an explicit per-worker item floor, for callers
+/// whose per-item work dwarfs thread spawn/join cost (e.g. the lint
+/// engine lexing whole files: ~150 items, each milliseconds of work —
+/// the 256-item floor tuned for per-page analysis would never fan
+/// out). `min_items_per_worker` is clamped to ≥ 1.
+pub fn par_map_min<I, T, F>(
+    items: &[I],
+    workers: usize,
+    min_items_per_worker: usize,
+    f: F,
+) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let workers = workers
         .clamp(1, items.len().max(1))
-        .min((items.len() / MIN_ITEMS_PER_WORKER).max(1))
+        .min((items.len() / min_items_per_worker.max(1)).max(1))
         .min(cores);
     if workers <= 1 {
         return items.iter().map(f).collect();
@@ -100,6 +119,29 @@ mod tests {
         let got = par_map(&items, 8, |_| std::thread::current().id());
         let ids: std::collections::HashSet<_> = got.into_iter().collect();
         assert_eq!(ids.len(), 2.min(cores), "worker count != min(2, cores)");
+    }
+
+    #[test]
+    fn explicit_floor_fans_out_small_inputs() {
+        // With a floor of 1, even a tiny input fans out (capped by
+        // cores) — and the merged output is still in input order.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let items: Vec<u32> = (0..16).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x as u64 + 9).collect();
+        for workers in [1usize, 2, 8] {
+            assert_eq!(
+                par_map_min(&items, workers, 1, |&x| x as u64 + 9),
+                expected,
+                "workers={workers}"
+            );
+        }
+        if cores >= 2 {
+            let got = par_map_min(&items, 2, 1, |_| std::thread::current().id());
+            let ids: std::collections::HashSet<_> = got.into_iter().collect();
+            assert_eq!(ids.len(), 2, "floor=1 must engage both workers");
+        }
     }
 
     #[test]

@@ -222,7 +222,9 @@ fn scan_log(
 /// structure, and count agreement. I/O failures (unreadable files) are
 /// `Err`; every *integrity* defect lands in the report.
 pub fn verify_bundle(dir: &Path) -> Result<VerifyReport, BundleError> {
-    let _span = wmtree_telemetry::span("bundle.verify");
+    // Scope guard only: the span's clock reads stay inside telemetry's
+    // own snapshot and never enter the report bytes.
+    let _span = wmtree_telemetry::span("bundle.verify"); // wmtree-lint: allow(WM0301)
     let manifest = Manifest::load(dir)?;
     let mut report = VerifyReport {
         complete: manifest.complete,

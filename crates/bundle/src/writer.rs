@@ -88,7 +88,9 @@ impl BundleWriter {
         dir: &Path,
         meta: BundleMeta,
     ) -> Result<(BundleWriter, ResumeState), BundleError> {
-        let _span = wmtree_telemetry::span("bundle.resume.verify");
+        // Scope guard only: the span's clock reads stay inside
+        // telemetry's own snapshot, never the manifest bytes.
+        let _span = wmtree_telemetry::span("bundle.resume.verify"); // wmtree-lint: allow(WM0301)
         let manifest = Manifest::load(dir)?;
         manifest.check_meta(&meta)?;
 
@@ -248,7 +250,9 @@ impl BundleWriter {
         site: &str,
         visits: impl IntoIterator<Item = (String, usize, &'a VisitResult)>,
     ) -> Result<usize, BundleError> {
-        let _span = wmtree_telemetry::span("bundle.checkpoint");
+        // Scope guard only: the span's clock reads stay inside
+        // telemetry's own snapshot, never the segment bytes.
+        let _span = wmtree_telemetry::span("bundle.checkpoint"); // wmtree-lint: allow(WM0301)
         let mut count = 0usize;
         for (url, profile, visit) in visits {
             let canonical = serde_json::to_string(visit)

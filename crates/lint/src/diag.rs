@@ -50,7 +50,10 @@ impl Severity {
 
 /// Where a source finding points: `file:line:col` plus the offending
 /// line's text (for the rustc-style snippet).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serializable so [`crate::cache`] can persist spans inside cached
+/// per-file facts.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Span {
     /// Workspace-relative path, `/`-separated on every platform.
     pub file: String,

@@ -1,12 +1,25 @@
-//! The source-lint engine: file discovery, rule dispatch, suppression
-//! and baseline filtering.
+//! The lint engine: file discovery, per-file rule dispatch (parallel,
+//! cached), the workspace-wide taint pass, and suppression/baseline
+//! filtering.
+//!
+//! Per-file work (lex → layer-1 rules → fact extraction) fans out over
+//! `wmtree_analysis::par::par_map_min` with the slot-per-item merge, so
+//! the output is byte-identical for every worker count — the engine
+//! dogfoods the same deterministic-merge rule it lints for. With
+//! [`LintOptions::use_cache`], per-file results are keyed by a
+//! `stable_hash` of the file's bytes ([`crate::cache`]); the cross-file
+//! taint pass always re-runs over the (possibly cached) facts.
 
 use crate::baseline::Baseline;
+use crate::cache::{content_hash, Cache, CacheEntry, CachedDiag, DEFAULT_CACHE_PATH};
 use crate::diag::{sort_diagnostics, Diagnostic, Location};
+use crate::graph::FileFacts;
 use crate::lexer::SourceFile;
 use crate::rules::{all_rules, Rule};
+use crate::taint;
 use std::io;
 use std::path::{Path, PathBuf};
+use wmtree_analysis::par::par_map_min;
 
 /// One file scheduled for linting.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -21,6 +34,30 @@ pub struct LintTarget {
     pub is_test_file: bool,
 }
 
+/// How to run the workspace lint.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Worker threads for per-file fan-out (1 = sequential).
+    pub workers: usize,
+    /// Consult and update the incremental cache.
+    pub use_cache: bool,
+    /// Cache location; `None` → `target/wmtree-lint-cache.json` under
+    /// the workspace root.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl Default for LintOptions {
+    /// Sequential, uncached — the semantics [`lint_workspace`] always
+    /// had; the CLI opts into parallelism and caching explicitly.
+    fn default() -> Self {
+        LintOptions {
+            workers: 1,
+            use_cache: false,
+            cache_path: None,
+        }
+    }
+}
+
 /// The result of a workspace lint run.
 #[derive(Debug, Default)]
 pub struct LintOutcome {
@@ -33,6 +70,10 @@ pub struct LintOutcome {
     pub baselined: usize,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Files served from the incremental cache.
+    pub cache_hits: usize,
+    /// Files lexed and linted fresh.
+    pub cache_misses: usize,
 }
 
 /// Discover every lintable file under a workspace root, sorted so runs
@@ -134,31 +175,137 @@ pub fn lint_file(file: &SourceFile, rules: &[Box<dyn Rule>]) -> (Vec<Diagnostic>
     (kept, suppressed)
 }
 
-/// Lint the whole workspace under `root` against a baseline.
-pub fn lint_workspace(root: &Path, baseline: &Baseline) -> io::Result<LintOutcome> {
-    let rules = all_rules();
-    let mut outcome = LintOutcome::default();
-    for target in discover_targets(root)? {
-        let content = std::fs::read_to_string(&target.abs)?;
-        let file = SourceFile::parse(
-            target.rel.clone(),
-            target.crate_name.clone(),
-            &content,
-            target.is_test_file,
-        );
-        let (found, suppressed) = lint_file(&file, &rules);
-        outcome.suppressed += suppressed;
-        for d in found {
-            if baseline.covers(&d) {
-                outcome.baselined += 1;
-            } else {
-                outcome.findings.push(d);
-            }
+/// Per-file result of the fan-out stage.
+struct FileResult {
+    diags: Vec<Diagnostic>,
+    suppressed: usize,
+    facts: FileFacts,
+    hash: String,
+    cache_hit: bool,
+}
+
+/// Process one file: from the cache when its content hash matches,
+/// freshly otherwise.
+fn process_file(target: &LintTarget, content: &str, cache: Option<&Cache>) -> FileResult {
+    let hash = content_hash(content.as_bytes());
+    if let Some(entry) = cache.and_then(|c| c.lookup(&target.rel, &hash)) {
+        return FileResult {
+            diags: entry.diags.iter().filter_map(CachedDiag::restore).collect(),
+            suppressed: entry.suppressed as usize,
+            facts: entry.facts.clone(),
+            hash,
+            cache_hit: true,
+        };
+    }
+    let file = SourceFile::parse(
+        target.rel.clone(),
+        target.crate_name.clone(),
+        content,
+        target.is_test_file,
+    );
+    let (diags, suppressed) = lint_file(&file, &all_rules());
+    FileResult {
+        diags,
+        suppressed,
+        facts: FileFacts::collect(&file),
+        hash,
+        cache_hit: false,
+    }
+}
+
+/// Lint the whole workspace under `root` against a baseline, with
+/// explicit worker/cache options.
+///
+/// The per-file stage (layer 1 + fact extraction) fans out and merges
+/// slot-per-item; the taint pass (layer 3) then runs once over all
+/// facts. Findings are byte-identical for every worker count and for
+/// cold vs. warm caches.
+pub fn lint_workspace_with(
+    root: &Path,
+    baseline: &Baseline,
+    options: &LintOptions,
+) -> io::Result<LintOutcome> {
+    let targets = discover_targets(root)?;
+    let mut contents: Vec<String> = Vec::with_capacity(targets.len());
+    for target in &targets {
+        contents.push(std::fs::read_to_string(&target.abs)?);
+    }
+    let mut cache = if options.use_cache {
+        let path = options
+            .cache_path
+            .clone()
+            .unwrap_or_else(|| root.join(DEFAULT_CACHE_PATH));
+        Some(Cache::load(&path))
+    } else {
+        None
+    };
+
+    let work: Vec<(usize, &LintTarget)> = targets.iter().enumerate().collect();
+    let cache_ref = cache.as_ref();
+    // Floor of 8 files per worker: a file is milliseconds of lexing and
+    // rule dispatch, so fan-out pays off far below the per-page default.
+    let results: Vec<FileResult> = par_map_min(&work, options.workers, 8, |&(i, target)| {
+        process_file(target, &contents[i], cache_ref)
+    });
+
+    let mut outcome = LintOutcome {
+        files_scanned: targets.len(),
+        ..LintOutcome::default()
+    };
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    let mut facts: Vec<FileFacts> = Vec::with_capacity(results.len());
+    for (target, result) in targets.iter().zip(results) {
+        outcome.suppressed += result.suppressed;
+        if result.cache_hit {
+            outcome.cache_hits += 1;
+        } else {
+            outcome.cache_misses += 1;
         }
-        outcome.files_scanned += 1;
+        if let Some(cache) = cache.as_mut() {
+            cache.record(
+                &target.rel,
+                CacheEntry {
+                    hash: result.hash.clone(),
+                    diags: result
+                        .diags
+                        .iter()
+                        .filter_map(CachedDiag::capture)
+                        .collect(),
+                    suppressed: result.suppressed as u64,
+                    facts: result.facts.clone(),
+                },
+            );
+        }
+        findings.extend(result.diags);
+        facts.push(result.facts);
+    }
+
+    // Layer 3: cross-file, always fresh (the facts may be cached; the
+    // graph and fixpoint are cheap and cannot be cached per-file).
+    let taint_outcome = taint::analyze(&facts);
+    outcome.suppressed += taint_outcome.suppressed;
+    findings.extend(taint_outcome.findings);
+
+    for d in findings {
+        if baseline.covers(&d) {
+            outcome.baselined += 1;
+        } else {
+            outcome.findings.push(d);
+        }
     }
     sort_diagnostics(&mut outcome.findings);
+
+    if let Some(cache) = &cache {
+        // Best-effort: a read-only checkout must not fail the lint.
+        let _ = cache.save();
+    }
     Ok(outcome)
+}
+
+/// Lint the whole workspace under `root` against a baseline
+/// (sequential, uncached — see [`lint_workspace_with`]).
+pub fn lint_workspace(root: &Path, baseline: &Baseline) -> io::Result<LintOutcome> {
+    lint_workspace_with(root, baseline, &LintOptions::default())
 }
 
 #[cfg(test)]
@@ -203,5 +350,13 @@ mod tests {
         let (kept, _) = lint_file(&f, &all_rules());
         assert_eq!(kept.len(), 1, "{kept:?}");
         assert_eq!(kept[0].code.as_str(), "WM0101");
+    }
+
+    #[test]
+    fn default_options_are_sequential_and_uncached() {
+        let opts = LintOptions::default();
+        assert_eq!(opts.workers, 1);
+        assert!(!opts.use_cache);
+        assert!(opts.cache_path.is_none());
     }
 }

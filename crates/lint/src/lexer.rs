@@ -486,6 +486,329 @@ fn mark_test_regions(tokens: &[Token], is_test_line: &mut [bool]) {
     }
 }
 
+// --------------------------------------------------------------- symbols
+
+/// A `fn` definition found in the token stream (layer 3 input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing `mod`/`impl`/`trait` segments within the file, outermost
+    /// first (e.g. `["inner", "Writer"]` for a method of `Writer` inside
+    /// `mod inner`).
+    pub path: Vec<String>,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// 1-based column of the name token.
+    pub col: usize,
+    /// Token-index range of the braced body: `(open, close)` inclusive.
+    /// `None` for a bodyless trait signature.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One `use` import: `use a::b::c as d;` → segments `[a, b, c]`,
+/// alias `d` (the alias defaults to the last segment). Glob imports are
+/// not recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// Full path segments.
+    pub segments: Vec<String>,
+    /// The name the import binds locally.
+    pub alias: String,
+}
+
+/// One call site: a (possibly path-qualified) identifier followed by
+/// `(`. Macro invocations (`name!`) are never call sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Path segments, last one the called name (`["serde_json",
+    /// "to_string"]`, or just `["flush"]` for a method call).
+    pub segments: Vec<String>,
+    /// Preceded by `.` — a method call.
+    pub is_method: bool,
+    /// Token index of the first path segment (for span rendering).
+    pub start_idx: usize,
+    /// Token index of the called name.
+    pub end_idx: usize,
+}
+
+/// Everything layer 3 extracts from one file's token stream.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SymbolTable {
+    /// Every `fn` definition, in source order.
+    pub fns: Vec<FnDef>,
+    /// Every `use` import, in source order.
+    pub imports: Vec<UseImport>,
+    /// Every call site, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+impl SymbolTable {
+    /// Index of the innermost fn whose body contains token `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (open, fn index)
+        for (f, def) in self.fns.iter().enumerate() {
+            if let Some((open, close)) = def.body {
+                if open < idx && idx < close && best.is_none_or(|(o, _)| open > o) {
+                    best = Some((open, f));
+                }
+            }
+        }
+        best.map(|(_, f)| f)
+    }
+}
+
+/// Keywords that look like calls when followed by `(` but are not.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "let", "else", "move", "fn",
+    "unsafe", "where", "impl", "use", "pub", "mod", "const", "static", "ref", "mut", "dyn",
+    "break", "continue", "struct", "enum", "trait", "type", "await", "async", "yield",
+];
+
+/// Extract the symbol table from a lexed token stream.
+///
+/// The scanner tracks brace depth and a stack of named scopes (`mod`,
+/// `impl`, `trait`) so each fn gets a path like `module::Type::name`.
+/// It deliberately under-approximates — turbofish calls, macro bodies,
+/// and glob imports are skipped — because the taint layer treats an
+/// unresolved call as no edge, never as a spurious one.
+pub fn extract_symbols(tokens: &[Token]) -> SymbolTable {
+    let mut table = SymbolTable::default();
+    let mut depth = 0usize;
+    // (segment, depth the segment's block lives at)
+    let mut stack: Vec<(String, usize)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            while stack.last().is_some_and(|(_, d)| *d > depth) {
+                stack.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("use") {
+            let end = scan_to_semicolon(tokens, i + 1);
+            parse_use_tree(&tokens[i + 1..end], &mut Vec::new(), &mut table.imports);
+            i = end;
+            continue;
+        }
+        if t.is_ident("mod")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct("{"))
+        {
+            stack.push((tokens[i + 1].text.clone(), depth + 1));
+            i += 2; // the `{` is handled by the main loop
+            continue;
+        }
+        if t.is_ident("impl") || t.is_ident("trait") {
+            let is_trait = t.is_ident("trait");
+            let mut j = i + 1;
+            let mut angle = 0usize;
+            let mut after_for = false;
+            let mut name: Option<String> = None;
+            while j < tokens.len() && !tokens[j].is_punct("{") && !tokens[j].is_punct(";") {
+                match &tokens[j] {
+                    tk if tk.is_punct("<") => angle += 1,
+                    tk if tk.is_punct(">") => angle = angle.saturating_sub(1),
+                    tk if tk.is_ident("for") && !is_trait => {
+                        after_for = true;
+                        name = None;
+                    }
+                    // `impl Trait for Type` → Type; `impl Type` or
+                    // `trait Name` → the first ident.
+                    tk if tk.kind == TokenKind::Ident
+                        && angle == 0
+                        && (name.is_none() || after_for) =>
+                    {
+                        name = Some(tk.text.clone());
+                        after_for = false;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if tokens.get(j).is_some_and(|t| t.is_punct("{")) {
+                stack.push((name.unwrap_or_else(|| "impl".to_string()), depth + 1));
+            }
+            i = j;
+            continue;
+        }
+        if t.is_ident("fn")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            let name_tok = &tokens[i + 1];
+            // Find the body `{` (or a `;` for a bodyless signature).
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct("{") && !tokens[j].is_punct(";") {
+                j += 1;
+            }
+            let body = if tokens.get(j).is_some_and(|t| t.is_punct("{")) {
+                let mut d = 0usize;
+                let mut m = j;
+                while m < tokens.len() {
+                    if tokens[m].is_punct("{") {
+                        d += 1;
+                    } else if tokens[m].is_punct("}") {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+                Some((j, m.min(tokens.len().saturating_sub(1))))
+            } else {
+                None
+            };
+            table.fns.push(FnDef {
+                name: name_tok.text.clone(),
+                path: stack.iter().map(|(s, _)| s.clone()).collect(),
+                line: name_tok.line,
+                col: name_tok.col,
+                body,
+            });
+            // Keep scanning from after the name so the body's own items
+            // and call sites are still visited by this loop.
+            i += 2;
+            continue;
+        }
+        // Call site: Ident `(`, optionally preceded by a `a::b::` path.
+        if t.kind == TokenKind::Ident
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && !NON_CALL_KEYWORDS.iter().any(|k| t.is_ident(k))
+        {
+            let mut j = i;
+            while j >= 2 && tokens[j - 1].is_punct("::") && tokens[j - 2].kind == TokenKind::Ident {
+                j -= 2;
+            }
+            // `fn name(` is the definition we already recorded.
+            if !(j >= 1 && tokens[j - 1].is_ident("fn")) {
+                let segments: Vec<String> =
+                    (j..=i).step_by(2).map(|k| tokens[k].text.clone()).collect();
+                let is_method = j >= 1 && tokens[j - 1].is_punct(".");
+                table.calls.push(CallSite {
+                    segments,
+                    is_method,
+                    start_idx: j,
+                    end_idx: i,
+                });
+            }
+        }
+        i += 1;
+    }
+    table
+}
+
+/// Token index just past the terminating `;` (or end of stream).
+fn scan_to_semicolon(tokens: &[Token], mut i: usize) -> usize {
+    while i < tokens.len() && !tokens[i].is_punct(";") {
+        i += 1;
+    }
+    i
+}
+
+/// Parse a use tree (tokens between `use` and `;`), appending one
+/// [`UseImport`] per leaf. Handles `a::b`, `a::b as c`, nested groups
+/// `a::{b, c::d}`, and skips `*` globs.
+fn parse_use_tree(tokens: &[Token], prefix: &mut Vec<String>, out: &mut Vec<UseImport>) {
+    let mut i = 0;
+    let base_len = prefix.len();
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident && !t.is_ident("as") {
+            prefix.push(t.text.clone());
+            i += 1;
+            continue;
+        }
+        if t.is_punct("::") {
+            i += 1;
+            continue;
+        }
+        if t.is_ident("as") {
+            if let Some(alias) = tokens.get(i + 1) {
+                if !prefix.is_empty() {
+                    out.push(UseImport {
+                        segments: prefix.clone(),
+                        alias: alias.text.clone(),
+                    });
+                }
+                prefix.truncate(base_len);
+            }
+            i += 2;
+            continue;
+        }
+        if t.is_punct("{") {
+            // Split the group body on top-level commas, recursing with
+            // the current prefix for each element.
+            let mut d = 1usize;
+            let mut j = i + 1;
+            let mut start = j;
+            while j < tokens.len() && d > 0 {
+                if tokens[j].is_punct("{") {
+                    d += 1;
+                } else if tokens[j].is_punct("}") {
+                    d -= 1;
+                    if d == 0 {
+                        flush_group(&tokens[start..j], prefix, out);
+                    }
+                } else if tokens[j].is_punct(",") && d == 1 {
+                    flush_group(&tokens[start..j], prefix, out);
+                    start = j + 1;
+                }
+                j += 1;
+            }
+            prefix.truncate(base_len);
+            i = j;
+            continue;
+        }
+        if t.is_punct(",") {
+            // End of one top-level element (only inside groups; handled
+            // there). At the top level a `,` cannot occur.
+            flush_leaf(prefix, base_len, out);
+            i += 1;
+            continue;
+        }
+        // `*` glob or anything unexpected: drop the pending element.
+        prefix.truncate(base_len);
+        i += 1;
+    }
+    flush_leaf(prefix, base_len, out);
+}
+
+/// Recurse into one group element with the shared prefix.
+fn flush_group(tokens: &[Token], prefix: &mut Vec<String>, out: &mut Vec<UseImport>) {
+    let depth = prefix.len();
+    parse_use_tree(tokens, prefix, out);
+    prefix.truncate(depth);
+}
+
+/// Emit the pending path (if any) as an import aliased to its last
+/// segment.
+fn flush_leaf(prefix: &mut Vec<String>, base_len: usize, out: &mut Vec<UseImport>) {
+    if prefix.len() > base_len {
+        if let Some(alias) = prefix.last().cloned() {
+            // `use a::b::self;` and `use x::y::Self` never appear in the
+            // workspace; a lone keyword leaf is dropped.
+            out.push(UseImport {
+                segments: prefix.clone(),
+                alias,
+            });
+        }
+    }
+    prefix.truncate(base_len);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -600,6 +923,110 @@ mod tests {
         );
         assert!(f.is_suppressed("WM0101", 2));
         assert!(f.is_suppressed("WM0102", 2));
+    }
+
+    #[test]
+    fn symbols_fns_mods_and_impls() {
+        let src = "\
+pub fn top() { helper(); }
+mod inner {
+    impl Writer {
+        pub fn write_out(&self) { self.flush(); }
+    }
+    impl Render for Writer {
+        fn render(&self) {}
+    }
+}
+trait Sink {
+    fn emit(&self);
+}";
+        let f = SourceFile::parse("t.rs", "t", src, false);
+        let t = extract_symbols(&f.tokens);
+        let keys: Vec<String> = t
+            .fns
+            .iter()
+            .map(|d| {
+                let mut p = d.path.clone();
+                p.push(d.name.clone());
+                p.join("::")
+            })
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                "top",
+                "inner::Writer::write_out",
+                "inner::Writer::render",
+                "Sink::emit"
+            ]
+        );
+        // `emit` has no body; everything else does.
+        assert!(t.fns[3].body.is_none());
+        assert!(t.fns.iter().take(3).all(|d| d.body.is_some()));
+    }
+
+    #[test]
+    fn symbols_calls_and_enclosing_fn() {
+        let src = "\
+fn a() { b(); x::y::c(); v.push(1); }
+fn b() {}";
+        let f = SourceFile::parse("t.rs", "t", src, false);
+        let t = extract_symbols(&f.tokens);
+        let calls: Vec<(Vec<String>, bool)> = t
+            .calls
+            .iter()
+            .map(|c| (c.segments.clone(), c.is_method))
+            .collect();
+        assert_eq!(
+            calls,
+            vec![
+                (vec!["b".to_string()], false),
+                (
+                    vec!["x".to_string(), "y".to_string(), "c".to_string()],
+                    false
+                ),
+                (vec!["push".to_string()], true),
+            ]
+        );
+        // All three calls sit inside fn `a` (index 0).
+        for c in &t.calls {
+            assert_eq!(t.enclosing_fn(c.end_idx), Some(0), "{:?}", c.segments);
+        }
+    }
+
+    #[test]
+    fn symbols_calls_skip_macros_and_keywords() {
+        let src = "fn a() { println!(\"x\"); if (1 > 0) { vec![] } else { vec![] }; }";
+        let f = SourceFile::parse("t.rs", "t", src, false);
+        let t = extract_symbols(&f.tokens);
+        assert!(t.calls.is_empty(), "{:?}", t.calls);
+    }
+
+    #[test]
+    fn symbols_use_imports() {
+        let src = "\
+use a::b::c;
+use d::e as f;
+use g::{h, i::j, k as l};
+use m::*;
+pub fn z() {}";
+        let f = SourceFile::parse("t.rs", "t", src, false);
+        let t = extract_symbols(&f.tokens);
+        let got: Vec<(String, String)> = t
+            .imports
+            .iter()
+            .map(|u| (u.segments.join("::"), u.alias.clone()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("a::b::c".to_string(), "c".to_string()),
+                ("d::e".to_string(), "f".to_string()),
+                ("g::h".to_string(), "h".to_string()),
+                ("g::i::j".to_string(), "j".to_string()),
+                ("g::k".to_string(), "l".to_string()),
+            ]
+        );
     }
 
     #[test]

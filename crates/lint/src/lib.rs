@@ -20,6 +20,18 @@
 //! * **Layer 2 — artifact checks** (`WM02xx`, [`artifact`]): the same
 //!   diagnostics validate built artifacts — `DepTree` structure,
 //!   `CrawlDb` referential integrity, configuration ranges.
+//! * **Layer 3 — determinism taint analysis** (`WM03xx`, [`graph`] +
+//!   [`taint`]): a workspace-wide pass that builds a cross-crate call
+//!   graph from the lexer's symbol tables and proves nondeterminism
+//!   sources (reusing the layer-1 detectors, crate exemptions ignored)
+//!   cannot flow through function calls into serializing sinks,
+//!   rendering the full source→…→sink call path when one does.
+//!
+//! The engine fans per-file work out via `wmtree_analysis::par::par_map`
+//! with a deterministic slot-per-item merge, and caches per-file facts
+//! keyed by a `stable_hash` of contents ([`cache`]) so unchanged files
+//! skip lexing. Findings also render as SARIF 2.1.0 ([`sarif`]) for CI
+//! annotation.
 //!
 //! Findings render rustc-style ([`render::render_pretty`]) or as stable
 //! JSON ([`render::render_json`]); `// wmtree-lint: allow(WMxxxx)`
@@ -42,12 +54,16 @@
 
 pub mod artifact;
 pub mod baseline;
+pub mod cache;
 pub mod diag;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
 pub mod render;
 pub mod rules;
+pub mod sarif;
+pub mod taint;
 
 pub use baseline::Baseline;
 pub use diag::{Code, Diagnostic, Location, Severity, Span};
-pub use engine::{lint_workspace, LintOutcome};
+pub use engine::{lint_workspace, lint_workspace_with, LintOptions, LintOutcome};

@@ -1,13 +1,17 @@
-//! `wmtree-lint` — the CLI for both analysis layers.
+//! `wmtree-lint` — the CLI for all three analysis layers.
 //!
 //! ```sh
-//! wmtree-lint lint                        # source lints over the workspace
+//! wmtree-lint lint                        # source + taint lints, parallel + cached
 //! wmtree-lint lint --format json          # stable JSON (byte-identical runs)
+//! wmtree-lint lint --format sarif         # SARIF 2.1.0 for CI annotation
+//! wmtree-lint lint --workers 8            # explicit fan-out (output identical)
+//! wmtree-lint lint --no-cache             # ignore the incremental cache
 //! wmtree-lint lint --deny-warnings        # CI mode: warnings fail too
 //! wmtree-lint lint --write-baseline       # grandfather current findings
 //! wmtree-lint check-artifacts PATH...     # layer-2 checks on JSON artifacts
-//!                                         # (a directory = a bundle archive)
+//! #                                         (a directory = a bundle archive)
 //! wmtree-lint rules                       # print the rule catalog
+//! wmtree-lint --explain WM0301            # one code's full description
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
@@ -20,9 +24,11 @@ use std::process::ExitCode;
 use wmtree_lint::artifact;
 use wmtree_lint::baseline::Baseline;
 use wmtree_lint::diag::{sort_diagnostics, Diagnostic, Severity};
-use wmtree_lint::engine::lint_workspace;
+use wmtree_lint::engine::{lint_workspace_with, LintOptions};
 use wmtree_lint::render::{render_json, render_pretty, render_summary};
 use wmtree_lint::rules::catalog;
+use wmtree_lint::sarif::render_sarif;
+use wmtree_lint::taint;
 
 /// Default baseline location, relative to the workspace root.
 const BASELINE_FILE: &str = "lint-baseline.txt";
@@ -33,6 +39,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args[1..]),
         Some("check-artifacts") => cmd_check_artifacts(&args[1..]),
         Some("rules") => cmd_rules(),
+        Some("--explain") | Some("explain") => cmd_explain(args.get(1).map(String::as_str)),
         Some("--help") | Some("-h") | None => {
             print_help();
             ExitCode::SUCCESS
@@ -48,34 +55,51 @@ fn main() -> ExitCode {
 fn print_help() {
     println!(
         "wmtree-lint — determinism-and-invariant static analysis\n\n\
-         USAGE:\n  wmtree-lint lint [--root DIR] [--format pretty|json] \
-         [--baseline FILE] [--deny-warnings] [--write-baseline]\n  \
-         wmtree-lint check-artifacts [--format pretty|json] [--deny-warnings] PATH...\n  \
-         wmtree-lint rules\n\n\
+         USAGE:\n  wmtree-lint lint [--root DIR] [--format pretty|json|sarif] \
+         [--baseline FILE]\n                   [--workers N] [--no-cache] [--cache-file FILE]\n\
+         \x20                  [--deny-warnings] [--write-baseline]\n  \
+         wmtree-lint check-artifacts [--format pretty|json|sarif] [--deny-warnings] PATH...\n  \
+         wmtree-lint rules\n  \
+         wmtree-lint --explain CODE\n\n\
+         Layers: WM01xx source lints, WM02xx artifact checks, WM03xx cross-crate\n\
+         determinism taint analysis (source -> ... -> sink call paths).\n\n\
          Artifact files are JSON: a DepTree, a CrawlDb, a UniverseConfig, or a\n\
          BrowserConfig (the kind is detected from the document's fields).\n\
          A directory is checked as a bundle archive (MANIFEST.json + segments)."
     );
 }
 
-/// Shared flag parsing for both subcommands. Returns
-/// `(format, deny_warnings, flag_values, positional)`.
+/// Output format shared by both finding-emitting subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Pretty,
+    Json,
+    Sarif,
+}
+
+/// Shared flag parsing for both subcommands.
 struct CommonArgs {
-    json: bool,
+    format: OutputFormat,
     deny_warnings: bool,
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     write_baseline: bool,
+    workers: Option<usize>,
+    no_cache: bool,
+    cache_file: Option<PathBuf>,
     positional: Vec<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
     let mut out = CommonArgs {
-        json: false,
+        format: OutputFormat::Pretty,
         deny_warnings: false,
         root: None,
         baseline: None,
         write_baseline: false,
+        workers: None,
+        no_cache: false,
+        cache_file: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -84,13 +108,31 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
             "--format" => {
                 i += 1;
                 match args.get(i).map(String::as_str) {
-                    Some("json") => out.json = true,
-                    Some("pretty") => out.json = false,
-                    other => return Err(format!("--format needs pretty|json, got {other:?}")),
+                    Some("json") => out.format = OutputFormat::Json,
+                    Some("pretty") => out.format = OutputFormat::Pretty,
+                    Some("sarif") => out.format = OutputFormat::Sarif,
+                    other => {
+                        return Err(format!("--format needs pretty|json|sarif, got {other:?}"))
+                    }
                 }
             }
             "--deny-warnings" => out.deny_warnings = true,
             "--write-baseline" => out.write_baseline = true,
+            "--no-cache" => out.no_cache = true,
+            "--workers" => {
+                i += 1;
+                match args.get(i).and_then(|w| w.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => out.workers = Some(n),
+                    _ => return Err("--workers needs an integer >= 1".into()),
+                }
+            }
+            "--cache-file" => {
+                i += 1;
+                match args.get(i) {
+                    Some(f) => out.cache_file = Some(PathBuf::from(f)),
+                    None => return Err("--cache-file needs a file".into()),
+                }
+            }
             "--root" => {
                 i += 1;
                 match args.get(i) {
@@ -152,7 +194,16 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         Ok(text) => Baseline::parse(&text),
         Err(_) => Baseline::empty(),
     };
-    let outcome = match lint_workspace(&root, &baseline) {
+    let options = LintOptions {
+        workers: parsed.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }),
+        use_cache: !parsed.no_cache,
+        cache_path: parsed.cache_file.clone(),
+    };
+    let outcome = match lint_workspace_with(&root, &baseline, &options) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: workspace scan failed: {e}");
@@ -189,13 +240,18 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
-    if !parsed.json {
+    if parsed.format == OutputFormat::Pretty {
         eprintln!(
-            "scanned {} files ({} suppressed inline, {} baselined)",
-            outcome.files_scanned, outcome.suppressed, outcome.baselined
+            "scanned {} files ({} suppressed inline, {} baselined, \
+             cache: {} hit(s) / {} miss(es))",
+            outcome.files_scanned,
+            outcome.suppressed,
+            outcome.baselined,
+            outcome.cache_hits,
+            outcome.cache_misses
         );
     }
-    emit(&outcome.findings, parsed.json, parsed.deny_warnings)
+    emit(&outcome.findings, parsed.format, parsed.deny_warnings)
 }
 
 fn cmd_check_artifacts(args: &[String]) -> ExitCode {
@@ -247,7 +303,7 @@ fn cmd_check_artifacts(args: &[String]) -> ExitCode {
         }
     }
     sort_diagnostics(&mut diags);
-    emit(&diags, parsed.json, parsed.deny_warnings)
+    emit(&diags, parsed.format, parsed.deny_warnings)
 }
 
 /// Detect the artifact kind from the document's fields and run the
@@ -304,16 +360,77 @@ fn cmd_rules() -> ExitCode {
     for (code, name, summary) in artifact::ARTIFACT_CHECKS {
         println!("  {code} {name:<22} {summary}");
     }
+    println!("\nLayer 3 — determinism taint analysis (WM03xx):");
+    for meta in taint::catalog() {
+        println!(
+            "  {} {:<24} {:<9} {}",
+            meta.code.as_str(),
+            meta.name,
+            meta.severity.label(),
+            meta.summary
+        );
+    }
     ExitCode::SUCCESS
 }
 
+/// `--explain CODE`: one code's full description.
+fn cmd_explain(code: Option<&str>) -> ExitCode {
+    let Some(code) = code else {
+        eprintln!("error: --explain needs a code (e.g. WM0301)");
+        return ExitCode::from(2);
+    };
+    for meta in catalog() {
+        if meta.code.as_str() == code {
+            println!("{} ({}) — {}", meta.code.as_str(), meta.name, meta.summary);
+            println!("severity: {}", meta.severity.label());
+            println!("layer: 1 (source lint)");
+            println!("rationale: {}", meta.rationale);
+            return ExitCode::SUCCESS;
+        }
+    }
+    for (c, name, summary) in artifact::ARTIFACT_CHECKS {
+        if *c == code {
+            println!("{c} ({name}) — {summary}");
+            println!("layer: 2 (artifact check)");
+            return ExitCode::SUCCESS;
+        }
+    }
+    for meta in taint::catalog() {
+        if meta.code.as_str() == code {
+            println!("{} ({}) — {}", meta.code.as_str(), meta.name, meta.summary);
+            println!("severity: {}", meta.severity.label());
+            println!("layer: 3 (determinism taint analysis)");
+            println!("rationale: {}", meta.rationale);
+            println!(
+                "sources: wall-clock reads, hash iteration, entropy RNG, env reads, \
+                 raw thread spawns (the WM01xx detectors, crate exemptions ignored)"
+            );
+            println!(
+                "sinks: serde_json::to_string/to_string_pretty/to_writer/to_vec, \
+                 fs::write, fs::rename, File::create, write_all, write_fmt \
+                 (outside telemetry/bench)"
+            );
+            println!(
+                "sanitizers: canonical sorts / total_cmp / BTree collections, \
+                 stable_hash, seeded RNG constructors (from_seed, seed_from_u64, \
+                 SeedMixer)"
+            );
+            return ExitCode::SUCCESS;
+        }
+    }
+    eprintln!("error: unknown code `{code}` (see `wmtree-lint rules`)");
+    ExitCode::from(2)
+}
+
 /// Render findings and pick the exit code.
-fn emit(diags: &[Diagnostic], json: bool, deny_warnings: bool) -> ExitCode {
-    if json {
-        print!("{}", render_json(diags));
-    } else {
-        print!("{}", render_pretty(diags));
-        eprintln!("{}", render_summary(diags));
+fn emit(diags: &[Diagnostic], format: OutputFormat, deny_warnings: bool) -> ExitCode {
+    match format {
+        OutputFormat::Json => print!("{}", render_json(diags)),
+        OutputFormat::Sarif => print!("{}", render_sarif(diags)),
+        OutputFormat::Pretty => {
+            print!("{}", render_pretty(diags));
+            eprintln!("{}", render_summary(diags));
+        }
     }
     let errors = diags.iter().any(|d| d.severity == Severity::Error);
     let warnings = diags.iter().any(|d| d.severity == Severity::Warning);

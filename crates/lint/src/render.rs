@@ -126,8 +126,9 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     out
 }
 
-/// Append a JSON string literal (with escaping) to `out`.
-fn json_str(out: &mut String, s: &str) {
+/// Append a JSON string literal (with escaping) to `out`. Shared with
+/// the SARIF renderer ([`crate::sarif`]) so both emit identical escapes.
+pub(crate) fn json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -1,0 +1,166 @@
+//! SARIF 2.1.0 renderer, for CI inline annotation.
+//!
+//! Like [`crate::render::render_json`], the document is built by hand
+//! in a fixed field order so identical findings produce byte-identical
+//! SARIF — the uploader diffing two runs must see byte equality, not
+//! just semantic equality. The rule metadata of all three layers is
+//! embedded as `tool.driver.rules`, so viewers can show each code's
+//! summary and rationale without reaching back into the repo.
+
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::render::json_str;
+
+/// The SARIF schema this renderer targets.
+const SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Render a sorted batch as a SARIF 2.1.0 document (one run, one tool).
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"$schema\":");
+    json_str(&mut out, SCHEMA);
+    out.push_str(",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+    out.push_str("\"name\":\"wmtree-lint\",\"informationUri\":");
+    json_str(&mut out, "https://example.invalid/wmtree/DESIGN.md");
+    out.push_str(",\"rules\":[");
+    let mut first = true;
+    for (id, summary, rationale) in rule_descriptions() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"id\":");
+        json_str(&mut out, &id);
+        out.push_str(",\"shortDescription\":{\"text\":");
+        json_str(&mut out, &summary);
+        out.push_str("},\"help\":{\"text\":");
+        json_str(&mut out, &rationale);
+        out.push_str("}}");
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"ruleId\":");
+        json_str(&mut out, d.code.as_str());
+        out.push_str(",\"level\":");
+        json_str(
+            &mut out,
+            match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            },
+        );
+        out.push_str(",\"message\":{\"text\":");
+        // Notes fold into the message: SARIF viewers show one text blob
+        // per result, and the call-path notes are the finding's point.
+        let mut text = d.message.clone();
+        for note in &d.notes {
+            text.push('\n');
+            text.push_str("note: ");
+            text.push_str(note);
+        }
+        json_str(&mut out, &text);
+        out.push_str("},\"locations\":[{");
+        match &d.location {
+            Location::Source(s) => {
+                out.push_str("\"physicalLocation\":{\"artifactLocation\":{\"uri\":");
+                json_str(&mut out, &s.file);
+                out.push_str(&format!(
+                    "}},\"region\":{{\"startLine\":{},\"startColumn\":{},\"endColumn\":{}}}}}",
+                    s.line,
+                    s.col,
+                    s.col + s.len.max(1)
+                ));
+            }
+            Location::Artifact(p) => {
+                out.push_str("\"logicalLocations\":[{\"fullyQualifiedName\":");
+                json_str(&mut out, p);
+                out.push_str("}]");
+            }
+        }
+        out.push_str("}]}");
+    }
+    out.push_str("]}]}");
+    out.push('\n');
+    out
+}
+
+/// `(id, summary, rationale)` of every rule across all three layers, in
+/// code order.
+fn rule_descriptions() -> Vec<(String, String, String)> {
+    let mut rules: Vec<(String, String, String)> = crate::rules::catalog()
+        .iter()
+        .map(|m| {
+            (
+                m.code.as_str().to_string(),
+                m.summary.to_string(),
+                m.rationale.to_string(),
+            )
+        })
+        .collect();
+    for (code, name, summary) in crate::artifact::ARTIFACT_CHECKS {
+        rules.push((
+            code.to_string(),
+            format!("{name}: {summary}"),
+            summary.to_string(),
+        ));
+    }
+    for m in crate::taint::catalog() {
+        rules.push((
+            m.code.as_str().to_string(),
+            m.summary.to_string(),
+            m.rationale.to_string(),
+        ));
+    }
+    rules.sort();
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Code, Diagnostic, Severity, Span};
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::source(
+                Code("WM0301"),
+                Severity::Error,
+                Span {
+                    file: "crates/core/src/report.rs".into(),
+                    line: 4,
+                    col: 9,
+                    text: "    let tag = annotate();".into(),
+                    len: 8,
+                },
+                "nondeterministic wall-clock time flows into `core::report::write_report`",
+            )
+            .with_note("tainted call path: a -> b -> c"),
+            Diagnostic::artifact(Code("WM0201"), Severity::Warning, "deptree:node[3]", "bad"),
+        ]
+    }
+
+    #[test]
+    fn sarif_shape_and_stability() {
+        let a = render_sarif(&sample());
+        let b = render_sarif(&sample());
+        assert_eq!(a, b, "byte-identical for identical findings");
+        assert!(a.contains("\"version\":\"2.1.0\""));
+        assert!(a.contains("\"ruleId\":\"WM0301\""));
+        assert!(a.contains("\"startLine\":4"));
+        assert!(a.contains("note: tainted call path: a -> b -> c"));
+        assert!(a.contains("\"fullyQualifiedName\":\"deptree:node[3]\""));
+        assert!(a.ends_with('\n'));
+        // Every layer's rules are embedded.
+        assert!(a.contains("\"id\":\"WM0101\""));
+        assert!(a.contains("\"id\":\"WM0201\""));
+        assert!(a.contains("\"id\":\"WM0310\""));
+    }
+
+    #[test]
+    fn sarif_is_valid_json() {
+        let doc = render_sarif(&sample());
+        let v: serde_json::Value = serde_json::from_str(&doc).expect("valid JSON");
+        assert!(v.get("runs").is_some());
+    }
+}

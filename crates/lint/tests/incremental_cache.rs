@@ -1,0 +1,148 @@
+//! Satellite: incremental-cache correctness.
+//!
+//! A warm-cache run must match a cold run finding-for-finding, a single
+//! edited file must invalidate only its own entry, and `--no-cache`
+//! must bypass the cache entirely.
+
+use std::path::{Path, PathBuf};
+use wmtree_lint::engine::{lint_workspace_with, LintOptions, LintOutcome};
+use wmtree_lint::render::render_json;
+use wmtree_lint::Baseline;
+
+/// A mini-workspace with one real (taint-producing) flow and a few
+/// clean files, plus a cache path inside the same temp dir.
+fn fixture(tag: &str) -> (PathBuf, PathBuf) {
+    let root = std::env::temp_dir().join(format!("wmtree-lint-cache-fixture-{tag}"));
+    let _ = std::fs::remove_dir_all(&root);
+    for (rel, src) in [
+        (
+            "crates/telemetry/src/clock.rs",
+            "pub fn stamp() -> u64 {\n    let t = SystemTime::now();\n    0\n}\n",
+        ),
+        (
+            "crates/core/src/report.rs",
+            "pub fn write_report(rows: &[u64]) {\n    \
+             let tag = wmtree_telemetry::clock::stamp();\n    \
+             let body = serde_json::to_string(rows);\n    std::fs::write(\"r.json\", body);\n}\n",
+        ),
+        (
+            "crates/core/src/clean_a.rs",
+            "pub fn double(x: u64) -> u64 {\n    x * 2\n}\n",
+        ),
+        (
+            "crates/core/src/clean_b.rs",
+            "pub fn triple(x: u64) -> u64 {\n    x * 3\n}\n",
+        ),
+    ] {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, src).expect("write fixture");
+    }
+    let cache = root.join("lint-cache.json");
+    (root, cache)
+}
+
+fn run(root: &Path, cache: &Path, use_cache: bool) -> LintOutcome {
+    let options = LintOptions {
+        workers: 1,
+        use_cache,
+        cache_path: Some(cache.to_path_buf()),
+    };
+    lint_workspace_with(root, &Baseline::empty(), &options).expect("scan fixture")
+}
+
+#[test]
+fn warm_run_matches_cold_run_exactly() {
+    let (root, cache) = fixture("warm");
+    let cold = run(&root, &cache, true);
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(cold.cache_misses, 4);
+    assert!(
+        cold.findings.iter().any(|d| d.code.as_str() == "WM0301"),
+        "fixture must produce a flow"
+    );
+
+    let warm = run(&root, &cache, true);
+    assert_eq!(warm.cache_hits, 4, "all files served from cache");
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(
+        render_json(&warm.findings),
+        render_json(&cold.findings),
+        "warm findings must be byte-identical to cold"
+    );
+    assert_eq!(warm.suppressed, cold.suppressed);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn editing_one_file_invalidates_only_its_entry() {
+    let (root, cache) = fixture("edit");
+    run(&root, &cache, true);
+
+    // Touch one clean file with a semantically neutral change.
+    std::fs::write(
+        root.join("crates/core/src/clean_a.rs"),
+        "pub fn double(x: u64) -> u64 {\n    // doubled\n    x * 2\n}\n",
+    )
+    .expect("edit file");
+
+    let after = run(&root, &cache, true);
+    assert_eq!(after.cache_hits, 3, "three unchanged files stay cached");
+    assert_eq!(after.cache_misses, 1, "only the edited file re-lints");
+    assert!(
+        after.findings.iter().any(|d| d.code.as_str() == "WM0301"),
+        "the cross-file flow survives a partial cache refresh"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn edited_findings_update_through_the_cache() {
+    let (root, cache) = fixture("update");
+    let before = run(&root, &cache, true);
+    assert!(before.findings.iter().any(|d| d.code.as_str() == "WM0301"));
+
+    // Break the flow: the report no longer calls into telemetry.
+    std::fs::write(
+        root.join("crates/core/src/report.rs"),
+        "pub fn write_report(rows: &[u64]) {\n    \
+         let body = serde_json::to_string(rows);\n    std::fs::write(\"r.json\", body);\n}\n",
+    )
+    .expect("edit report");
+    let after = run(&root, &cache, true);
+    assert_eq!(after.cache_hits, 3);
+    assert!(
+        after.findings.iter().all(|d| d.code.as_str() != "WM0301"),
+        "stale cached facts must not resurrect the flow"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn no_cache_bypasses_the_cache() {
+    let (root, cache) = fixture("nocache");
+    let a = run(&root, &cache, false);
+    assert_eq!(a.cache_hits, 0);
+    assert!(!cache.exists(), "no cache file may be written");
+    let b = run(&root, &cache, false);
+    assert_eq!(b.cache_hits, 0, "nothing is ever served from cache");
+    assert_eq!(render_json(&a.findings), render_json(&b.findings));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn corrupt_cache_degrades_to_cold_run() {
+    let (root, cache) = fixture("corrupt");
+    let cold = run(&root, &cache, true);
+    std::fs::write(&cache, "{definitely not json").expect("corrupt cache");
+    let recovered = run(&root, &cache, true);
+    assert_eq!(recovered.cache_hits, 0, "corrupt cache must not hit");
+    assert_eq!(
+        render_json(&recovered.findings),
+        render_json(&cold.findings)
+    );
+    // And the save repaired the file for the next run.
+    let warm = run(&root, &cache, true);
+    assert_eq!(warm.cache_hits, 4);
+    std::fs::remove_dir_all(&root).ok();
+}

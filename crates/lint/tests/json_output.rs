@@ -45,7 +45,7 @@ fn lint_pretty_reports_clean_workspace() {
 }
 
 #[test]
-fn rules_subcommand_lists_both_layers() {
+fn rules_subcommand_lists_all_three_layers() {
     let out = run(&["rules"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
@@ -57,6 +57,63 @@ fn rules_subcommand_lists_both_layers() {
             text.contains(code),
             "missing artifact check {code}:\n{text}"
         );
+    }
+    for code in [
+        "WM0301", "WM0302", "WM0303", "WM0304", "WM0305", "WM0306", "WM0307", "WM0308", "WM0309",
+        "WM0310",
+    ] {
+        assert!(text.contains(code), "missing taint rule {code}:\n{text}");
+    }
+    assert!(
+        text.contains("determinism taint analysis"),
+        "missing layer-3 header:\n{text}"
+    );
+}
+
+#[test]
+fn explain_describes_a_taint_rule() {
+    let out = run(&["--explain", "WM0301"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("WM0301"), "{text}");
+    // The taint explainer lists the source/sink/sanitizer model.
+    for heading in ["sources", "sinks", "sanitizers"] {
+        assert!(text.contains(heading), "missing {heading} section:\n{text}");
+    }
+}
+
+#[test]
+fn sarif_output_is_stable_and_valid() {
+    let a = run(&["lint", "--format", "sarif", "--no-cache"]);
+    let b = run(&["lint", "--format", "sarif", "--no-cache"]);
+    assert!(a.status.success());
+    assert_eq!(a.stdout, b.stdout, "SARIF output must be byte-identical");
+    let text = String::from_utf8(a.stdout).expect("utf8 output");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    assert_eq!(
+        v.get("version").and_then(|x| x.as_str()),
+        Some("2.1.0"),
+        "{text}"
+    );
+    let runs = match v.get("runs") {
+        Some(serde_json::Value::Seq(runs)) => runs,
+        other => panic!("runs array expected, got {other:?}"),
+    };
+    let rules = match runs
+        .first()
+        .and_then(|r| r.get("tool"))
+        .and_then(|t| t.get("driver"))
+        .and_then(|d| d.get("rules"))
+    {
+        Some(serde_json::Value::Seq(rules)) => rules,
+        other => panic!("rules array expected, got {other:?}"),
+    };
+    let ids: Vec<&str> = rules
+        .iter()
+        .filter_map(|r| r.get("id").and_then(|i| i.as_str()))
+        .collect();
+    for code in ["WM0101", "WM0201", "WM0301", "WM0310"] {
+        assert!(ids.contains(&code), "SARIF rules missing {code}: {ids:?}");
     }
 }
 

@@ -1,0 +1,138 @@
+//! Satellite property test: call-graph construction and the taint
+//! fixpoint are insensitive to file/fn insertion order — any shuffle of
+//! the per-file facts yields the identical findings set and the
+//! identical graph.
+
+use proptest::prelude::*;
+use wmtree_lint::diag::sort_diagnostics;
+use wmtree_lint::graph::{build_graph, FileFacts};
+use wmtree_lint::lexer::SourceFile;
+use wmtree_lint::render::render_json;
+use wmtree_lint::taint;
+
+/// A corpus exercising every code path: cross-crate flow, sanitizer,
+/// zero-hop sink, duplicate keys (WM0307), a shadowed sanitizer
+/// (WM0309), a stale allow (WM0310), and plain clean files.
+fn corpus() -> Vec<FileFacts> {
+    let files: [(&str, &str, &str); 8] = [
+        (
+            "crates/telemetry/src/clock.rs",
+            "telemetry",
+            "pub fn stamp() -> u64 { let t = SystemTime::now(); 0 }",
+        ),
+        (
+            "crates/core/src/mid.rs",
+            "core",
+            "pub fn annotate() -> u64 { wmtree_telemetry::clock::stamp() }",
+        ),
+        (
+            "crates/core/src/report.rs",
+            "core",
+            "pub fn write_report(rows: &[u64]) {\n    let tag = crate::mid::annotate();\n    \
+             std::fs::write(\"r\", serde_json::to_string(rows));\n}",
+        ),
+        (
+            "crates/core/src/sorted.rs",
+            "core",
+            "pub fn canonical(mut v: Vec<u64>) -> Vec<u64> {\n    \
+             v.sort();\n    v\n}\npub fn dump(v: Vec<u64>) {\n    \
+             let v = canonical(v);\n    std::fs::write(\"s\", serde_json::to_string(&v));\n}",
+        ),
+        (
+            "crates/crawler/src/dup.rs",
+            "crawler",
+            "pub fn helper() -> u64 { let t = Instant::now(); 1 }",
+        ),
+        (
+            // `dup/mod.rs` collapses to module `dup`, colliding with
+            // `dup.rs` above — the WM0307 duplicate-key case.
+            "crates/crawler/src/dup/mod.rs",
+            "crawler",
+            "pub fn helper() -> u64 { 2 }",
+        ),
+        (
+            "crates/stats/src/shadow.rs",
+            "stats",
+            "pub fn stable_hash(seed: u64, bytes: &[u8]) -> u64 { seed }",
+        ),
+        (
+            "crates/url/src/stale.rs",
+            "url",
+            "// wmtree-lint: allow(WM0302)\npub fn quiet() -> u64 { 9 }",
+        ),
+    ];
+    files
+        .iter()
+        .map(|(path, krate, src)| FileFacts::collect(&SourceFile::parse(*path, *krate, src, false)))
+        .collect()
+}
+
+/// Deterministic Fisher–Yates from a seed (xorshift64), so the shuffle
+/// itself never consults a global RNG.
+fn shuffle<T>(v: &mut [T], mut s: u64) {
+    s |= 1;
+    for i in (1..v.len()).rev() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let j = (s % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+/// Canonical signature of an analysis run: sorted findings as stable
+/// JSON plus the suppression count.
+fn signature(facts: &[FileFacts]) -> (String, usize) {
+    let mut outcome = taint::analyze(facts);
+    sort_diagnostics(&mut outcome.findings);
+    (render_json(&outcome.findings), outcome.suppressed)
+}
+
+/// Canonical signature of the call graph: keys and resolved edges.
+fn graph_signature(facts: &[FileFacts]) -> Vec<String> {
+    let g = build_graph(facts);
+    let mut out = Vec::new();
+    for (n, key) in g.keys.iter().enumerate() {
+        let callees: Vec<&str> = g.fwd[n].iter().map(|e| g.keys[e.callee].as_str()).collect();
+        out.push(format!("{key} -> [{}]", callees.join(", ")));
+    }
+    out
+}
+
+#[test]
+fn corpus_produces_the_expected_codes() {
+    let facts = corpus();
+    let (json, _suppressed) = signature(&facts);
+    // The corpus must actually exercise the pass: a real flow, the
+    // duplicate-key warning, the shadowed sanitizer, the stale allow —
+    // and the sanitized path must NOT fire.
+    for code in ["WM0301", "WM0307", "WM0309", "WM0310"] {
+        let tag = format!("\"code\":\"{code}\"");
+        assert!(json.contains(&tag), "corpus lost its {code} case:\n{json}");
+    }
+    assert!(
+        !json.contains("\"code\":\"WM0302\""),
+        "sanitized sort must not flag:\n{json}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any permutation of file order (and of fn order within files)
+    /// yields byte-identical findings and an identical call graph.
+    #[test]
+    fn analysis_is_order_insensitive(seed in 0u64..1_000_000_000) {
+        let baseline_facts = corpus();
+        let baseline = signature(&baseline_facts);
+        let baseline_graph = graph_signature(&baseline_facts);
+
+        let mut shuffled = corpus();
+        shuffle(&mut shuffled, seed);
+        for (i, f) in shuffled.iter_mut().enumerate() {
+            shuffle(&mut f.fns, seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
+        }
+        prop_assert_eq!(&signature(&shuffled), &baseline);
+        prop_assert_eq!(&graph_signature(&shuffled), &baseline_graph);
+    }
+}
