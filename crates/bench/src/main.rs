@@ -21,6 +21,9 @@
 //! repro --shards 5 --shard-dir DIR --plan-only   # write SHARDS.json only
 //! repro --shard-dir DIR --shard-id 2        # crawl (or resume) one shard
 //! repro --merge-shards DIR   # streaming merge of a fully crawled plan
+//! repro --list-bundles DIR   # enumerate the bundles under a store root
+//! repro serve --root DIR     # run the measurement service (wmtree-server)
+//! repro serve --root DIR --addr 127.0.0.1:8080 --job-workers 2
 //! ```
 //!
 //! The shard flags are the multi-process recipe for `--scale huge`
@@ -47,6 +50,12 @@ fn main() {
             .cloned()
     };
 
+    // `repro serve` hands the process over to the measurement service.
+    if args.first().map(String::as_str) == Some("serve") {
+        serve(&args[1..]);
+        return;
+    }
+
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "repro — regenerate the IMC'23 tables and figures\n\n\
@@ -56,7 +65,9 @@ fn main() {
              [--bundle DIR [--resume] [--max-sites N]] [--from-bundle DIR] \
              [--shards N --shard-dir DIR [--plan-only]] \
              [--shard-dir DIR --shard-id K [--max-sites N]] [--merge-shards DIR] \
-             [--workers N] [--bench-stages FILE [--scale s1,s2]]"
+             [--workers N] [--bench-stages FILE [--scale s1,s2]] [--list-bundles DIR]\n\n\
+             repro serve --root DIR [--addr HOST:PORT] [--http-workers N] \
+             [--job-workers N] [--cache N] [--batch-sites N]"
         );
         return;
     }
@@ -79,8 +90,8 @@ fn main() {
             Some(names) => names
                 .split(',')
                 .map(|name| {
-                    Scale::parse(name).unwrap_or_else(|| {
-                        eprintln!("[repro] unknown scale {name:?} (tiny|small|medium|large|huge)");
+                    Scale::parse(name).unwrap_or_else(|e| {
+                        eprintln!("[repro] {e}");
                         std::process::exit(2);
                     })
                 })
@@ -91,9 +102,39 @@ fn main() {
         return;
     }
 
+    // `--list-bundles DIR`: the CLI view of a job store root, through
+    // the same enumeration the server's `GET /bundles` uses.
+    if let Some(dir) = get("--list-bundles") {
+        match wmtree_bundle::BundleStore::list(std::path::Path::new(&dir)) {
+            Ok(bundles) if bundles.is_empty() => eprintln!("[repro] no bundles under {dir}"),
+            Ok(bundles) => {
+                println!(
+                    "{:<12} {:<16} {:>9} {:>7} {:>7}  state",
+                    "dir", "hash", "visits", "sites", "objects"
+                );
+                for b in bundles {
+                    println!(
+                        "{:<12} {:<16} {:>9} {:>7} {:>7}  {}",
+                        b.dir,
+                        b.hash,
+                        b.visit_records,
+                        b.sites,
+                        b.objects,
+                        if b.complete { "complete" } else { "partial" }
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("[repro] listing bundles failed: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
     let scale = match get("--scale") {
-        Some(name) => Scale::parse(&name).unwrap_or_else(|| {
-            eprintln!("[repro] unknown scale {name:?} (tiny|small|medium|large|huge)");
+        Some(name) => Scale::parse(&name).unwrap_or_else(|e| {
+            eprintln!("[repro] {e}");
             std::process::exit(2);
         }),
         None => Scale::Small,
@@ -499,6 +540,55 @@ fn bench_stages(scales: &[Scale], path: &str) {
     );
     std::fs::write(path, &json).expect("write bench-stages JSON");
     eprintln!("[repro] wrote {path}");
+}
+
+/// `repro serve`: run the measurement service until it drains (a
+/// client `POST /shutdown`, or the process is signalled).
+fn serve(args: &[String]) {
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parse_n = |flag: &str| -> Option<usize> {
+        get(flag).map(|raw| {
+            raw.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("[repro] {flag} must be a number, got {raw:?}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let root = get("--root").unwrap_or_else(|| {
+        eprintln!("[repro] serve needs --root DIR (the job store root)");
+        std::process::exit(2);
+    });
+    let mut config = wmtree_server::ServerConfig::new(&root);
+    if let Some(addr) = get("--addr") {
+        config.addr = addr;
+    }
+    if let Some(n) = parse_n("--http-workers") {
+        config.http_workers = n;
+    }
+    if let Some(n) = parse_n("--job-workers") {
+        config.job_workers = n;
+    }
+    if let Some(n) = parse_n("--cache") {
+        config.cache_capacity = n;
+    }
+    if let Some(n) = parse_n("--batch-sites") {
+        config.batch_sites = n;
+    }
+    let handle = wmtree_server::Server::start(config).unwrap_or_else(|e| {
+        eprintln!("[repro] starting server failed: {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "[repro] serving job store {root} on http://{} (POST /shutdown to drain)",
+        handle.addr()
+    );
+    handle.wait();
+    eprintln!("[repro] server drained; job store {root} is consistent");
 }
 
 /// Table 1 is configuration, not measurement — print the profile matrix.

@@ -73,6 +73,12 @@ pub enum BundleError {
         /// The bundle directory.
         dir: PathBuf,
     },
+    /// The bundle path exists but is not a directory (e.g. a file was
+    /// passed where a bundle directory was expected).
+    NotADirectory {
+        /// The offending path.
+        path: PathBuf,
+    },
     /// The bundle's format version is not supported by this build.
     UnsupportedVersion {
         /// Version recorded in the manifest.
@@ -127,6 +133,12 @@ impl std::fmt::Display for BundleError {
             BundleError::NotFound { dir } => {
                 write!(f, "no bundle manifest found at {}", dir.display())
             }
+            BundleError::NotADirectory { path } => write!(
+                f,
+                "bundle path {} is not a directory (expected a bundle \
+                 directory holding MANIFEST.json)",
+                path.display()
+            ),
             BundleError::UnsupportedVersion { found, supported } => write!(
                 f,
                 "bundle format version {found} is not supported (this build reads version {supported})"

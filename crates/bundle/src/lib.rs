@@ -34,6 +34,7 @@ pub mod manifest;
 pub mod reader;
 pub mod record;
 pub mod segment;
+pub mod store;
 pub mod verify;
 pub mod writer;
 
@@ -42,5 +43,6 @@ pub use hash::bundle_content_hash;
 pub use manifest::{BundleMeta, Manifest, SegmentMeta, DEFAULT_SEGMENT_CAPACITY};
 pub use reader::{BundleReader, VisitIter};
 pub use record::{BundleVisit, Checkpoint, ObjectEntry, Record, VisitRef};
+pub use store::{BundleStore, BundleSummary};
 pub use verify::{verify_bundle, VerifyIssue, VerifyReport};
 pub use writer::{BundleWriter, ResumeState};

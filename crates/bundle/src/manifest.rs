@@ -96,6 +96,14 @@ impl Manifest {
 
     /// Load and version-check the manifest of a bundle directory.
     pub fn load(dir: &Path) -> Result<Manifest, BundleError> {
+        // A file where a directory belongs would otherwise surface as a
+        // raw `NotADirectory` io error on `dir/MANIFEST.json` — name the
+        // actual mistake (and the offending path) instead.
+        if dir.exists() && !dir.is_dir() {
+            return Err(BundleError::NotADirectory {
+                path: dir.to_path_buf(),
+            });
+        }
         let path = dir.join(MANIFEST_FILE);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
@@ -215,6 +223,18 @@ mod tests {
             Manifest::load(&dir),
             Err(BundleError::NotFound { .. })
         ));
+    }
+
+    #[test]
+    fn file_path_is_a_located_error() {
+        let dir = tmp("filepath");
+        let file = dir.join("not-a-bundle.txt");
+        std::fs::write(&file, "plain file").unwrap();
+        let err = Manifest::load(&file).expect_err("a file is not a bundle");
+        assert!(matches!(err, BundleError::NotADirectory { .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("not-a-bundle.txt"), "names the path: {msg}");
+        assert!(msg.contains("not a directory"), "names the mistake: {msg}");
     }
 
     #[test]

@@ -47,18 +47,54 @@ impl Scale {
         }
     }
 
-    /// Parse a scale name as the `repro` CLI spells it.
-    pub fn parse(name: &str) -> Option<Scale> {
+    /// Every scale name [`Scale::parse`] accepts, in size order.
+    pub const NAMES: [&'static str; 5] = ["tiny", "small", "medium", "large", "huge"];
+
+    /// The name of this scale, as [`Scale::parse`] spells it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+            Scale::Huge => "huge",
+        }
+    }
+
+    /// Parse a scale name as the `repro` CLI spells it. The error
+    /// enumerates every valid name, so a typo is self-correcting.
+    pub fn parse(name: &str) -> Result<Scale, ScaleParseError> {
         match name {
-            "tiny" => Some(Scale::Tiny),
-            "small" => Some(Scale::Small),
-            "medium" => Some(Scale::Medium),
-            "large" => Some(Scale::Large),
-            "huge" => Some(Scale::Huge),
-            _ => None,
+            "tiny" => Ok(Scale::Tiny),
+            "small" => Ok(Scale::Small),
+            "medium" => Ok(Scale::Medium),
+            "large" => Ok(Scale::Large),
+            "huge" => Ok(Scale::Huge),
+            _ => Err(ScaleParseError {
+                name: name.to_string(),
+            }),
         }
     }
 }
+
+/// A scale name [`Scale::parse`] did not recognize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleParseError {
+    name: String,
+}
+
+impl std::fmt::Display for ScaleParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scale {:?} (valid scales: {})",
+            self.name,
+            Scale::NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ScaleParseError {}
 
 /// Full configuration of one experiment run.
 #[derive(Debug, Clone)]
@@ -152,9 +188,25 @@ mod tests {
             ("large", Scale::Large),
             ("huge", Scale::Huge),
         ] {
-            assert_eq!(Scale::parse(name), Some(scale));
+            assert_eq!(Scale::parse(name), Ok(scale));
+            assert_eq!(scale.name(), name);
         }
-        assert_eq!(Scale::parse("paper"), None);
+        assert!(Scale::parse("paper").is_err());
+    }
+
+    #[test]
+    fn parse_error_enumerates_valid_names() {
+        let err = Scale::parse("paper").expect_err("not a scale");
+        let msg = err.to_string();
+        assert!(msg.contains("\"paper\""), "names the bad input: {msg}");
+        for name in Scale::NAMES {
+            assert!(msg.contains(name), "must list {name:?}: {msg}");
+        }
+        // The listing order is the size order, so the message doubles
+        // as documentation of the presets.
+        let tiny = msg.find("tiny").unwrap();
+        let huge = msg.find("huge").unwrap();
+        assert!(tiny < huge, "sizes listed smallest-first: {msg}");
     }
 
     #[test]

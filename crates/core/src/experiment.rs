@@ -372,6 +372,33 @@ mod tests {
     }
 
     #[test]
+    fn replay_from_missing_or_non_bundle_path_is_located() {
+        // The `repro --from-bundle` error paths: both mistakes must
+        // surface as one clear, located message, not an io error chain.
+        let exp = Experiment::new(crate::ExperimentConfig::at_scale(Scale::Tiny));
+
+        let missing = std::env::temp_dir().join("wmtree-core-no-such-bundle");
+        let _ = std::fs::remove_dir_all(&missing);
+        let err = exp.replay_from_bundle(&missing).expect_err("missing dir");
+        assert!(matches!(err, BundleError::NotFound { .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("no bundle manifest found") && msg.contains("wmtree-core-no-such-bundle"),
+            "locates the missing bundle: {msg}"
+        );
+
+        let file = std::env::temp_dir().join("wmtree-core-bundle-as-file.json");
+        std::fs::write(&file, "{}").unwrap();
+        let err = exp.replay_from_bundle(&file).expect_err("file path");
+        assert!(matches!(err, BundleError::NotADirectory { .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("not a directory") && msg.contains("wmtree-core-bundle-as-file.json"),
+            "locates the non-bundle path: {msg}"
+        );
+    }
+
+    #[test]
     fn runs_are_reproducible() {
         let cfg = crate::ExperimentConfig::at_scale(Scale::Tiny);
         let a = Experiment::new(cfg.clone()).run();

@@ -45,7 +45,7 @@ mod csv;
 mod experiment;
 pub mod report;
 
-pub use config::{ExperimentConfig, Scale};
+pub use config::{ExperimentConfig, Scale, ScaleParseError};
 pub use experiment::{BundleRun, Experiment, ExperimentResults};
 pub use report::Report;
 

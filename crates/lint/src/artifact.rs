@@ -100,6 +100,21 @@ pub const ARTIFACT_CHECKS: &[(&str, &str, &str)] = &[
         "shards-merged-sites",
         "the merged report's site count equals the sum of per-shard vetted site counts",
     ),
+    (
+        "WM0241",
+        "jobs-dense-ids",
+        "JOBS.json job ids are dense (0..n, in submission order) with unique bundle dirs",
+    ),
+    (
+        "WM0242",
+        "jobs-state-coherence",
+        "job fields match the state: done => bundle hash, failed => error, queued => untouched",
+    ),
+    (
+        "WM0243",
+        "jobs-bundle-hashes",
+        "every done job's bundle exists on disk and matches its recorded content hash",
+    ),
 ];
 
 /// Check a [`DepTree`]. `origin` names the artifact in diagnostics
@@ -566,6 +581,166 @@ pub fn check_shard_dir(dir: &std::path::Path, origin: &str) -> Result<Vec<Diagno
     Ok(out)
 }
 
+/// Check a job-store root (`WM0241`–`WM0243`): a `JOBS.json` queue
+/// plus per-job bundle directories, as written by `wmtree-server`.
+/// The file is parsed read-only — unlike `JobStore::open`, which
+/// rewrites it for crash recovery, a lint must never mutate the
+/// artifact it checks. `Err` means the store could not be scanned at
+/// all (no queue file, unreadable, wrong version).
+pub fn check_jobs_dir(dir: &std::path::Path, origin: &str) -> Result<Vec<Diagnostic>, String> {
+    use wmtree_server::{JobState, JobsFile, JOBS_FILE, JOBS_VERSION};
+
+    let path = dir.join(JOBS_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let file: JobsFile = serde_json::from_str(&text)
+        .map_err(|e| format!("{} does not parse: {e}", path.display()))?;
+    if file.version != JOBS_VERSION {
+        return Err(format!(
+            "{} has version {}, this build reads {JOBS_VERSION}",
+            path.display(),
+            file.version
+        ));
+    }
+    let at_file = format!("{origin}:{JOBS_FILE}");
+    let mut out = Vec::new();
+
+    // WM0241 — dense ids in submission order, bundle dirs unique.
+    let mut dirs_seen = std::collections::BTreeMap::new();
+    for (i, job) in file.jobs.iter().enumerate() {
+        let at = format!("{at_file}:job[{i}]");
+        if job.id != i {
+            out.push(Diagnostic::artifact(
+                Code("WM0241"),
+                Severity::Error,
+                at.clone(),
+                format!(
+                    "job ids must be dense 0..{}, found id {}",
+                    file.jobs.len(),
+                    job.id
+                ),
+            ));
+        }
+        if let Some(&other) = dirs_seen.get(&job.dir) {
+            out.push(
+                Diagnostic::artifact(
+                    Code("WM0241"),
+                    Severity::Error,
+                    at,
+                    format!("bundle dir `{}` is shared with job {other}", job.dir),
+                )
+                .with_note("two jobs writing one archive corrupt each other's checkpoints"),
+            );
+        } else {
+            dirs_seen.insert(job.dir.clone(), job.id);
+        }
+    }
+
+    // WM0242 — field/state coherence.
+    for job in &file.jobs {
+        let at = format!("{at_file}:job[{}]", job.id);
+        let state = job.state.label();
+        match job.state {
+            JobState::Done => {
+                if job.bundle_hash.is_none() {
+                    out.push(
+                        Diagnostic::artifact(
+                            Code("WM0242"),
+                            Severity::Error,
+                            at.clone(),
+                            "done job has no recorded bundle hash",
+                        )
+                        .with_note("the hash is the ETag of everything served from the job"),
+                    );
+                }
+                if job.sites_done != job.sites_total {
+                    out.push(Diagnostic::artifact(
+                        Code("WM0242"),
+                        Severity::Error,
+                        at.clone(),
+                        format!(
+                            "done job stopped at {}/{} sites",
+                            job.sites_done, job.sites_total
+                        ),
+                    ));
+                }
+            }
+            JobState::Failed => {
+                if job.error.is_none() {
+                    out.push(Diagnostic::artifact(
+                        Code("WM0242"),
+                        Severity::Error,
+                        at.clone(),
+                        "failed job records no error message",
+                    ));
+                }
+            }
+            JobState::Queued => {
+                if job.bundle_hash.is_some() || job.sites_done != 0 {
+                    out.push(Diagnostic::artifact(
+                        Code("WM0242"),
+                        Severity::Error,
+                        at.clone(),
+                        "queued job already records progress or a bundle hash",
+                    ));
+                }
+            }
+            JobState::Running | JobState::Interrupted => {}
+        }
+        if job.bundle_hash.is_some() && job.state != JobState::Done {
+            out.push(Diagnostic::artifact(
+                Code("WM0242"),
+                Severity::Error,
+                at.clone(),
+                format!("{state} job records a bundle hash; only done jobs may"),
+            ));
+        }
+        if job.sites_total > 0 && job.sites_done > job.sites_total {
+            out.push(Diagnostic::artifact(
+                Code("WM0242"),
+                Severity::Error,
+                at,
+                format!(
+                    "sites_done {} exceeds sites_total {}",
+                    job.sites_done, job.sites_total
+                ),
+            ));
+        }
+    }
+
+    // WM0243 — done jobs' bundles exist and verify against the hash.
+    for job in &file.jobs {
+        if job.state != JobState::Done {
+            continue;
+        }
+        let Some(recorded) = job.bundle_hash.as_deref() else {
+            continue; // already a WM0242
+        };
+        let at = format!("{origin}:{}", job.dir);
+        let bundle_dir = dir.join(&job.dir);
+        match wmtree_bundle::bundle_content_hash(&bundle_dir) {
+            Ok(actual) if actual == recorded => {}
+            Ok(actual) => out.push(
+                Diagnostic::artifact(
+                    Code("WM0243"),
+                    Severity::Error,
+                    at,
+                    format!("bundle content hash {actual} does not match recorded {recorded}"),
+                )
+                .with_note("the archive changed after the job completed; replays would serve it under a stale ETag"),
+            ),
+            Err(e) => out.push(Diagnostic::artifact(
+                Code("WM0243"),
+                Severity::Error,
+                at,
+                format!("done job's bundle cannot be hashed: {e}"),
+            )),
+        }
+    }
+
+    Ok(out)
+}
+
 /// Check one probability field.
 fn check_prob(out: &mut Vec<Diagnostic>, origin: &str, name: &str, value: f64) {
     if !(0.0..=1.0).contains(&value) || value.is_nan() {
@@ -918,6 +1093,107 @@ mod tests {
             diags.iter().any(|d| d.code.as_str() == "WM0238"),
             "{diags:?}"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn job_store_violations_found() {
+        use wmtree_server::{JobRecord, JobSpec, JobState, JobsFile, JOBS_FILE, JOBS_VERSION};
+
+        let dir = std::env::temp_dir().join("wmtree-lint-jobs");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // One real finished bundle backs the done job.
+        let bundle = small_bundle("jobs-backing", true);
+        let job_dir = dir.join("job-000");
+        std::fs::rename(&bundle, &job_dir).expect("move bundle into store");
+        let hash = wmtree_bundle::bundle_content_hash(&job_dir).expect("hash");
+
+        let job = |id: usize, state: JobState| JobRecord {
+            id,
+            spec: JobSpec {
+                scale: "tiny".into(),
+                seed: None,
+                workers: None,
+            },
+            state,
+            dir: format!("job-{id:03}"),
+            sites_done: 0,
+            sites_total: 0,
+            bundle_hash: None,
+            error: None,
+        };
+        let store = |jobs: Vec<JobRecord>| {
+            let file = JobsFile {
+                version: JOBS_VERSION,
+                jobs,
+            };
+            std::fs::write(
+                dir.join(JOBS_FILE),
+                serde_json::to_string(&file).expect("serialize"),
+            )
+            .expect("write JOBS.json");
+        };
+
+        // Clean store: a done job backed by the real bundle, plus a
+        // queued one.
+        let mut done = job(0, JobState::Done);
+        done.sites_done = 1;
+        done.sites_total = 1;
+        done.bundle_hash = Some(hash.clone());
+        store(vec![done.clone(), job(1, JobState::Queued)]);
+        assert!(check_jobs_dir(&dir, "j").expect("scan").is_empty());
+
+        // Every coherence violation at once: non-dense id, duplicate
+        // dir, done without hash, failed without error, queued with
+        // progress, a hash on a non-terminal state, and a done job
+        // whose recorded hash does not match the archive.
+        let mut bad_done = done.clone();
+        bad_done.bundle_hash = None;
+        let mut dup = job(9, JobState::Failed); // non-dense id, no error
+        dup.dir = "job-000".into();
+        let mut eager = job(2, JobState::Queued);
+        eager.sites_done = 3;
+        let mut running = job(3, JobState::Running);
+        running.bundle_hash = Some(hash.clone());
+        running.sites_done = 5;
+        running.sites_total = 2;
+        let mut stale = job(4, JobState::Done);
+        stale.bundle_hash = Some("0000000000000000".into());
+        stale.dir = "job-000".into(); // points at the real archive...
+        store(vec![bad_done, dup, eager, running, stale]);
+        let diags = check_jobs_dir(&dir, "j").expect("scan");
+        let codes: std::collections::BTreeSet<&str> =
+            diags.iter().map(|d| d.code.as_str()).collect();
+        assert!(codes.contains("WM0241"), "{diags:?}");
+        assert!(codes.contains("WM0242"), "{diags:?}");
+        assert!(codes.contains("WM0243"), "{diags:?}");
+        // ...so WM0243 is specifically the hash mismatch, not a
+        // missing archive.
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code.as_str() == "WM0243" && d.message.contains("does not match")),
+            "{diags:?}"
+        );
+
+        // A done job whose bundle directory is gone entirely.
+        let mut ghost = done.clone();
+        ghost.dir = "job-777".into();
+        ghost.id = 0;
+        store(vec![ghost]);
+        let diags = check_jobs_dir(&dir, "j").expect("scan");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code.as_str() == "WM0243" && d.message.contains("cannot be hashed")),
+            "{diags:?}"
+        );
+
+        // No JOBS.json at all is a scan error, not a finding.
+        std::fs::remove_file(dir.join(JOBS_FILE)).expect("rm");
+        assert!(check_jobs_dir(&dir, "j").is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -271,9 +271,13 @@ fn cmd_check_artifacts(args: &[String]) -> ExitCode {
         let path = Path::new(file);
         // A directory is a bundle archive; anything else is a JSON file.
         if path.is_dir() {
-            // A directory holding SHARDS.json is a shard plan (checked
-            // with its per-shard bundles); anything else is a bundle.
-            let check = if path.join(wmtree_shard::SHARDS_FILE).is_file() {
+            // A directory holding JOBS.json is a server job store, one
+            // holding SHARDS.json is a shard plan (each checked with
+            // its per-job/per-shard bundles); anything else is a
+            // bundle.
+            let check = if path.join(wmtree_server::JOBS_FILE).is_file() {
+                artifact::check_jobs_dir(path, file)
+            } else if path.join(wmtree_shard::SHARDS_FILE).is_file() {
                 artifact::check_shard_dir(path, file)
             } else {
                 artifact::check_bundle(path, file)

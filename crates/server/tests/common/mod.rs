@@ -1,0 +1,90 @@
+//! Tiny blocking HTTP/1.1 client for the integration tests — the
+//! server speaks `Connection: close`, so one stream is one exchange.
+//!
+//! Compiled once per test binary; not every binary uses every helper.
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn text(&self) -> String {
+        String::from_utf8(self.body.clone()).expect("utf-8 body")
+    }
+}
+
+/// Send one request, read the full response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> ClientResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: wmtree-test\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+pub fn get(addr: SocketAddr, path: &str) -> ClientResponse {
+    request(addr, "GET", path, &[], b"")
+}
+
+fn parse_response(raw: &[u8]) -> ClientResponse {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    let head = std::str::from_utf8(&raw[..header_end]).expect("utf-8 head");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .map(|line| {
+            let (name, value) = line.split_once(':').expect("header line");
+            (name.trim().to_ascii_lowercase(), value.trim().to_string())
+        })
+        .collect();
+    ClientResponse {
+        status,
+        headers,
+        body: raw[header_end + 4..].to_vec(),
+    }
+}
+
+/// Fresh scratch directory under the system temp dir.
+pub fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wmtree-server-test-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}

@@ -1,0 +1,131 @@
+//! Concurrent replay determinism: N clients hammering the same
+//! finished job through the server's replay cache must all get
+//! byte-identical bodies, and the cache's hit/miss counters must
+//! account for every request exactly once.
+
+mod common;
+
+use common::{get, scratch};
+use wmtree::{BundleRun, Experiment, ExperimentConfig, Report, Scale};
+use wmtree_bundle::bundle_content_hash;
+use wmtree_server::{JobSpec, JobState, JobStore, Server, ServerConfig};
+use wmtree_telemetry::MetricValue;
+
+fn counter_value(snap: &wmtree_telemetry::Snapshot, name: &str) -> u64 {
+    match snap.metrics.get(name) {
+        Some(MetricValue::Counter(n)) => *n,
+        _ => 0,
+    }
+}
+
+#[test]
+fn concurrent_replays_are_byte_identical_and_counted() {
+    // Build the finished job offline — the store's on-disk format is
+    // public API, so the test can assemble a `Done` job directly and
+    // point the server at it.
+    let root = scratch("concurrent-replay");
+    let (store, _) = JobStore::open(&root).expect("open store");
+    let job = store
+        .submit(JobSpec {
+            scale: "tiny".to_string(),
+            seed: None,
+            workers: None,
+        })
+        .expect("submit");
+    let experiment = Experiment::new(ExperimentConfig::at_scale(Scale::Tiny));
+    let bundle_dir = store.bundle_dir(&job);
+    let BundleRun::Complete { .. } = experiment
+        .run_to_bundle(&bundle_dir, None)
+        .expect("offline crawl")
+    else {
+        panic!("uncapped run must complete");
+    };
+    let hash = bundle_content_hash(&bundle_dir).expect("hash");
+    store
+        .update(job.id, |j| {
+            j.state = JobState::Done;
+            j.sites_done = experiment.universe().sites().len();
+            j.sites_total = j.sites_done;
+            j.bundle_hash = Some(hash.clone());
+        })
+        .expect("mark done");
+    drop(store);
+    let expected = Report::generate(
+        &experiment
+            .replay_from_bundle(&bundle_dir)
+            .expect("offline replay"),
+    )
+    .render();
+
+    let handle = Server::start(ServerConfig::new(&root)).expect("start server");
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 8;
+    let before = wmtree_telemetry::global().snapshot();
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let resp = get(addr, "/jobs/0/report");
+                    assert_eq!(resp.status, 200);
+                    resp.text()
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client"))
+            .collect()
+    });
+    let after = wmtree_telemetry::global().snapshot();
+
+    for body in &bodies {
+        assert_eq!(body, &bodies[0], "concurrent replays disagree");
+    }
+    assert_eq!(
+        bodies[0], expected,
+        "served report drifted from offline replay"
+    );
+
+    // Every request took exactly one lookup: hits + misses == N, and
+    // the first request in can never have been a hit.
+    let diff = after.since(&before);
+    let hits = counter_value(&diff, "server.replay.cache.hit");
+    let misses = counter_value(&diff, "server.replay.cache.miss");
+    assert_eq!(
+        hits + misses,
+        CLIENTS as u64,
+        "hits {hits} + misses {misses}"
+    );
+    assert!(misses >= 1);
+
+    // A sequential refetch now must be a pure cache hit.
+    let resp = get(addr, "/jobs/0/report");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.text(), expected);
+    let final_diff = wmtree_telemetry::global().snapshot().since(&after);
+    assert_eq!(counter_value(&final_diff, "server.replay.cache.hit"), 1);
+    assert_eq!(counter_value(&final_diff, "server.replay.cache.miss"), 0);
+
+    // The metrics endpoint exposes the same counters it just bumped.
+    let metrics = get(addr, "/metrics").text();
+    assert!(metrics.contains("server.replay.cache.hit"), "{metrics}");
+    assert!(metrics.contains("server.http.requests"), "{metrics}");
+
+    // The per-site diff endpoint derives from the same cached replay:
+    // deterministic across fetches, 404 for unknown sites.
+    let site = {
+        let results = experiment
+            .replay_from_bundle(&bundle_dir)
+            .expect("replay for site pick");
+        results.data.pages[0].site.to_string()
+    };
+    let first = get(addr, &format!("/jobs/0/diff/{site}"));
+    assert_eq!(first.status, 200);
+    let body = first.text();
+    assert!(body.contains("\"baseline\""), "{body}");
+    assert_eq!(get(addr, &format!("/jobs/0/diff/{site}")).text(), body);
+    assert_eq!(get(addr, "/jobs/0/diff/no-such-site.example").status, 404);
+
+    handle.shutdown();
+}

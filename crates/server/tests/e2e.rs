@@ -1,0 +1,171 @@
+//! End-to-end service test: submit a job over HTTP, hard-kill the
+//! server mid-crawl, restart it over the same store, and verify the
+//! resumed job's served report is byte-identical to an offline
+//! crawl-and-replay of the same experiment — down to the ETag, which
+//! must equal the offline bundle's content hash.
+
+mod common;
+
+use common::{get, request, scratch};
+use wmtree::{BundleRun, Experiment, Report};
+use wmtree_bundle::bundle_content_hash;
+use wmtree_server::{JobRecord, JobState, JobsFile, Server, ServerConfig, JOBS_FILE};
+
+/// Bounded poll: run `probe` every 25 ms until it yields, for at most
+/// `tries` iterations (no wall-clock reads — the budget is iterations).
+fn poll<T>(tries: usize, mut probe: impl FnMut() -> Option<T>) -> T {
+    for _ in 0..tries {
+        if let Some(value) = probe() {
+            return value;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    panic!("poll budget of {tries} tries exhausted");
+}
+
+fn job_record(addr: std::net::SocketAddr, id: usize) -> JobRecord {
+    let resp = get(addr, &format!("/jobs/{id}"));
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    serde_json::from_str(&resp.text()).expect("job record json")
+}
+
+#[test]
+fn kill_resume_and_byte_identical_replies() {
+    // Offline reference: the same experiment the job will run, crawled
+    // to a bundle and replayed — the ground truth for every byte the
+    // server must serve.
+    let spec_json = b"{\"scale\": \"tiny\", \"workers\": 2}";
+    let offline_dir = scratch("e2e-offline");
+    let mut config = wmtree::ExperimentConfig::at_scale(wmtree::Scale::Tiny);
+    config.workers = 2;
+    let offline = Experiment::new(config);
+    let BundleRun::Complete { .. } = offline
+        .run_to_bundle(&offline_dir, None)
+        .expect("offline crawl")
+    else {
+        panic!("uncapped run must complete");
+    };
+    let offline_hash = bundle_content_hash(&offline_dir).expect("offline hash");
+    let offline_report = Report::generate(
+        &offline
+            .replay_from_bundle(&offline_dir)
+            .expect("offline replay"),
+    );
+
+    // Boot the service over an empty store; one site per batch keeps
+    // the kill window wide.
+    let root = scratch("e2e-store");
+    let mut server_config = ServerConfig::new(&root);
+    server_config.batch_sites = 1;
+    let handle = Server::start(server_config.clone()).expect("start server");
+    let addr = handle.addr();
+
+    assert_eq!(get(addr, "/healthz").text(), "ok\n");
+
+    // Submit, and watch the job record until the crawl is underway.
+    let resp = request(addr, "POST", "/jobs", &[], spec_json);
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    let job: JobRecord = serde_json::from_str(&resp.text()).expect("job json");
+    assert_eq!((job.id, job.state), (0, JobState::Queued));
+
+    poll(1200, || (job_record(addr, 0).sites_done >= 1).then_some(()));
+
+    // Replay queries against an unfinished job are a 409, not a hang
+    // or a partial answer.
+    let resp = get(addr, "/jobs/0/report");
+    assert_eq!(resp.status, 409, "{}", resp.text());
+
+    // Hard-kill mid-crawl. The store must look crash-shaped: the job
+    // is still `Running` on disk, exactly as after a SIGKILL.
+    handle.kill();
+    let on_disk: JobsFile = serde_json::from_str(
+        &std::fs::read_to_string(root.join(JOBS_FILE)).expect("read JOBS.json"),
+    )
+    .expect("parse JOBS.json");
+    assert_eq!(on_disk.jobs[0].state, JobState::Running);
+    let progress_at_kill = on_disk.jobs[0].sites_done;
+    assert!(progress_at_kill >= 1);
+    assert!(
+        progress_at_kill < on_disk.jobs[0].sites_total,
+        "kill landed after the crawl finished; widen the batch window"
+    );
+
+    // Restart over the same store: the job recovers and resumes from
+    // the bundle's checkpoint instead of starting over.
+    let handle = Server::start(server_config).expect("restart server");
+    let addr = handle.addr();
+    let done = poll(4800, || {
+        let job = job_record(addr, 0);
+        (job.state == JobState::Done).then_some(job)
+    });
+    assert!(done.sites_done >= progress_at_kill);
+    assert_eq!(done.sites_done, done.sites_total);
+
+    // The interrupted-and-resumed bundle is byte-identical to the
+    // uninterrupted offline one, so its content hash — and therefore
+    // the ETag — must match exactly.
+    assert_eq!(done.bundle_hash.as_deref(), Some(offline_hash.as_str()));
+    let etag = format!("\"{offline_hash}\"");
+
+    let resp = get(addr, "/jobs/0/report");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("etag"), Some(etag.as_str()));
+    assert_eq!(
+        resp.text(),
+        offline_report.render(),
+        "served report drifted"
+    );
+
+    // Conditional refetch with the returned ETag: 304, empty body.
+    let resp = request(
+        addr,
+        "GET",
+        "/jobs/0/report",
+        &[("If-None-Match", etag.as_str())],
+        b"",
+    );
+    assert_eq!(resp.status, 304);
+    assert!(resp.body.is_empty());
+    assert_eq!(resp.header("etag"), Some(etag.as_str()));
+
+    // The JSON and CSV views replay from the same cached snapshot and
+    // must equal the offline renders too.
+    let resp = get(addr, "/jobs/0/report.json");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.text(), offline_report.to_json());
+    let resp = get(addr, "/jobs/0/csv/table5");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("text/csv"));
+    assert_eq!(resp.text(), offline_report.table5_csv());
+
+    // The store listing serves the same hash the job recorded.
+    let resp = get(addr, "/bundles");
+    assert_eq!(resp.status, 200);
+    let listing = resp.text();
+    assert!(listing.contains("job-000"), "{listing}");
+    assert!(listing.contains(&offline_hash), "{listing}");
+
+    // Error shapes: unknown job, unknown CSV, bad scale, bad route.
+    assert_eq!(get(addr, "/jobs/7").status, 404);
+    let resp = get(addr, "/jobs/0/csv/fig99");
+    assert_eq!(resp.status, 404);
+    assert!(resp.text().contains("table7"), "{}", resp.text());
+    let resp = request(addr, "POST", "/jobs", &[], b"{\"scale\": \"paper\"}");
+    assert_eq!(resp.status, 400, "{}", resp.text());
+    assert!(resp.text().contains("huge"), "{}", resp.text());
+    assert_eq!(get(addr, "/nope").status, 404);
+    assert_eq!(request(addr, "DELETE", "/jobs", &[], b"").status, 405);
+
+    // Graceful drain via the API, as the CI smoke test does it.
+    let resp = request(addr, "POST", "/shutdown", &[], b"");
+    assert_eq!(resp.status, 202);
+    handle.wait();
+
+    // A drained store passes the artifact invariants the lint layer
+    // checks: terminal job, hash recorded, bundle present.
+    let on_disk: JobsFile = serde_json::from_str(
+        &std::fs::read_to_string(root.join(JOBS_FILE)).expect("read JOBS.json"),
+    )
+    .expect("parse JOBS.json");
+    assert_eq!(on_disk.jobs[0].state, JobState::Done);
+}
