@@ -2,12 +2,13 @@
 
 use crate::index::PageIndex;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, OnceLock};
+use wmtree_browser::VisitResult;
 use wmtree_crawler::CrawlDb;
 use wmtree_filterlist::FilterList;
 use wmtree_net::cookie::{CookieId, SecurityAttributes};
-use wmtree_tree::{build_tree, DepTree, TreeConfig};
+use wmtree_tree::{build_tree, visit_hash, DepTree, TreeCache, TreeConfig};
 
 /// A cookie as compared across profiles: RFC 6265 identity plus the
 /// security attributes (§5.2).
@@ -101,11 +102,11 @@ impl ExperimentData {
         Self::from_db_parallel(db, profile_names, filter_list, tree_config, site_meta, 1)
     }
 
-    /// [`from_db`](Self::from_db) with the vetted pages chunked across
-    /// `workers` scoped threads. Workers build every tree, collect the
-    /// cookie observations, and pre-warm the per-page index; the chunks
-    /// are merged back in page order, so the result is identical for
-    /// any worker count.
+    /// [`from_db`](Self::from_db) with the tree builds fanned out over
+    /// `workers` scoped threads, deduplicated through an ephemeral
+    /// in-run memo (content hashes the database already knows — bundle
+    /// replays know them all, live crawls none). Results are identical
+    /// for any worker count.
     pub fn from_db_parallel(
         db: &CrawlDb,
         profile_names: Vec<String>,
@@ -114,7 +115,38 @@ impl ExperimentData {
         site_meta: &BTreeMap<String, (u32, String)>,
         workers: usize,
     ) -> ExperimentData {
-        let vetted = db.vetted_pages();
+        Self::from_db_cached(
+            db,
+            profile_names,
+            filter_list,
+            tree_config,
+            site_meta,
+            workers,
+            None,
+        )
+    }
+
+    /// [`from_db_parallel`](Self::from_db_parallel) consulting a
+    /// [`TreeCache`]: visits whose content hash is already memoized
+    /// skip `build_tree` entirely, and freshly built trees are inserted
+    /// for the next run. With `cache: None`, an ephemeral in-memory
+    /// memo still deduplicates identical visits *within* the run.
+    ///
+    /// The pipeline is phased so its observable effects are
+    /// worker-count invariant (DESIGN.md §9): parallel phases do pure
+    /// slot-per-item work (hashing, building, assembling); all cache
+    /// lookups, hit/miss accounting, and disk appends happen in
+    /// sequential phases in canonical page order.
+    pub fn from_db_cached(
+        db: &CrawlDb,
+        profile_names: Vec<String>,
+        filter_list: Option<&FilterList>,
+        tree_config: &TreeConfig,
+        site_meta: &BTreeMap<String, (u32, String)>,
+        workers: usize,
+        cache: Option<&TreeCache>,
+    ) -> ExperimentData {
+        let vetted = db.vetted_pages_hashed();
         // Intern each site's strings once, up front, so workers share
         // one `Arc` per site instead of cloning per page.
         type InternedSite = (Arc<str>, Option<(u32, Arc<str>)>);
@@ -128,14 +160,111 @@ impl ExperimentData {
             });
         }
 
-        let pages = crate::par::par_map(&vetted, workers, |(page, visits)| {
-            let trees: Vec<DepTree> = visits
-                .iter()
-                .map(|v| build_tree(v, filter_list, tree_config))
+        // Flatten to per-visit jobs: ~n_profiles× more items than
+        // per-page chunking and far more uniform (one tree each), so
+        // the fan-out engages at smaller scales and no worker gets
+        // stuck behind a chunk of heavyweight pages.
+        let mut jobs: Vec<(usize, &VisitResult, Option<u64>)> =
+            Vec::with_capacity(vetted.len() * db.n_profiles().max(1));
+        for (pi, (_, visits)) in vetted.iter().enumerate() {
+            for (v, h) in visits {
+                jobs.push((pi, v, *h));
+            }
+        }
+
+        // Phase 1 (parallel): content-hash visits that arrived without
+        // one — only worthwhile when a persistent cache can reuse the
+        // key across runs; the ephemeral memo sticks to the hashes the
+        // database already vouches for.
+        let hashes: Vec<Option<u64>> = if cache.is_some() {
+            crate::par::par_map_min(&jobs, workers, crate::par::MIN_VISITS_PER_WORKER, |j| {
+                j.2.or_else(|| visit_hash(j.1))
+            })
+        } else {
+            jobs.iter().map(|j| j.2).collect()
+        };
+        let ephemeral;
+        let cache: &TreeCache = match cache {
+            Some(c) => c,
+            None => {
+                ephemeral = TreeCache::in_memory(0);
+                &ephemeral
+            }
+        };
+
+        // Phase 2 (sequential): resolve every job against the cache in
+        // job order — hit/miss counters and the builder/follower plan
+        // are therefore identical for every worker count.
+        let mut resolved: Vec<Option<DepTree>> = Vec::with_capacity(jobs.len());
+        let mut to_build: Vec<usize> = Vec::new();
+        let mut planned: HashMap<u64, usize> = HashMap::new();
+        let mut followers: Vec<(usize, usize)> = Vec::new();
+        for (i, h) in hashes.iter().enumerate() {
+            let slot = match h {
+                Some(h) => match cache.get_tree(*h) {
+                    Some(tree) => Some(tree),
+                    None => {
+                        match planned.get(h) {
+                            // Same unseen hash earlier in this run:
+                            // share the one build.
+                            Some(&builder) => followers.push((i, builder)),
+                            None => {
+                                planned.insert(*h, i);
+                                to_build.push(i);
+                            }
+                        }
+                        None
+                    }
+                },
+                // Unhashable visit: built fresh, never memoized.
+                None => {
+                    to_build.push(i);
+                    None
+                }
+            };
+            resolved.push(slot);
+        }
+
+        // Phase 3 (parallel): build only the unique missing trees.
+        let built: Vec<DepTree> = crate::par::par_map_min(
+            &to_build,
+            workers,
+            crate::par::MIN_VISITS_PER_WORKER,
+            |&i| build_tree(jobs[i].1, filter_list, tree_config),
+        );
+
+        // Phase 4 (sequential): memoize the fresh trees — the disk
+        // log's append order is the canonical job order — and fill the
+        // remaining slots with O(1) clones.
+        for (&i, tree) in to_build.iter().zip(&built) {
+            if let Some(h) = hashes[i] {
+                cache.insert_tree(h, tree);
+            }
+            resolved[i] = Some(tree.clone());
+        }
+        for (i, builder) in followers {
+            resolved[i] = resolved[builder].clone();
+        }
+
+        // Phase 5 (parallel): per-page assembly — cookies, site
+        // metadata, and the pre-warmed per-page index.
+        let mut page_inputs = Vec::with_capacity(vetted.len());
+        let mut offset = 0usize;
+        for (page, visits) in &vetted {
+            page_inputs.push((page, visits, offset));
+            offset += visits.len();
+        }
+        let pages = crate::par::par_map(&page_inputs, workers, |(page, visits, offset)| {
+            let trees: Vec<DepTree> = (0..visits.len())
+                .map(|k| {
+                    resolved[offset + k]
+                        .clone()
+                        .expect("phases 2–4 fill every slot") // wmtree-lint: allow(WM0105)
+                })
                 .collect();
             let cookies: Vec<Vec<CookieObservation>> = visits
                 .iter()
-                .map(|v| {
+                .map(|(v, _)| {
                     v.cookies
                         .iter()
                         .map(|c| CookieObservation {
@@ -318,6 +447,63 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn cached_build_matches_cold_for_any_worker_count() {
+        // Cold (no cache), cold-populating, and fully warm builds must
+        // produce identical pages — the memoized path has to be
+        // indistinguishable from building every tree.
+        let data = testutil::experiment();
+        let universe = wmtree_webgen::WebUniverse::generate(wmtree_webgen::UniverseConfig {
+            seed: 61,
+            sites_per_bucket: [10, 6, 6, 6, 6],
+            max_subpages: 6,
+        });
+        let profiles = wmtree_crawler::standard_profiles();
+        let names: Vec<String> = profiles.iter().map(|p| p.name.clone()).collect();
+        let db = wmtree_crawler::Commander::new(
+            &universe,
+            profiles,
+            wmtree_crawler::CrawlOptions {
+                max_pages_per_site: 5,
+                workers: 4,
+                experiment_seed: 17,
+                reliable: true,
+                stateful: false,
+            },
+        )
+        .run();
+        let site_meta: BTreeMap<String, (u32, String)> = universe
+            .sites()
+            .iter()
+            .map(|s| (s.domain.clone(), (s.rank, s.bucket.label().to_string())))
+            .collect();
+        let cache = TreeCache::in_memory(0);
+        for pass in 0..2 {
+            for workers in [1usize, 2, 8] {
+                let cached = ExperimentData::from_db_cached(
+                    &db,
+                    names.clone(),
+                    Some(wmtree_filterlist::embedded::tracking_list()),
+                    &wmtree_tree::TreeConfig::default(),
+                    &site_meta,
+                    workers,
+                    Some(&cache),
+                );
+                assert_eq!(cached.pages.len(), data.pages.len());
+                for (a, b) in cached.pages.iter().zip(&data.pages) {
+                    assert_eq!(a.site, b.site, "pass {pass}, workers {workers}");
+                    assert_eq!(a.url, b.url);
+                    assert_eq!(a.cookies, b.cookies);
+                    assert_eq!(a.trees, b.trees, "pass {pass}, workers {workers}");
+                }
+            }
+            assert!(
+                cache.tree_count() > 0,
+                "cache must be populated after a cold pass"
+            );
         }
     }
 }

@@ -17,6 +17,16 @@
 /// slot-per-item merge is identical for every worker count.
 pub const MIN_ITEMS_PER_WORKER: usize = 256;
 
+/// Per-worker item floor for the tree-build stage, which fans out at
+/// **per-visit** granularity (pages × profiles items). BENCH_5.json
+/// showed the per-page fan-out plateauing (Medium w=8 ≈ w=1): with one
+/// chunk per worker, a handful of heavyweight pages serializes a whole
+/// chunk behind one worker, and the 256-page floor kept Medium-scale
+/// runs at 2–3 effective workers. Per-visit items are ~`n_profiles`×
+/// more numerous and far more uniform (one tree each), so a lower
+/// floor amortizes spawn/join while chunks stay balanced.
+pub const MIN_VISITS_PER_WORKER: usize = 64;
+
 /// Map `f` over `items`, fanning out over up to `workers` scoped
 /// threads, returning results in input order. `workers <= 1` (or a
 /// single item) runs inline, and fan-out only engages once every

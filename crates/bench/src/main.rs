@@ -17,6 +17,8 @@
 //! repro --workers 8          # post-crawl pipeline fan-out width
 //! repro --bench-stages FILE  # measure stage wall times, write BENCH JSON
 //! repro --bench-stages FILE --scale small,medium  # one run entry per scale
+//! repro --bench-replay FILE  # cold vs warm cached replay arms, write BENCH JSON
+//! repro --bench-replay FILE --scale small,medium  # one run entry per scale
 //! repro --shards 5 --shard-dir DIR          # plan + crawl all shards + merge
 //! repro --shards 5 --shard-dir DIR --plan-only   # write SHARDS.json only
 //! repro --shard-dir DIR --shard-id 2        # crawl (or resume) one shard
@@ -65,7 +67,8 @@ fn main() {
              [--bundle DIR [--resume] [--max-sites N]] [--from-bundle DIR] \
              [--shards N --shard-dir DIR [--plan-only]] \
              [--shard-dir DIR --shard-id K [--max-sites N]] [--merge-shards DIR] \
-             [--workers N] [--bench-stages FILE [--scale s1,s2]] [--list-bundles DIR]\n\n\
+             [--workers N] [--bench-stages FILE [--scale s1,s2]] \
+             [--bench-replay FILE [--scale s1,s2]] [--list-bundles DIR]\n\n\
              repro serve --root DIR [--addr HOST:PORT] [--http-workers N] \
              [--job-workers N] [--cache N] [--batch-sites N]"
         );
@@ -82,11 +85,11 @@ fn main() {
         return;
     }
 
-    // `--bench-stages` accepts a comma-separated scale list (e.g.
-    // `--scale small,medium`) and measures every scale into one file;
+    // The bench flags accept a comma-separated scale list (e.g.
+    // `--scale small,medium`) and measure every scale into one file;
     // everything else takes a single scale.
-    if let Some(path) = get("--bench-stages") {
-        let scales: Vec<Scale> = match get("--scale") {
+    let parse_scales = || -> Vec<Scale> {
+        match get("--scale") {
             Some(names) => names
                 .split(',')
                 .map(|name| {
@@ -97,8 +100,14 @@ fn main() {
                 })
                 .collect(),
             None => vec![Scale::Small],
-        };
-        bench_stages(&scales, &path);
+        }
+    };
+    if let Some(path) = get("--bench-stages") {
+        bench_stages(&parse_scales(), &path);
+        return;
+    }
+    if let Some(path) = get("--bench-replay") {
+        bench_replay(&parse_scales(), &path);
         return;
     }
 
@@ -249,10 +258,26 @@ fn main() {
             }
         }
     } else if let Some(dir) = get("--from-bundle") {
+        // Replays go through the analysis cache next to the bundle:
+        // the first replay populates TREECACHE/, later replays of the
+        // unchanged bundle fold cached site accumulators. The results
+        // are byte-identical to the uncached path either way.
         eprintln!("[repro] replaying analyses from bundle {dir} (no crawl)...");
-        let exp = Experiment::new(config(scale));
-        match exp.replay_from_bundle(std::path::Path::new(&dir)) {
-            Ok(results) => results,
+        let cfg = config(scale);
+        let bundle_dir = std::path::Path::new(&dir);
+        let cache = wmtree::AnalysisCache::open(
+            &bundle_dir.join(wmtree::tree::cache::CACHE_DIR_NAME),
+            &cfg,
+        );
+        let exp = Experiment::new(cfg);
+        match exp.replay_from_bundle_cached(bundle_dir, &cache) {
+            Ok(replay) => {
+                eprintln!(
+                    "[repro] replay reused {} of {} sites from the cache ({} rebuilt)",
+                    replay.sites_reused, replay.sites_total, replay.sites_rebuilt
+                );
+                replay.results
+            }
             Err(e) => {
                 eprintln!("[repro] bundle replay failed: {e}");
                 std::process::exit(2);
@@ -539,6 +564,165 @@ fn bench_stages(scales: &[Scale], path: &str) {
         run_objects.join(",\n"),
     );
     std::fs::write(path, &json).expect("write bench-stages JSON");
+    eprintln!("[repro] wrote {path}");
+}
+
+/// `--bench-replay FILE`: measure the cached bundle-replay path. One
+/// recorded bundle per scale feeds four arms — **cold** (cache removed
+/// first), **warm_memory** (same in-process cache again),
+/// **warm_disk** (a fresh cache handle over the committed TREECACHE,
+/// i.e. a restarted process), and **incremental** (a delta bundle with
+/// exactly one perturbed visit, replayed against the first bundle's
+/// cache — only that visit's site may rebuild). Arms are interleaved
+/// across repetitions and the minimum per stage is kept, as in
+/// [`bench_stages`]. The headline number per scale is
+/// `warm_build_speedup`: cold over warm-disk `build_trees` wall.
+fn bench_replay(scales: &[Scale], path: &str) {
+    use wmtree::bundle::BundleMeta;
+    use wmtree::crawler::{read_bundle, write_bundle, Commander, CrawlDb, CrawlOptions};
+    use wmtree::tree::cache::CACHE_DIR_NAME;
+    use wmtree::webgen::WebUniverse;
+    use wmtree::AnalysisCache;
+
+    const REPS: usize = 3;
+    const ARM_NAMES: [&str; 4] = ["cold", "warm_memory", "warm_disk", "incremental"];
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut run_objects: Vec<String> = Vec::new();
+    for &scale in scales {
+        let cfg = ExperimentConfig::at_scale(scale);
+        let exp = Experiment::new(cfg.clone());
+        let tag = format!("{scale:?}").to_lowercase();
+        let dir = std::env::temp_dir().join(format!("wmtree-bench-replay-{tag}"));
+        let delta_dir = std::env::temp_dir().join(format!("wmtree-bench-replay-{tag}-delta"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&delta_dir);
+
+        // Record the bundle once; only the replay arms are measured.
+        eprintln!("[repro] bench-replay: recording a {scale:?} bundle...");
+        let universe = WebUniverse::generate(cfg.universe);
+        let db = Commander::new(
+            &universe,
+            cfg.profiles.clone(),
+            CrawlOptions {
+                max_pages_per_site: cfg.max_pages_per_site,
+                workers: cfg.workers,
+                experiment_seed: cfg.experiment_seed,
+                reliable: cfg.reliable,
+                stateful: false,
+            },
+        )
+        .run();
+        let meta = || BundleMeta {
+            n_profiles: cfg.profiles.len(),
+            profiles: cfg.profiles.iter().map(|p| p.name.clone()).collect(),
+            experiment_seed: cfg.experiment_seed,
+        };
+        write_bundle(&db, &dir, meta()).expect("write bench bundle");
+
+        // The delta bundle: identical except one visit's virtual
+        // duration is bumped, so exactly one site's delta key changes.
+        let full = read_bundle(&dir).expect("re-read bench bundle");
+        let target_site = full.pages().next().expect("bundle has pages").site.clone();
+        let mut delta = CrawlDb::new(full.n_profiles());
+        let mut perturbed = false;
+        for page in full.pages() {
+            for profile in 0..full.n_profiles() {
+                if let Some(v) = full.visit_any(page, profile) {
+                    let mut v = v.clone();
+                    if !perturbed && page.site == target_site {
+                        v.duration_ms += 1;
+                        perturbed = true;
+                    }
+                    delta.insert(page.clone(), profile, v);
+                }
+            }
+        }
+        write_bundle(&delta, &delta_dir, meta()).expect("write delta bundle");
+
+        let cache_dir = dir.join(CACHE_DIR_NAME);
+        let mut best = [[f64::INFINITY; 3]; ARM_NAMES.len()];
+        let mut counts = [(0usize, 0usize, 0usize); ARM_NAMES.len()];
+        for _rep in 0..REPS {
+            let _ = std::fs::remove_dir_all(&cache_dir);
+            let mut record = |ai: usize, r: &wmtree::IncrementalReplay| {
+                best[ai][0] = best[ai][0].min(r.build_wall.as_secs_f64() * 1e3);
+                best[ai][1] = best[ai][1].min(r.analyze_wall.as_secs_f64() * 1e3);
+                best[ai][2] = best[ai][2].min(r.fold_wall.as_secs_f64() * 1e3);
+                counts[ai] = (r.sites_rebuilt, r.sites_reused, r.sites_total);
+            };
+
+            let cache = AnalysisCache::open(&cache_dir, &cfg);
+            let cold = exp
+                .replay_from_bundle_cached(&dir, &cache)
+                .expect("cold replay");
+            assert_eq!(cold.sites_reused, 0, "cold arm must start empty");
+            record(0, &cold);
+
+            let warm_mem = exp
+                .replay_from_bundle_cached(&dir, &cache)
+                .expect("warm in-process replay");
+            record(1, &warm_mem);
+
+            let disk_cache = AnalysisCache::open(&cache_dir, &cfg);
+            let warm_disk = exp
+                .replay_from_bundle_cached(&dir, &disk_cache)
+                .expect("warm disk replay");
+            assert_eq!(
+                warm_disk.sites_rebuilt, 0,
+                "committed cache must cover every site"
+            );
+            record(2, &warm_disk);
+
+            let incr_cache = AnalysisCache::open(&cache_dir, &cfg);
+            let incr = exp
+                .replay_from_bundle_cached(&delta_dir, &incr_cache)
+                .expect("incremental replay");
+            assert_eq!(
+                incr.sites_rebuilt, 1,
+                "a one-visit delta must rebuild exactly its own site"
+            );
+            record(3, &incr);
+        }
+
+        let arm_objects: Vec<String> = ARM_NAMES
+            .iter()
+            .enumerate()
+            .map(|(ai, name)| {
+                let (rebuilt, reused, total) = counts[ai];
+                eprintln!(
+                    "[repro]   {name:<12} build_trees {:.2} ms, analyze {:.2} ms, fold {:.2} ms \
+                     ({rebuilt} rebuilt / {reused} reused of {total} sites, min of {REPS})",
+                    best[ai][0], best[ai][1], best[ai][2]
+                );
+                format!(
+                    "        {{\n          \"arm\": \"{name}\",\n          \
+                     \"build_trees_ms\": {:.2},\n          \"analyze_ms\": {:.2},\n          \
+                     \"fold_ms\": {:.2},\n          \"sites_rebuilt\": {rebuilt},\n          \
+                     \"sites_reused\": {reused},\n          \"sites_total\": {total}\n        }}",
+                    best[ai][0], best[ai][1], best[ai][2]
+                )
+            })
+            .collect();
+        let speedup = best[0][0] / best[2][0].max(0.001);
+        eprintln!("[repro]   warm-disk build_trees speedup over cold: {speedup:.2}x");
+        run_objects.push(format!(
+            "    {{\n      \"scale\": \"{scale:?}\",\n      \"arms\": [\n{}\n      ],\n      \
+             \"warm_build_speedup\": {speedup:.2}\n    }}",
+            arm_objects.join(",\n")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&delta_dir);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"replay_cache\",\n  \"host_parallelism\": {host_parallelism},\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        run_objects.join(",\n"),
+    );
+    std::fs::write(path, &json).expect("write bench-replay JSON");
     eprintln!("[repro] wrote {path}");
 }
 

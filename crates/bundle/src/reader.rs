@@ -142,6 +142,7 @@ impl VisitIter {
                         site: vr.site,
                         url: vr.url,
                         profile: vr.profile,
+                        object: hash,
                         visit,
                     }));
                 }

@@ -59,6 +59,11 @@ pub struct BundleVisit {
     pub url: String,
     /// Profile index.
     pub profile: usize,
+    /// Content hash of the payload — the object store's address,
+    /// already verified against the payload by the reader. Downstream
+    /// consumers use it as a ready-made memoization key (the tree
+    /// cache) without re-hashing the visit.
+    pub object: u64,
     /// The visit payload.
     pub visit: VisitResult,
 }

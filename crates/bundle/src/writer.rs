@@ -182,6 +182,7 @@ impl BundleWriter {
                             site: vr.site,
                             url: vr.url,
                             profile: vr.profile,
+                            object: hash,
                             visit: visit.clone(),
                         });
                     }

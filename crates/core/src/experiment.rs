@@ -2,6 +2,7 @@
 //! similarities.
 
 use crate::config::ExperimentConfig;
+use crate::incremental::{AnalysisCache, IncrementalReplay};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::time::Duration;
@@ -169,6 +170,96 @@ impl Experiment {
         manifest.push_stage("read_bundle", sw.lap("read_bundle"));
 
         Ok(self.finish(db, manifest, sw, None, &metrics_before))
+    }
+
+    /// [`replay_from_bundle`](Experiment::replay_from_bundle) through
+    /// an [`AnalysisCache`]: unchanged sites fold their cached partial
+    /// accumulators without rebuilding a single tree, changed sites
+    /// rebuild with their trees memoized per visit, and the cache is
+    /// committed (appended records made durable) before returning. The
+    /// results are byte-identical to the uncached replay; the
+    /// [`IncrementalReplay`] wrapper additionally reports how much work
+    /// the cache absorbed.
+    pub fn replay_from_bundle_cached(
+        &self,
+        dir: &Path,
+        cache: &AnalysisCache,
+    ) -> Result<IncrementalReplay, BundleError> {
+        let _run_span = wmtree_telemetry::span("experiment.replay_cached");
+        let metrics_before = wmtree_telemetry::global().snapshot();
+        let mut sw = Stopwatch::start();
+        let mut manifest = self.base_manifest();
+
+        let bundle = Manifest::load(dir)?;
+        bundle.check_meta(&self.commander().bundle_meta())?;
+        let db = wmtree_crawler::read_bundle(dir)?;
+        manifest.push_stage("read_bundle", sw.lap("read_bundle"));
+
+        let site_meta: BTreeMap<String, (u32, String)> = self
+            .universe
+            .sites()
+            .iter()
+            .map(|s| (s.domain.clone(), (s.rank, s.bucket.label().to_string())))
+            .collect();
+        let names: Vec<String> = self
+            .config
+            .profiles
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
+        let filter = if self.config.use_filter_list {
+            Some(tracking_list())
+        } else {
+            None
+        };
+        // A single database cannot contain duplicate pages or a
+        // foreign roster; a failure here means the cache fed back
+        // inconsistent state, which discards like corruption.
+        let cache_fault = |e: wmtree_analysis::PartialMergeError| BundleError::ManifestMismatch {
+            segment: wmtree_tree::cache::CACHE_DIR_NAME.to_string(),
+            detail: e.to_string(),
+        };
+        let acc = {
+            let _span = wmtree_telemetry::span("experiment.build_trees");
+            crate::incremental::accumulate_cached(
+                &db,
+                &names,
+                filter,
+                &self.config.tree,
+                &site_meta,
+                self.config.workers,
+                cache,
+            )
+            .map_err(cache_fault)?
+        };
+        if cache.commit().is_err() {
+            wmtree_telemetry::counter!("tree.cache.disk.error").inc();
+        }
+        sw.lap("accumulate");
+        let merged = acc.acc.finish(self.config.workers).map_err(cache_fault)?;
+        let fold_wall = acc.fold_wall + sw.lap("finish_fold");
+        manifest.push_stage("build_trees", acc.build_wall);
+        manifest.push_stage("analyze", acc.analyze_wall);
+        manifest.push_stage("fold_sites", fold_wall);
+        manifest.metrics = wmtree_telemetry::global().snapshot().since(&metrics_before);
+        manifest.timings = wmtree_telemetry::global().timings().snapshot();
+        Ok(IncrementalReplay {
+            results: ExperimentResults {
+                data: merged.data,
+                sims: merged.sims,
+                profile_stats: merged.profile_stats,
+                pages_discovered: merged.digest.pages_discovered,
+                successful_visits: merged.digest.successful_visits,
+                vetted_sites: merged.digest.vetted_sites,
+                manifest,
+            },
+            sites_total: acc.sites_total,
+            sites_rebuilt: acc.sites_rebuilt,
+            sites_reused: acc.sites_reused,
+            build_wall: acc.build_wall,
+            analyze_wall: acc.analyze_wall,
+            fold_wall,
+        })
     }
 
     /// The commander this configuration describes.
@@ -344,6 +435,42 @@ mod tests {
         let a = crate::Report::generate(&crawled);
         let b = crate::Report::generate(&replayed);
         assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn cached_replay_matches_plain_replay_and_goes_warm() {
+        let dir = std::env::temp_dir().join("wmtree-core-cached-replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        let exp = Experiment::new(crate::ExperimentConfig::at_scale(Scale::Tiny));
+        match exp.run_to_bundle(&dir, None).unwrap() {
+            super::BundleRun::Complete { .. } => {}
+            super::BundleRun::Partial { .. } => panic!("uncapped run must complete"),
+        }
+        let plain = exp.replay_from_bundle(&dir).unwrap();
+        let plain_report = crate::Report::generate(&plain);
+
+        let cache = crate::AnalysisCache::in_memory(exp.config());
+        let cold = exp.replay_from_bundle_cached(&dir, &cache).unwrap();
+        assert_eq!(cold.sites_reused, 0, "empty cache reuses nothing");
+        assert_eq!(cold.sites_rebuilt, cold.sites_total);
+        let cold_report = crate::Report::generate(&cold.results);
+        assert_eq!(
+            cold_report.render(),
+            plain_report.render(),
+            "cold cached replay must match the uncached replay byte for byte"
+        );
+        assert_eq!(cold_report.to_json(), plain_report.to_json());
+
+        let warm = exp.replay_from_bundle_cached(&dir, &cache).unwrap();
+        assert_eq!(
+            warm.sites_reused, warm.sites_total,
+            "unchanged bundle must fold every site from cache"
+        );
+        assert_eq!(warm.sites_rebuilt, 0);
+        let warm_report = crate::Report::generate(&warm.results);
+        assert_eq!(warm_report.render(), plain_report.render());
+        assert_eq!(warm_report.to_json(), plain_report.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -43,10 +43,14 @@ pub mod ablation;
 mod config;
 mod csv;
 mod experiment;
+pub mod incremental;
 pub mod report;
 
 pub use config::{ExperimentConfig, Scale, ScaleParseError};
 pub use experiment::{BundleRun, Experiment, ExperimentResults};
+pub use incremental::{
+    accumulate_cached, cache_fingerprint, AnalysisCache, CachedAccumulation, IncrementalReplay,
+};
 pub use report::Report;
 
 // Re-export the component crates for one-stop access.

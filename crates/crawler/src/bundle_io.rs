@@ -74,13 +74,17 @@ pub fn read_bundle(dir: &Path) -> Result<CrawlDb, BundleError> {
                 ),
             });
         }
-        db.insert(
+        // The reader verified the content address against the payload,
+        // so the hash is vouched-for: downstream tree caching keys off
+        // it without re-hashing.
+        db.insert_hashed(
             PageKey {
                 site: bv.site,
                 url: bv.url,
             },
             bv.profile,
             bv.visit,
+            bv.object,
         );
     }
     Ok(db)

@@ -15,6 +15,10 @@ pub struct PageKey {
     pub url: String,
 }
 
+/// One successful visit paired with its content hash where known —
+/// the element type of [`CrawlDb::vetted_pages_hashed`].
+pub type HashedVisit<'a> = (&'a VisitResult, Option<u64>);
+
 /// Per-profile crawl accounting (§4, "Success of Crawling Method").
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ProfileStats {
@@ -79,6 +83,12 @@ pub struct CrawlDb {
     n_profiles: usize,
     /// `visits[page][profile]` — a page's visit by each profile.
     visits: BTreeMap<PageKey, Vec<Option<VisitResult>>>,
+    /// `hashes[page][profile]` — the content hash of each visit payload
+    /// where known (bundle replays know it for free from the object
+    /// store; live crawls leave it `None`). Derived bookkeeping for the
+    /// tree cache, not part of the database's serialized identity.
+    #[serde(skip)]
+    hashes: BTreeMap<PageKey, Vec<Option<u64>>>,
 }
 
 impl CrawlDb {
@@ -87,6 +97,7 @@ impl CrawlDb {
         CrawlDb {
             n_profiles,
             visits: BTreeMap::new(),
+            hashes: BTreeMap::new(),
         }
     }
 
@@ -95,14 +106,48 @@ impl CrawlDb {
         self.n_profiles
     }
 
-    /// Record a visit.
+    /// Record a visit. Any previously known content hash for the slot
+    /// is invalidated — the caller did not vouch for one.
     pub fn insert(&mut self, page: PageKey, profile: ProfileId, result: VisitResult) {
+        self.insert_slot(page, profile, result, None);
+    }
+
+    /// Record a visit together with the content hash of its canonical
+    /// serialization (the bundle object store's address). The hash is
+    /// trusted — bundle readers verify it against the payload.
+    pub fn insert_hashed(
+        &mut self,
+        page: PageKey,
+        profile: ProfileId,
+        result: VisitResult,
+        hash: u64,
+    ) {
+        self.insert_slot(page, profile, result, Some(hash));
+    }
+
+    fn insert_slot(
+        &mut self,
+        page: PageKey,
+        profile: ProfileId,
+        result: VisitResult,
+        hash: Option<u64>,
+    ) {
         assert!(profile < self.n_profiles, "profile id out of range");
         let slot = self
             .visits
-            .entry(page)
+            .entry(page.clone())
             .or_insert_with(|| vec![None; self.n_profiles]);
         slot[profile] = Some(result);
+        let hslot = self
+            .hashes
+            .entry(page)
+            .or_insert_with(|| vec![None; self.n_profiles]);
+        hslot[profile] = hash;
+    }
+
+    /// The content hash recorded for a `(page, profile)` visit, if any.
+    pub fn visit_hash(&self, page: &PageKey, profile: ProfileId) -> Option<u64> {
+        *self.hashes.get(page)?.get(profile)?
     }
 
     /// Merge another database (parallel crawl shards). Panics on the
@@ -151,6 +196,17 @@ impl CrawlDb {
             for (i, r) in results.into_iter().enumerate() {
                 if r.is_some() {
                     slot[i] = r;
+                }
+            }
+        }
+        for (page, hs) in other.hashes {
+            let slot = self
+                .hashes
+                .entry(page)
+                .or_insert_with(|| vec![None; self.n_profiles]);
+            for (i, h) in hs.into_iter().enumerate() {
+                if h.is_some() {
+                    slot[i] = h;
                 }
             }
         }
@@ -207,6 +263,30 @@ impl CrawlDb {
                     .filter(|v| v.success)
                     .collect();
                 if ok.len() >= k {
+                    Some((page, ok))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// [`vetted_pages`][CrawlDb::vetted_pages] with each successful
+    /// visit's content hash where known — the tree cache's keys. A
+    /// `None` hash means the visit must be hashed (or built) afresh.
+    pub fn vetted_pages_hashed(&self) -> Vec<(&PageKey, Vec<HashedVisit<'_>>)> {
+        self.visits
+            .iter()
+            .filter_map(|(page, results)| {
+                let hashes = self.hashes.get(page);
+                let ok: Vec<(&VisitResult, Option<u64>)> = results
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.as_ref().map(|v| (i, v)))
+                    .filter(|(_, v)| v.success)
+                    .map(|(i, v)| (v, hashes.and_then(|h| h.get(i)).copied().flatten()))
+                    .collect();
+                if ok.len() >= self.n_profiles {
                     Some((page, ok))
                 } else {
                     None
@@ -423,5 +503,39 @@ mod tests {
     fn insert_checks_profile_bounds() {
         let mut db = CrawlDb::new(1);
         db.insert(page(1), 5, ok_visit());
+    }
+
+    #[test]
+    fn hashes_are_tracked_and_invalidated() {
+        let mut db = CrawlDb::new(2);
+        db.insert_hashed(page(1), 0, ok_visit(), 0xCAFE);
+        db.insert(page(1), 1, ok_visit());
+        assert_eq!(db.visit_hash(&page(1), 0), Some(0xCAFE));
+        assert_eq!(db.visit_hash(&page(1), 1), None);
+        let vetted = db.vetted_pages_hashed();
+        assert_eq!(vetted.len(), 1);
+        assert_eq!(vetted[0].1[0].1, Some(0xCAFE));
+        assert_eq!(vetted[0].1[1].1, None);
+        // Plain re-insert withdraws the vouched hash.
+        db.insert(page(1), 0, ok_visit());
+        assert_eq!(db.visit_hash(&page(1), 0), None);
+    }
+
+    #[test]
+    fn hashes_survive_merge_but_not_serialization() {
+        let mut a = CrawlDb::new(2);
+        a.insert_hashed(page(1), 0, ok_visit(), 11);
+        let mut b = CrawlDb::new(2);
+        b.insert_hashed(page(1), 1, ok_visit(), 22);
+        a.merge(b);
+        assert_eq!(a.visit_hash(&page(1), 0), Some(11));
+        assert_eq!(a.visit_hash(&page(1), 1), Some(22));
+        // The hash side-table is derived bookkeeping: the serialized
+        // form (the database's identity) must not contain it.
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(!json.contains("hashes"), "{json}");
+        let back: CrawlDb = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.visit_hash(&page(1), 0), None);
+        assert!(back.visit(&page(1), 0).is_some());
     }
 }

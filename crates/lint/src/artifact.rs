@@ -115,6 +115,21 @@ pub const ARTIFACT_CHECKS: &[(&str, &str, &str)] = &[
         "jobs-bundle-hashes",
         "every done job's bundle exists on disk and matches its recorded content hash",
     ),
+    (
+        "WM0244",
+        "treecache-integrity",
+        "cache segment checksums, chains, and record counts agree with CACHE.json",
+    ),
+    (
+        "WM0245",
+        "treecache-records",
+        "every cache record decodes: well-formed hash key, valid tree / site payload",
+    ),
+    (
+        "WM0246",
+        "treecache-dense",
+        "cache records are dense: no duplicate keys, no empty payloads",
+    ),
 ];
 
 /// Check a [`DepTree`]. `origin` names the artifact in diagnostics
@@ -371,6 +386,78 @@ pub fn check_bundle(dir: &std::path::Path, origin: &str) -> Result<Vec<Diagnosti
             ),
         }
     }
+    let cache_dir = dir.join(wmtree_tree::cache::CACHE_DIR_NAME);
+    if cache_dir.is_dir() {
+        out.extend(check_tree_cache(
+            &cache_dir,
+            &format!("{origin}:{}", wmtree_tree::cache::CACHE_DIR_NAME),
+        )?);
+    }
+    Ok(out)
+}
+
+/// Check a tree/site cache directory (`WM0244`–`WM0246`), as written
+/// next to a bundle by the incremental replay path (`TREECACHE/`).
+/// Maps [`wmtree_tree::verify_cache`]'s read-only scan to diagnostics:
+/// framing/chain/manifest defects (WM0244, uncommitted crash leftovers
+/// are warnings), records whose hash key or payload does not decode
+/// (WM0245), and duplicate or empty records (WM0246). `Err` means the
+/// directory could not be scanned at all.
+pub fn check_tree_cache(dir: &std::path::Path, origin: &str) -> Result<Vec<Diagnostic>, String> {
+    let report = wmtree_tree::verify_cache(dir)?;
+    let mut out = Vec::new();
+    for issue in &report.issues {
+        match issue {
+            wmtree_tree::CacheVerifyIssue::Corrupt {
+                segment,
+                line,
+                detail,
+            } => out.push(
+                Diagnostic::artifact(
+                    Code("WM0244"),
+                    Severity::Error,
+                    format!("{origin}:{segment}:{line}"),
+                    detail.clone(),
+                )
+                .with_note("a corrupt cache is discarded and rebuilt on the next open"),
+            ),
+            wmtree_tree::CacheVerifyIssue::TrailingBytes { segment, bytes } => out.push(
+                Diagnostic::artifact(
+                    Code("WM0244"),
+                    Severity::Warning,
+                    format!("{origin}:{segment}"),
+                    format!("{bytes} uncommitted byte(s) past the committed region"),
+                )
+                .with_note("crash leftovers; the next cache open truncates them"),
+            ),
+            wmtree_tree::CacheVerifyIssue::BadRecord {
+                segment,
+                line,
+                detail,
+            } => out.push(
+                Diagnostic::artifact(
+                    Code("WM0245"),
+                    Severity::Error,
+                    format!("{origin}:{segment}:{line}"),
+                    detail.clone(),
+                )
+                .with_note("cache records must decode to valid hash-keyed entries"),
+            ),
+            wmtree_tree::CacheVerifyIssue::Sparse {
+                segment,
+                line,
+                detail,
+            } => out.push(
+                Diagnostic::artifact(
+                    Code("WM0246"),
+                    Severity::Error,
+                    format!("{origin}:{segment}:{line}"),
+                    detail.clone(),
+                )
+                .with_note("committed cache records must be dense: one distinct entry per line"),
+            ),
+        }
+    }
     Ok(out)
 }
 
@@ -536,6 +623,18 @@ pub fn check_shard_dir(dir: &std::path::Path, origin: &str) -> Result<Vec<Diagno
                 ));
                 shard_vetted_sites = None;
             }
+        }
+        // Per-shard tree/site cache, written by the streaming merge.
+        let cache_dir = bundle_dir.join(wmtree_tree::cache::CACHE_DIR_NAME);
+        if cache_dir.is_dir() {
+            out.extend(check_tree_cache(
+                &cache_dir,
+                &format!(
+                    "{origin}:{}/{}",
+                    spec.dir,
+                    wmtree_tree::cache::CACHE_DIR_NAME
+                ),
+            )?);
         }
     }
 
@@ -735,6 +834,18 @@ pub fn check_jobs_dir(dir: &std::path::Path, origin: &str) -> Result<Vec<Diagnos
                 at,
                 format!("done job's bundle cannot be hashed: {e}"),
             )),
+        }
+        // Per-job tree/site cache, written by the cached replay path.
+        let cache_dir = bundle_dir.join(wmtree_tree::cache::CACHE_DIR_NAME);
+        if cache_dir.is_dir() {
+            out.extend(check_tree_cache(
+                &cache_dir,
+                &format!(
+                    "{origin}:{}/{}",
+                    job.dir,
+                    wmtree_tree::cache::CACHE_DIR_NAME
+                ),
+            )?);
         }
     }
 
@@ -1002,6 +1113,102 @@ mod tests {
                 && d.location.display().contains("visits-000.seg:1")),
             "{diags:?}"
         );
+    }
+
+    #[test]
+    fn tree_cache_defects_report_wm0244_to_wm0246() {
+        // A bundle with a committed cache next to it: clean scan first.
+        let dir = small_bundle("treecache", true);
+        let cache_dir = dir.join(wmtree_tree::cache::CACHE_DIR_NAME);
+        let cache = wmtree_tree::TreeCache::open(&cache_dir, 5);
+        let mut tree = wmtree_tree::DepTree::new_rooted("https://www.a.com/".into());
+        tree.attach(
+            0,
+            "https://cdn.a.com/app.js".into(),
+            wmtree_net::ResourceType::Script,
+            wmtree_url::Party::Third,
+            false,
+        );
+        cache.insert_tree(3, &tree);
+        cache.insert_site(9, "{\"opaque\":true}");
+        cache.commit().expect("commit cache");
+        assert!(check_bundle(&dir, "b").expect("scan").is_empty());
+
+        // A flipped byte inside the committed cache region: WM0244,
+        // naming the cache segment, through the bundle entry point.
+        let seg = cache_dir.join("trees-000.seg");
+        let committed = std::fs::read(&seg).expect("read cache segment");
+        let mut bytes = committed.clone();
+        bytes[20] ^= 1;
+        std::fs::write(&seg, &bytes).expect("write cache segment");
+        let diags = check_bundle(&dir, "b").expect("scan");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code.as_str() == "WM0244" && d.location.display().contains("TREECACHE")),
+            "{diags:?}"
+        );
+        std::fs::write(&seg, &committed).expect("restore cache segment");
+
+        // A record that verifies but does not decode: WM0245. Forge a
+        // sites segment whose payload is a malformed site record, with
+        // correct line checksum and a re-pinned manifest.
+        let manifest_path = cache_dir.join(wmtree_tree::cache::CACHE_MANIFEST_FILE);
+        let manifest_text = std::fs::read_to_string(&manifest_path).expect("read cache manifest");
+        let mut w = wmtree_bundle::segment::LogWriter::resume(
+            &cache_dir,
+            wmtree_tree::cache::SITES_PREFIX,
+            wmtree_bundle::DEFAULT_SEGMENT_CAPACITY,
+            serde_json::from_str::<wmtree_tree::cache::CacheManifest>(&manifest_text)
+                .expect("parse cache manifest")
+                .sites,
+        );
+        w.append("not-hex no-payload")
+            .expect("append forged record");
+        w.flush().expect("flush forged record");
+        let mut manifest: wmtree_tree::cache::CacheManifest =
+            serde_json::from_str(&manifest_text).expect("parse cache manifest");
+        manifest.sites = w.metas().to_vec();
+        std::fs::write(
+            &manifest_path,
+            format!(
+                "{}\n",
+                serde_json::to_string(&manifest).expect("serialize manifest")
+            ),
+        )
+        .expect("write cache manifest");
+        let diags = check_tree_cache(&cache_dir, "c").expect("scan");
+        assert!(
+            diags.iter().any(|d| d.code.as_str() == "WM0245"),
+            "{diags:?}"
+        );
+
+        // A duplicate tree record: WM0246.
+        let tree_line = String::from_utf8(committed.clone()).expect("utf8 segment");
+        let payload = tree_line.lines().next().expect("one record")[17..].to_string();
+        let mut w = wmtree_bundle::segment::LogWriter::resume(
+            &cache_dir,
+            wmtree_tree::cache::TREES_PREFIX,
+            wmtree_bundle::DEFAULT_SEGMENT_CAPACITY,
+            manifest.trees.clone(),
+        );
+        w.append(&payload).expect("append duplicate record");
+        w.flush().expect("flush duplicate record");
+        manifest.trees = w.metas().to_vec();
+        std::fs::write(
+            &manifest_path,
+            format!(
+                "{}\n",
+                serde_json::to_string(&manifest).expect("serialize manifest")
+            ),
+        )
+        .expect("write cache manifest");
+        let diags = check_tree_cache(&cache_dir, "c").expect("scan");
+        assert!(
+            diags.iter().any(|d| d.code.as_str() == "WM0246"),
+            "{diags:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

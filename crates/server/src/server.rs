@@ -425,7 +425,12 @@ fn replayed(
 }
 
 /// Fetch a job's replay through the cache (one hit or miss counted per
-/// call), replaying the bundle on miss.
+/// call), replaying the bundle on miss. The replay itself goes through
+/// the disk-backed tree/site cache next to the job's bundle
+/// (`TREECACHE/`), so even a cold in-process cache — a restarted
+/// server — folds unchanged sites from cached accumulators instead of
+/// rebuilding their trees. The cached path is byte-identical to the
+/// cold one, so the ETag derived from the bundle hash stays valid.
 fn replay_job(
     shared: &Shared,
     job: &JobRecord,
@@ -435,8 +440,15 @@ fn replay_job(
         return Ok(hit);
     }
     let config = job.spec.config()?;
+    let bundle_dir = shared.store.bundle_dir(job);
+    let tree_cache = wmtree::AnalysisCache::open(
+        &bundle_dir.join(wmtree::tree::cache::CACHE_DIR_NAME),
+        &config,
+    );
     let experiment = Experiment::new(config);
-    let results = experiment.replay_from_bundle(&shared.store.bundle_dir(job))?;
+    let results = experiment
+        .replay_from_bundle_cached(&bundle_dir, &tree_cache)?
+        .results;
     let report = Report::generate(&results);
     Ok(shared.cache.insert(
         hash.to_string(),

@@ -14,9 +14,8 @@
 use crate::error::ShardError;
 use crate::plan::ShardPlan;
 use std::path::Path;
-use wmtree::{Experiment, ExperimentResults};
-use wmtree_analysis::node_similarity::analyze_all;
-use wmtree_analysis::{ExperimentData, MergeDigest, PartialAccumulators};
+use wmtree::{accumulate_cached, AnalysisCache, Experiment, ExperimentResults};
+use wmtree_analysis::{MergeDigest, PartialAccumulators};
 use wmtree_bundle::{bundle_content_hash, Manifest};
 use wmtree_crawler::read_bundle;
 use wmtree_filterlist::embedded::tracking_list;
@@ -34,6 +33,11 @@ pub struct MergedRun {
     /// bounded-memory witness (equals the largest shard, not the
     /// corpus).
     pub peak_shard_pages: usize,
+    /// Sites rebuilt (tree build + analysis) across all shards — on a
+    /// warm re-merge over unchanged bundles this is 0.
+    pub sites_rebuilt: usize,
+    /// Sites folded from each shard's `TREECACHE` without rebuilding.
+    pub sites_reused: usize,
 }
 
 /// Verify one shard's recorded bundle hash against the archive on
@@ -115,6 +119,8 @@ pub fn merge_shards(exp: &Experiment, plan_dir: &Path) -> Result<MergedRun, Shar
     let gauge = wmtree_telemetry::gauge!("shard.pages.in_memory");
     let peak_gauge = wmtree_telemetry::gauge!("shard.pages.in_memory.peak");
     let mut peak: usize = 0;
+    let mut sites_rebuilt: usize = 0;
+    let mut sites_reused: usize = 0;
     let mut acc = PartialAccumulators::empty(names.clone());
 
     for spec in &plan.shards {
@@ -133,30 +139,33 @@ pub fn merge_shards(exp: &Experiment, plan_dir: &Path) -> Result<MergedRun, Shar
         }
 
         // The one-shard residency window: the raw database lives only
-        // inside this block.
+        // inside this block. Each shard carries its own tree/site
+        // cache next to its bundle, so a re-merge over unchanged
+        // shards folds cached accumulators without rebuilding a tree —
+        // and the fold stays byte-identical to the cold path.
         let part = {
             let db = read_bundle(&dir).map_err(located)?;
             gauge.set(db.page_count() as i64);
             peak = peak.max(db.page_count());
             peak_gauge.set(peak as i64);
 
-            let data = ExperimentData::from_db_parallel(
+            let cache = AnalysisCache::open(&dir.join(wmtree::tree::cache::CACHE_DIR_NAME), cfg);
+            let out = accumulate_cached(
                 &db,
-                names.clone(),
+                &names,
                 filter,
                 &cfg.tree,
                 &site_meta,
                 cfg.workers,
-            );
-            let sims = analyze_all(&data);
-            PartialAccumulators::from_shard(
-                data,
-                sims,
-                db.profile_stats(),
-                db.page_count(),
-                db.total_successful_visits(),
-                db.vetted_sites().len(),
+                &cache,
             )
+            .map_err(|source| ShardError::Merge { source })?;
+            if cache.commit().is_err() {
+                wmtree_telemetry::counter!("tree.cache.disk.error").inc();
+            }
+            sites_rebuilt += out.sites_rebuilt;
+            sites_reused += out.sites_reused;
+            out.acc
         };
         gauge.set(0);
         acc.merge(part)
@@ -186,5 +195,7 @@ pub fn merge_shards(exp: &Experiment, plan_dir: &Path) -> Result<MergedRun, Shar
         },
         digest,
         peak_shard_pages: peak,
+        sites_rebuilt,
+        sites_reused,
     })
 }

@@ -90,7 +90,11 @@ fn assert_identical(scale: Scale, n: usize, interrupt: bool, mono: &ExperimentRe
         results,
         digest,
         peak_shard_pages,
+        sites_rebuilt,
+        sites_reused,
     } = merge_shards(&exp, &dir).expect("merge");
+    assert_eq!(sites_reused, 0, "{tag}: first merge has no cache to reuse");
+    assert!(sites_rebuilt > 0, "{tag}: first merge must rebuild");
 
     // Totals digest: byte-identical JSON.
     assert_eq!(
@@ -115,6 +119,21 @@ fn assert_identical(scale: Scale, n: usize, interrupt: bool, mono: &ExperimentRe
     let a = csv_bytes(&merged_report, &dir.join("csv-merged"));
     let b = csv_bytes(&mono_report, &dir.join("csv-mono"));
     assert_eq!(a, b, "{tag}: CSV files differ");
+
+    // A second merge over the unchanged bundles folds every site from
+    // the per-shard caches written by the first — and the warm result
+    // is still byte-identical to the monolithic run.
+    let warm = merge_shards(&exp, &dir).expect("warm merge");
+    assert_eq!(warm.sites_rebuilt, 0, "{tag}: warm re-merge rebuilt sites");
+    assert_eq!(
+        warm.sites_reused, sites_rebuilt,
+        "{tag}: warm re-merge must reuse every site the cold merge built"
+    );
+    assert_eq!(
+        Report::generate(&warm.results).render(),
+        mono_report.render(),
+        "{tag}: warm re-merged report differs"
+    );
 
     // Bounded memory: the merge never held more than the largest
     // shard's pages; with real partitions that is less than the corpus.

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 use wmtree_net::ResourceType;
 use wmtree_url::Party;
 
@@ -39,11 +40,40 @@ pub struct TreeMetrics {
     pub breadth: usize,
 }
 
-/// A dependency tree of one page visit.
+/// The owned body of a [`DepTree`]. Kept behind an `Arc` so cloning a
+/// tree — the hot operation of the memoized replay path, where one
+/// built tree fans out to every identical visit — is a reference-count
+/// bump, not a deep copy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct DepTree {
+struct TreeInner {
     nodes: Vec<Node>,
     by_key: HashMap<String, NodeId>,
+}
+
+/// A dependency tree of one page visit.
+///
+/// `Clone` is O(1): the node arena is shared behind an `Arc` and only
+/// copied when a clone is mutated ([`attach`](DepTree::attach) uses
+/// copy-on-write).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepTree {
+    inner: Arc<TreeInner>,
+}
+
+// Hand-written delegation so the serialized form stays exactly the
+// pre-`Arc` layout: a map with `nodes` and `by_key`.
+impl Serialize for DepTree {
+    fn serialize_value(&self) -> serde::Value {
+        self.inner.serialize_value()
+    }
+}
+
+impl Deserialize for DepTree {
+    fn deserialize_value(v: &serde::Value) -> Result<DepTree, serde::Error> {
+        TreeInner::deserialize_value(v).map(|inner| DepTree {
+            inner: Arc::new(inner),
+        })
+    }
 }
 
 impl DepTree {
@@ -61,9 +91,64 @@ impl DepTree {
         let mut by_key = HashMap::new();
         by_key.insert(root_key, 0);
         DepTree {
-            nodes: vec![root],
-            by_key,
+            inner: Arc::new(TreeInner {
+                nodes: vec![root],
+                by_key,
+            }),
         }
+    }
+
+    /// Reassemble a tree from `(key, type, party, tracking, parent)`
+    /// records in attachment order — the decode half of the cache
+    /// codec. Depths, child lists, and the key index are derived, which
+    /// makes them correct by construction; everything else (node 0 is
+    /// the parentless root, parents precede children, keys unique) is
+    /// validated rather than trusted.
+    pub(crate) fn from_parts(
+        parts: Vec<(String, ResourceType, Party, bool, Option<NodeId>)>,
+    ) -> Result<DepTree, String> {
+        let mut nodes: Vec<Node> = Vec::with_capacity(parts.len());
+        let mut by_key: HashMap<String, NodeId> = HashMap::with_capacity(parts.len());
+        for (id, (key, resource_type, party, tracking, parent)) in parts.into_iter().enumerate() {
+            let depth = match parent {
+                None => {
+                    if id != 0 {
+                        return Err(format!("non-root node {id} has no parent"));
+                    }
+                    0
+                }
+                Some(p) => {
+                    if id == 0 {
+                        return Err("root node has a parent".into());
+                    }
+                    if p >= id {
+                        return Err(format!("parent {p} of node {id} not earlier in arena"));
+                    }
+                    nodes[p].depth + 1
+                }
+            };
+            if by_key.insert(key.clone(), id).is_some() {
+                return Err(format!("duplicate node key `{key}`"));
+            }
+            if let Some(p) = parent {
+                nodes[p].children.push(id);
+            }
+            nodes.push(Node {
+                key,
+                resource_type,
+                party,
+                tracking,
+                depth,
+                parent,
+                children: Vec::new(),
+            });
+        }
+        if nodes.is_empty() {
+            return Err("empty node arena".into());
+        }
+        Ok(DepTree {
+            inner: Arc::new(TreeInner { nodes, by_key }),
+        })
     }
 
     /// The root node id (always 0).
@@ -73,17 +158,17 @@ impl DepTree {
 
     /// All nodes, root first.
     pub fn nodes(&self) -> &[Node] {
-        &self.nodes
+        &self.inner.nodes
     }
 
     /// A node by id.
     pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id]
+        &self.inner.nodes[id]
     }
 
     /// Find a node by key.
     pub fn find(&self, key: &str) -> Option<NodeId> {
-        self.by_key.get(key).copied()
+        self.inner.by_key.get(key).copied()
     }
 
     /// Attach a new node under `parent`. Returns the existing id if the
@@ -96,12 +181,13 @@ impl DepTree {
         party: Party,
         tracking: bool,
     ) -> NodeId {
-        if let Some(&existing) = self.by_key.get(&key) {
+        if let Some(&existing) = self.inner.by_key.get(&key) {
             return existing;
         }
-        let id = self.nodes.len();
-        let depth = self.nodes[parent].depth + 1;
-        self.nodes.push(Node {
+        let inner = Arc::make_mut(&mut self.inner);
+        let id = inner.nodes.len();
+        let depth = inner.nodes[parent].depth + 1;
+        inner.nodes.push(Node {
             key: key.clone(),
             resource_type,
             party,
@@ -110,22 +196,22 @@ impl DepTree {
             parent: Some(parent),
             children: Vec::new(),
         });
-        self.nodes[parent].children.push(id);
-        self.by_key.insert(key, id);
+        inner.nodes[parent].children.push(id);
+        inner.by_key.insert(key, id);
         id
     }
 
     /// Number of nodes (root included).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.inner.nodes.len()
     }
 
     /// The keys of a node's direct children.
     pub fn children_keys(&self, id: NodeId) -> Vec<&str> {
-        self.nodes[id]
+        self.inner.nodes[id]
             .children
             .iter()
-            .map(|&c| self.nodes[c].key.as_str())
+            .map(|&c| self.inner.nodes[c].key.as_str())
             .collect()
     }
 
@@ -133,29 +219,31 @@ impl DepTree {
     /// parent first, ending at the root.
     pub fn dependency_chain(&self, id: NodeId) -> Vec<&str> {
         let mut chain = Vec::new();
-        let mut cur = self.nodes[id].parent;
+        let mut cur = self.inner.nodes[id].parent;
         while let Some(p) = cur {
-            chain.push(self.nodes[p].key.as_str());
-            cur = self.nodes[p].parent;
+            chain.push(self.inner.nodes[p].key.as_str());
+            cur = self.inner.nodes[p].parent;
         }
         chain
     }
 
     /// The parent key of a node, if any.
     pub fn parent_key(&self, id: NodeId) -> Option<&str> {
-        self.nodes[id].parent.map(|p| self.nodes[p].key.as_str())
+        self.inner.nodes[id]
+            .parent
+            .map(|p| self.inner.nodes[p].key.as_str())
     }
 
     /// Nodes at a given depth.
     pub fn nodes_at_depth(&self, depth: usize) -> impl Iterator<Item = &Node> {
-        self.nodes.iter().filter(move |n| n.depth == depth)
+        self.inner.nodes.iter().filter(move |n| n.depth == depth)
     }
 
     /// Width of every depth level, index = depth.
     pub fn level_widths(&self) -> Vec<usize> {
-        let max_depth = self.nodes.iter().map(|n| n.depth).max().unwrap_or(0);
+        let max_depth = self.inner.nodes.iter().map(|n| n.depth).max().unwrap_or(0);
         let mut widths = vec![0usize; max_depth + 1];
-        for n in &self.nodes {
+        for n in &self.inner.nodes {
             widths[n.depth] += 1;
         }
         widths
@@ -165,7 +253,7 @@ impl DepTree {
     pub fn metrics(&self) -> TreeMetrics {
         let widths = self.level_widths();
         TreeMetrics {
-            nodes: self.nodes.len(),
+            nodes: self.inner.nodes.len(),
             depth: widths.len() - 1,
             breadth: widths.iter().copied().max().unwrap_or(1),
         }
@@ -174,7 +262,7 @@ impl DepTree {
     /// Verify structural invariants (acyclic by construction; checks
     /// parent/child symmetry and depth consistency). Used by tests.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (id, n) in self.nodes.iter().enumerate() {
+        for (id, n) in self.inner.nodes.iter().enumerate() {
             match n.parent {
                 None => {
                     if id != 0 {
@@ -188,16 +276,16 @@ impl DepTree {
                     if p >= id {
                         return Err(format!("parent {p} of node {id} not earlier in arena"));
                     }
-                    if self.nodes[p].depth + 1 != n.depth {
+                    if self.inner.nodes[p].depth + 1 != n.depth {
                         return Err(format!("depth mismatch at node {id}"));
                     }
-                    if !self.nodes[p].children.contains(&id) {
+                    if !self.inner.nodes[p].children.contains(&id) {
                         return Err(format!("parent {p} does not list child {id}"));
                     }
                 }
             }
         }
-        if self.by_key.len() != self.nodes.len() {
+        if self.inner.by_key.len() != self.inner.nodes.len() {
             return Err("key index size mismatch".into());
         }
         Ok(())
